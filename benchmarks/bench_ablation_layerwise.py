@@ -1,0 +1,46 @@
+"""Ablation — layer-wise λ schedules vs the paper's single global λ.
+
+The paper uses one λ for every tensor.  This bench compares the global
+λ=0.6 merge against linear depth schedules (chip-heavy-early and
+chip-heavy-late) on OpenROAD QA, quantifying how much headroom per-layer
+mixing offers over the paper's single-knob design — and thereby how much
+simplicity the single knob buys.
+"""
+
+from benchmarks.conftest import MAX_ITEMS, print_result
+from repro.core.layerwise import LambdaSchedule, merge_state_dicts_layerwise
+from repro.core.merge import merge_state_dicts
+from repro.data import eval_triplets
+from repro.eval import LMAnswerer, run_openroad
+from repro.nn.transformer import TransformerLM
+
+
+def test_layerwise_schedules(zoo, benchmark):
+    chip_model = zoo.chip_model("micro")
+    chip = chip_model.state_dict()
+    instruct = zoo.get("micro", "instruct").state_dict()
+    n_layers = chip_model.config.n_layers
+    triplets = eval_triplets()[:MAX_ITEMS] if MAX_ITEMS else eval_triplets()
+
+    def evaluate(sd):
+        model = TransformerLM(chip_model.config)
+        model.load_state_dict(dict(sd))
+        model.eval()
+        return run_openroad(LMAnswerer(model, zoo.tokenizer), triplets).overall
+
+    scores = {
+        "global lam=0.6": evaluate(merge_state_dicts(chip, instruct, lam=0.6)),
+        "linear 0.8->0.4": evaluate(merge_state_dicts_layerwise(
+            chip, instruct, LambdaSchedule.linear(0.8, 0.4, n_layers, default=0.6))),
+        "linear 0.4->0.8": evaluate(merge_state_dicts_layerwise(
+            chip, instruct, LambdaSchedule.linear(0.4, 0.8, n_layers, default=0.6))),
+    }
+    print_result("Ablation: layer-wise lambda schedules (OpenROAD ROUGE-L)",
+                 "\n".join(f"{k:<16} rougeL={v:.3f}" for k, v in scores.items()))
+
+    # Constant-schedule consistency: exercised in unit tests; here we assert
+    # all variants produce functioning models in a sane score band.
+    assert all(v > 0.05 for v in scores.values())
+
+    schedule = LambdaSchedule.linear(0.8, 0.4, n_layers)
+    benchmark(lambda: merge_state_dicts_layerwise(chip, instruct, schedule))

@@ -1,0 +1,79 @@
+"""Ablation — geodesic (arc) versus linear (chord) interpolation.
+
+DESIGN.md calls out the paper's central design choice: interpolating along
+the sphere's geodesic with geometric-mean norm restoration instead of the
+straight chord through weight space.  This bench quantifies the geometric
+defect the paper's method removes (the chord's Frobenius-norm sag) and
+compares downstream quality of geodesic vs purely linear weight blending at
+the recommended λ=0.6.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import MAX_ITEMS, print_result
+from repro.core.analysis import norm_deviation_along_path
+from repro.core.baselines import model_soup
+from repro.core.merge import merge_state_dicts
+from repro.data import eval_triplets
+from repro.eval import LMAnswerer, run_openroad
+from repro.nn.transformer import TransformerLM
+
+
+def test_chord_norm_sag_vs_geodesic(zoo, benchmark):
+    """The chord's norm deviates from the geometric-mean target; the geodesic
+    path's deviation is identically zero."""
+    chip = zoo.chip_model("micro").state_dict()
+    instruct = zoo.get("micro", "instruct").state_dict()
+    lams = np.linspace(0.1, 0.9, 9)
+    rows = []
+    worst_linear = 0.0
+    for key in list(chip)[:6]:
+        lin = norm_deviation_along_path(chip[key], instruct[key], lams, "linear")
+        geo = norm_deviation_along_path(chip[key], instruct[key], lams, "geodesic")
+        rows.append(f"{key:<34} linear-sag(max)={lin.max():.5f} geodesic={geo.max():.2e}")
+        worst_linear = max(worst_linear, float(lin.max()))
+        assert geo.max() < 1e-8
+    print_result("Ablation: norm deviation along interpolation path",
+                 "\n".join(rows))
+    assert worst_linear > 0.0
+
+    key = list(chip)[2]
+    benchmark(lambda: norm_deviation_along_path(chip[key], instruct[key],
+                                                lams, "linear"))
+
+
+def test_geodesic_vs_linear_blend_downstream(zoo, benchmark):
+    """Downstream ROUGE-L of the geodesic merge vs a λ-weighted linear blend
+    at the operating λ (Table 1's ChipAlign-vs-ModelSoup contrast controlled
+    to the same mixing weight).
+
+    Finding (recorded in EXPERIMENTS.md): when the two source models have
+    nearly equal Frobenius norms — as same-ancestor LoRA fine-tunes do — the
+    geodesic and the renormalised chord are within noise of each other; the
+    geodesic's decisive advantage is the *norm restoration* step (see
+    bench_ablation_rescale: dropping it collapses the model), which matters
+    more the further apart the source norms drift.
+    """
+    from repro.pipelines.experiment import OPENROAD_LAMBDA
+
+    chip_model = zoo.chip_model("micro")
+    chip = chip_model.state_dict()
+    instruct = zoo.get("micro", "instruct").state_dict()
+    triplets = eval_triplets()[:MAX_ITEMS] if MAX_ITEMS else eval_triplets()
+
+    def evaluate(sd):
+        model = TransformerLM(chip_model.config)
+        model.load_state_dict(dict(sd))
+        model.eval()
+        return run_openroad(LMAnswerer(model, zoo.tokenizer), triplets).overall
+
+    lam = OPENROAD_LAMBDA
+    geodesic = evaluate(merge_state_dicts(chip, instruct, lam=lam))
+    linear = evaluate(model_soup([chip, instruct], weights=[lam, 1 - lam]))
+    print_result(f"Ablation: geodesic vs linear blend at lambda={lam}",
+                 f"geodesic={geodesic:.3f}  linear={linear:.3f}")
+    # Equal-norm sources: the two paths must agree to within noise.
+    assert abs(geodesic - linear) <= 0.03
+    assert geodesic > 0.15  # and both produce competent models
+
+    benchmark(lambda: merge_state_dicts(chip, instruct, lam=lam))

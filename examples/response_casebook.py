@@ -1,0 +1,81 @@
+"""Response casebook — the qualitative comparisons of Figures 5 and 6.
+
+Prints side-by-side model responses for one OpenROAD QA prompt (Figure 5)
+and one industrial BUILD prompt (Figure 6), with the verifiable-instruction
+compliance and judge verdicts annotated, reproducing the paper's qualitative
+argument: the chat model is instruction-compliant but domain-ignorant, the
+chip model is knowledgeable but non-compliant, and ChipAlign is both.
+
+Run:  python examples/response_casebook.py
+"""
+
+from repro.data.industrial_qa import REFUSAL, eval_items
+from repro.data.openroad_qa import eval_triplets
+from repro.eval import (INDUSTRIAL_INSTRUCTIONS, OPENROAD_INSTRUCTIONS,
+                        LMAnswerer, ReferenceJudge, golden_reference, rouge_l)
+from repro.eval.harness import OPENROAD_PREFIX
+from repro.pipelines import GRANDE_LAMBDA, OPENROAD_LAMBDA, default_zoo
+
+
+def openroad_case(zoo):
+    print("=" * 72)
+    print("FIGURE 5 CASE — OpenROAD QA (micro family)")
+    print("=" * 72)
+    triplet = eval_triplets()[0]
+    print(f"context : {triplet.context}")
+    print(f"question: {triplet.question}")
+    print("instructions: " + "; ".join(
+        i.render() if hasattr(i, "render") else i for i in OPENROAD_INSTRUCTIONS))
+    reference = golden_reference(triplet.answer, OPENROAD_INSTRUCTIONS)
+    print(f"golden  : {reference}\n")
+    models = [
+        ("Instruct", zoo.get("micro", "instruct")),
+        ("EDA", zoo.chip_model("micro")),
+        ("ChipAlign", zoo.merged("micro", "chipalign", lam=OPENROAD_LAMBDA)),
+    ]
+    for name, model in models:
+        answerer = LMAnswerer(model, zoo.tokenizer)
+        response = answerer.answer(triplet.question, context=triplet.context,
+                                   instructions=OPENROAD_INSTRUCTIONS)
+        compliant = "follows prefix" if OPENROAD_PREFIX.check(response) \
+            else "IGNORES prefix instruction"
+        score = rouge_l(response, reference).fmeasure
+        print(f"[{name:>9}] rougeL={score:.2f} ({compliant})\n            {response}\n")
+
+
+def industrial_case(zoo):
+    print("=" * 72)
+    print("FIGURE 6 CASE — industrial BUILD QA (grande family)")
+    print("=" * 72)
+    judge = ReferenceJudge()
+    item = next(i for i in eval_items()
+                if i.category == "build" and i.answer != REFUSAL)
+    print(f"context : {item.context}")
+    print(f"question: {item.question}")
+    golden = golden_reference(item.answer, INDUSTRIAL_INSTRUCTIONS)
+    print(f"golden  : {golden}\n")
+    models = [
+        ("Chat", zoo.get("grande", "instruct")),
+        ("ChipNeMo", zoo.get("grande", "chipnemo")),
+        ("ChipAlign", zoo.merged("grande", "chipalign", lam=GRANDE_LAMBDA)),
+    ]
+    for name, model in models:
+        answerer = LMAnswerer(model, zoo.tokenizer)
+        response = answerer.answer(item.question, context=item.context,
+                                   instructions=INDUSTRIAL_INSTRUCTIONS)
+        verdict = judge.grade(response, golden, item.context, item.question)
+        grounded = "supported by context" if verdict.grounding >= 0.7 \
+            else "NOT supported by context"
+        print(f"[{name:>9}] evaluation score: {verdict.score} ({grounded})\n"
+              f"            {response}\n")
+
+
+def main():
+    print("loading the model zoo (first run trains the models) ...")
+    zoo = default_zoo(verbose=True)
+    openroad_case(zoo)
+    industrial_case(zoo)
+
+
+if __name__ == "__main__":
+    main()

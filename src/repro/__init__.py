@@ -1,0 +1,22 @@
+"""ChipAlign reproduction.
+
+Geodesic weight interpolation for instruction alignment in chip-design LLMs
+(Deng, Bai & Ren, DAC 2025), reproduced end-to-end on a from-scratch
+transformer substrate.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart
+----------
+>>> from repro import ChipAlignMerger
+>>> merged = ChipAlignMerger(lam=0.6).merge_models(chip_model, instruct_model)
+"""
+
+from .core import ChipAlignMerger, geodesic_merge, merge_state_dicts, slerp
+from .core.registry import available_methods, merge
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChipAlignMerger", "geodesic_merge", "merge_state_dicts", "slerp",
+    "available_methods", "merge", "__version__",
+]

@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror how an adopter would actually use the release:
+
+* ``merge``   — fuse two (or more) checkpoints with any registered method;
+* ``sweep``   — evaluate a λ sweep of the geodesic merge on OpenROAD QA;
+* ``zoo``     — build / list the model-zoo checkpoints;
+* ``chat``    — one-shot grounded question answering with a zoo model;
+* ``table``   — regenerate one of the paper's tables or figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core.karcher import karcher_merge_state_dicts
+from .core.registry import available_methods, merge
+from .nn.checkpoint import load_model, save_model, save_state_dict
+from .nn.transformer import TransformerLM
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    chip, _ = load_model(args.chip)
+    instruct, _ = load_model(args.instruct)
+    if chip.config != instruct.config:
+        print("error: models have different architectures", file=sys.stderr)
+        return 2
+    base_sd = None
+    if args.base:
+        base, _ = load_model(args.base)
+        base_sd = base.state_dict()
+    merged_sd = merge(args.method, chip=chip.state_dict(),
+                      instruct=instruct.state_dict(), base=base_sd,
+                      lam=args.lam)
+    model = TransformerLM(chip.config)
+    model.load_state_dict(dict(merged_sd))
+    save_model(model, args.output, metadata={
+        "method": args.method, "lam": args.lam,
+        "chip": str(args.chip), "instruct": str(args.instruct)})
+    print(f"merged with {args.method} (lam={args.lam}) -> {args.output}.npz")
+    return 0
+
+
+def _cmd_merge_many(args: argparse.Namespace) -> int:
+    models = [load_model(path)[0] for path in args.models]
+    configs = {m.config for m in models}
+    if len(configs) != 1:
+        print("error: models have different architectures", file=sys.stderr)
+        return 2
+    merged_sd = karcher_merge_state_dicts([m.state_dict() for m in models],
+                                          weights=args.weights)
+    out = TransformerLM(models[0].config)
+    out.load_state_dict(dict(merged_sd))
+    save_model(out, args.output, metadata={"method": "karcher",
+                                           "inputs": [str(p) for p in args.models]})
+    print(f"karcher-merged {len(models)} models -> {args.output}.npz")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .data import eval_triplets
+    from .eval import LMAnswerer, run_openroad
+    from .pipelines import default_zoo
+
+    zoo = default_zoo(verbose=True)
+    triplets = eval_triplets()[: args.items] if args.items else eval_triplets()
+    lams = [round(i / (args.points - 1), 3) for i in range(args.points)]
+    print(f"lambda sweep on {args.family} over {len(triplets)} items")
+    for lam in lams:
+        model = zoo.merged(args.family, "chipalign", lam=lam)
+        report = run_openroad(LMAnswerer(model, zoo.tokenizer), triplets)
+        print(f"  lambda={lam:<6} rougeL={report.overall:.3f}")
+    return 0
+
+
+def _cmd_zoo(args: argparse.Namespace) -> int:
+    from .pipelines import FAMILIES, default_zoo
+    from .pipelines.model_zoo import CHIP_VARIANT
+
+    zoo = default_zoo(verbose=True)
+    if args.action == "build":
+        zoo.prewarm()
+        print("zoo ready at", zoo.cache_dir)
+    else:
+        for family in FAMILIES:
+            variants = ["base", "instruct", CHIP_VARIANT[family]]
+            print(f"{family}: {', '.join(variants)}")
+    return 0
+
+
+def _cmd_chat(args: argparse.Namespace) -> int:
+    from .data.openroad_qa import documentation_corpus
+    from .eval import LMAnswerer, OPENROAD_INSTRUCTIONS
+    from .pipelines import default_zoo
+    from .rag import RagPipeline
+
+    zoo = default_zoo()
+    if args.variant == "chipalign":
+        model = zoo.merged(args.family, "chipalign", lam=args.lam)
+    else:
+        model = zoo.get(args.family, args.variant)
+    answerer = LMAnswerer(model, zoo.tokenizer)
+    retriever = RagPipeline(documentation_corpus())
+    context = retriever.retrieve(args.question).context
+    answer = answerer.answer(args.question, context=context,
+                             instructions=OPENROAD_INSTRUCTIONS)
+    print(f"context : {context}")
+    print(f"answer  : {answer}")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from .pipelines import (run_complexity, run_fig2, run_fig7, run_fig8,
+                            run_table1, run_table2, run_table3)
+
+    artifact = args.artifact
+    if artifact == "table1":
+        for result in run_table1(max_items=args.items):
+            print(f"\n[{result.family}]\n{result.table}")
+    elif artifact == "table2":
+        print(run_table2().table)
+    elif artifact == "table3":
+        print(run_table3().table)
+    elif artifact == "fig2":
+        print(run_fig2().table)
+    elif artifact == "fig7":
+        print(run_fig7().table)
+    elif artifact == "fig8":
+        print(run_fig8(max_items=args.items).table)
+    elif artifact == "complexity":
+        result = run_complexity()
+        print(result.table)
+        print(f"linear-fit R^2 = {result.linear_fit_r2:.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ChipAlign reproduction command-line tools")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_merge = sub.add_parser("merge", help="merge two checkpoints")
+    p_merge.add_argument("--chip", required=True, type=Path)
+    p_merge.add_argument("--instruct", required=True, type=Path)
+    p_merge.add_argument("--base", type=Path, default=None,
+                         help="base checkpoint (task-vector methods)")
+    p_merge.add_argument("--method", default="chipalign",
+                         choices=available_methods())
+    p_merge.add_argument("--lam", type=float, default=0.6)
+    p_merge.add_argument("--output", "-o", required=True, type=Path)
+    p_merge.set_defaults(fn=_cmd_merge)
+
+    p_many = sub.add_parser("merge-many",
+                            help="Karcher-mean merge of N checkpoints")
+    p_many.add_argument("models", nargs="+", type=Path)
+    p_many.add_argument("--weights", nargs="+", type=float, default=None)
+    p_many.add_argument("--output", "-o", required=True, type=Path)
+    p_many.set_defaults(fn=_cmd_merge_many)
+
+    p_sweep = sub.add_parser("sweep", help="lambda sweep on OpenROAD QA")
+    p_sweep.add_argument("--family", default="nano")
+    p_sweep.add_argument("--points", type=int, default=11)
+    p_sweep.add_argument("--items", type=int, default=45)
+    p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_zoo = sub.add_parser("zoo", help="build or list the model zoo")
+    p_zoo.add_argument("action", choices=("build", "list"))
+    p_zoo.set_defaults(fn=_cmd_zoo)
+
+    p_chat = sub.add_parser("chat", help="one-shot grounded QA")
+    p_chat.add_argument("question")
+    p_chat.add_argument("--family", default="micro")
+    p_chat.add_argument("--variant", default="chipalign",
+                        choices=("instruct", "eda", "chipnemo", "chipalign"))
+    p_chat.add_argument("--lam", type=float, default=0.6)
+    p_chat.set_defaults(fn=_cmd_chat)
+
+    p_table = sub.add_parser("table", help="regenerate a paper artifact")
+    p_table.add_argument("artifact", choices=("table1", "table2", "table3",
+                                              "fig2", "fig7", "fig8",
+                                              "complexity"))
+    p_table.add_argument("--items", type=int, default=None)
+    p_table.set_defaults(fn=_cmd_table)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""ChipAlign's core contribution: geodesic weight merging and baselines."""
+
+from .geodesic import (frobenius_norm, geodesic_distance, geodesic_merge,
+                       project_to_sphere, restore_norm, slerp, sphere_angle)
+from .merge import ChipAlignMerger, merge_state_dicts, validate_conformable
+from .baselines import (dare_merge, della_merge, model_soup, task_arithmetic,
+                        task_vectors, ties_merge)
+from .registry import available_methods, merge, register
+from .analysis import (TensorGeometry, interpolation_path, linear_merge_tensor,
+                       norm_deviation_along_path, pairwise_geometry,
+                       summarize_geometry)
+from .karcher import (exp_map, karcher_mean, karcher_merge_state_dicts,
+                      karcher_merge_tensors, log_map)
+from .layerwise import (LambdaSchedule, layer_index,
+                        merge_state_dicts_layerwise)
+
+__all__ = [
+    "frobenius_norm", "geodesic_distance", "geodesic_merge",
+    "project_to_sphere", "restore_norm", "slerp", "sphere_angle",
+    "ChipAlignMerger", "merge_state_dicts", "validate_conformable",
+    "dare_merge", "della_merge", "model_soup", "task_arithmetic",
+    "task_vectors", "ties_merge",
+    "available_methods", "merge", "register",
+    "TensorGeometry", "interpolation_path", "linear_merge_tensor",
+    "norm_deviation_along_path", "pairwise_geometry", "summarize_geometry",
+    "exp_map", "karcher_mean", "karcher_merge_state_dicts",
+    "karcher_merge_tensors", "log_map",
+    "LambdaSchedule", "layer_index", "merge_state_dicts_layerwise",
+]

@@ -1,0 +1,206 @@
+"""Baseline model-merging methods the paper compares against (Section II-C).
+
+All methods operate on flat ``{name: array}`` state dicts:
+
+* :func:`model_soup` — uniform / weighted averaging (Wortsman et al., 2022).
+* :func:`task_arithmetic` — average of task vectors added back to the base
+  (Ilharco et al., 2022).
+* :func:`ties_merge` — TIES: trim task vectors to the top-density magnitudes,
+  elect a per-entry sign, and disjoint-mean the agreeing entries
+  (Yadav et al., 2023).
+* :func:`della_merge` — DELLA: magnitude-adaptive stochastic pruning
+  (MagPrune) with inverse-probability rescaling, then TIES-style sign
+  election and fusion (Deep et al., 2024).
+* :func:`dare_merge` — DARE: uniform random drop-and-rescale of task vectors,
+  fused linearly or TIES-style (Yu et al., 2024); included as an extension
+  baseline beyond the paper's table.
+
+Task-vector methods require the common base model the fine-tunes started
+from, matching how the paper's pipelines produce their inputs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+StateDict = Dict[str, np.ndarray]
+
+
+def _check_aligned(dicts: Sequence[StateDict]) -> None:
+    if not dicts:
+        raise ValueError("need at least one state dict")
+    keys = set(dicts[0])
+    for d in dicts[1:]:
+        if set(d) != keys:
+            raise KeyError("state dicts have non-matching keys")
+    for key in keys:
+        shapes = {np.asarray(d[key]).shape for d in dicts}
+        if len(shapes) != 1:
+            raise ValueError(f"tensor {key!r} has mismatched shapes: {shapes}")
+
+
+def model_soup(dicts: Sequence[StateDict],
+               weights: Optional[Sequence[float]] = None) -> "OrderedDict[str, np.ndarray]":
+    """Weighted average of state dicts (uniform by default)."""
+    _check_aligned(dicts)
+    if weights is None:
+        weights = [1.0 / len(dicts)] * len(dicts)
+    if len(weights) != len(dicts):
+        raise ValueError("weights must align with state dicts")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    weights = [w / total for w in weights]
+    out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for key in dicts[0]:
+        out[key] = sum(w * np.asarray(d[key], dtype=np.float64)
+                       for w, d in zip(weights, dicts))
+    return out
+
+
+def task_vectors(base: StateDict, tuned: StateDict) -> "OrderedDict[str, np.ndarray]":
+    """Per-tensor difference ``tuned - base``."""
+    _check_aligned([base, tuned])
+    return OrderedDict(
+        (k, np.asarray(tuned[k], dtype=np.float64) - np.asarray(base[k], dtype=np.float64))
+        for k in base
+    )
+
+
+def task_arithmetic(base: StateDict, tuned: Sequence[StateDict],
+                    scaling: Optional[float] = None) -> "OrderedDict[str, np.ndarray]":
+    """Task arithmetic: ``base + scaling * Σ task_vectors``.
+
+    ``scaling`` defaults to ``1/len(tuned)``, i.e. averaging the task
+    vectors — the standard recommendation when fusing same-base fine-tunes.
+    """
+    _check_aligned([base, *tuned])
+    if scaling is None:
+        scaling = 1.0 / len(tuned)
+    vectors = [task_vectors(base, t) for t in tuned]
+    out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for key in base:
+        delta = sum(v[key] for v in vectors)
+        out[key] = np.asarray(base[key], dtype=np.float64) + scaling * delta
+    return out
+
+
+def _trim_by_magnitude(vec: np.ndarray, density: float) -> np.ndarray:
+    """Zero all but the top-``density`` fraction of entries by |magnitude|."""
+    if not 0.0 < density <= 1.0:
+        raise ValueError(f"density must be in (0, 1], got {density}")
+    flat = np.abs(vec).reshape(-1)
+    k = max(1, int(round(density * flat.size)))
+    if k >= flat.size:
+        return vec.copy()
+    threshold = np.partition(flat, flat.size - k)[flat.size - k]
+    mask = np.abs(vec) >= threshold
+    return np.where(mask, vec, 0.0)
+
+
+def _elect_sign(vectors: List[np.ndarray]) -> np.ndarray:
+    """Per-entry sign with the larger total magnitude across task vectors."""
+    stacked = np.stack(vectors)
+    positive = np.where(stacked > 0, stacked, 0.0).sum(axis=0)
+    negative = np.where(stacked < 0, -stacked, 0.0).sum(axis=0)
+    sign = np.where(positive >= negative, 1.0, -1.0)
+    return sign
+
+
+def _disjoint_mean(vectors: List[np.ndarray], sign: np.ndarray) -> np.ndarray:
+    """Mean of entries whose sign matches the elected sign (zeros excluded)."""
+    stacked = np.stack(vectors)
+    keep = (np.sign(stacked) == sign) & (stacked != 0)
+    total = np.where(keep, stacked, 0.0).sum(axis=0)
+    counts = keep.sum(axis=0)
+    return np.divide(total, counts, out=np.zeros_like(total), where=counts > 0)
+
+
+def ties_merge(base: StateDict, tuned: Sequence[StateDict], density: float = 0.2,
+               scaling: float = 1.0) -> "OrderedDict[str, np.ndarray]":
+    """TIES merging: trim → elect sign → disjoint mean → add to base."""
+    _check_aligned([base, *tuned])
+    vectors = [task_vectors(base, t) for t in tuned]
+    out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for key in base:
+        trimmed = [_trim_by_magnitude(v[key], density) for v in vectors]
+        sign = _elect_sign(trimmed)
+        merged = _disjoint_mean(trimmed, sign)
+        out[key] = np.asarray(base[key], dtype=np.float64) + scaling * merged
+    return out
+
+
+def _magprune(vec: np.ndarray, density: float, epsilon: float,
+              rng: np.random.Generator) -> np.ndarray:
+    """DELLA's magnitude-adaptive stochastic pruning with rescaling.
+
+    Entries are ranked by |magnitude|; keep probabilities vary linearly from
+    ``density - epsilon/2`` (smallest) to ``density + epsilon/2`` (largest),
+    clipped to (0, 1].  Kept entries are divided by their keep probability so
+    the pruned vector is an unbiased estimate of the original.
+    """
+    if not 0.0 < density <= 1.0:
+        raise ValueError(f"density must be in (0, 1], got {density}")
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+    flat = vec.reshape(-1)
+    n = flat.size
+    order = np.argsort(np.abs(flat), kind="stable")  # ascending magnitude
+    ranks = np.empty(n, dtype=np.float64)
+    ranks[order] = np.arange(n)
+    rel = ranks / max(n - 1, 1)  # 0 = smallest, 1 = largest
+    probs = np.clip(density - epsilon / 2.0 + epsilon * rel, 1e-6, 1.0)
+    keep = rng.random(n) < probs
+    pruned = np.where(keep, flat / probs, 0.0)
+    return pruned.reshape(vec.shape)
+
+
+def della_merge(base: StateDict, tuned: Sequence[StateDict], density: float = 0.4,
+                epsilon: float = 0.1, scaling: float = 1.0,
+                seed: int = 0) -> "OrderedDict[str, np.ndarray]":
+    """DELLA merging: MagPrune each task vector, then TIES-style fuse."""
+    _check_aligned([base, *tuned])
+    rng = np.random.default_rng(seed)
+    vectors = [task_vectors(base, t) for t in tuned]
+    out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for key in base:
+        pruned = [_magprune(v[key], density, epsilon, rng) for v in vectors]
+        sign = _elect_sign(pruned)
+        merged = _disjoint_mean(pruned, sign)
+        out[key] = np.asarray(base[key], dtype=np.float64) + scaling * merged
+    return out
+
+
+def dare_merge(base: StateDict, tuned: Sequence[StateDict], density: float = 0.5,
+               scaling: Optional[float] = None, mode: str = "linear",
+               seed: int = 0) -> "OrderedDict[str, np.ndarray]":
+    """DARE merging: random drop-and-rescale of task vectors, then fuse.
+
+    ``mode='linear'`` averages the rescaled vectors; ``mode='ties'`` applies
+    sign election and disjoint mean instead.
+    """
+    if mode not in ("linear", "ties"):
+        raise ValueError(f"mode must be 'linear' or 'ties', got {mode!r}")
+    if not 0.0 < density <= 1.0:
+        raise ValueError(f"density must be in (0, 1], got {density}")
+    _check_aligned([base, *tuned])
+    rng = np.random.default_rng(seed)
+    if scaling is None:
+        scaling = 1.0 / len(tuned) if mode == "linear" else 1.0
+    vectors = [task_vectors(base, t) for t in tuned]
+    out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for key in base:
+        dropped = []
+        for v in vectors:
+            keep = rng.random(v[key].shape) < density
+            dropped.append(np.where(keep, v[key] / density, 0.0))
+        if mode == "linear":
+            merged = sum(dropped)
+        else:
+            sign = _elect_sign(dropped)
+            merged = _disjoint_mean(dropped, sign)
+        out[key] = np.asarray(base[key], dtype=np.float64) + scaling * merged
+    return out

@@ -1,0 +1,158 @@
+"""Geodesic interpolation on the unit n-sphere — the heart of ChipAlign.
+
+Implements Section III of the paper exactly:
+
+1. Project each weight matrix onto the unit n-sphere by dividing by its
+   Frobenius norm (Definition III.1).
+2. Interpolate along the geodesic (great-circle arc) between the two projected
+   points using the spherical linear interpolation formula (Lemma III.2):
+
+   .. math::
+
+      \\bar W_{merge} = \\frac{\\sin(\\lambda\\Theta)}{\\sin\\Theta}\\bar W_{chip}
+                      + \\frac{\\sin((1-\\lambda)\\Theta)}{\\sin\\Theta}\\bar W_{instruct}
+
+   where :math:`\\Theta` is the angle between the projected weights and
+   :math:`\\lambda \\in [0, 1]`, with :math:`\\lambda=1` recovering the chip
+   model and :math:`\\lambda=0` the instruction model.
+3. Restore magnitude with the geometric mean of the original Frobenius norms:
+   :math:`W_{merge} = \\mathrm{Norm}_{chip}^{\\lambda}\\,
+   \\mathrm{Norm}_{instruct}^{1-\\lambda}\\,\\bar W_{merge}`.
+
+Numerical edge cases (near-parallel or near-antipodal weights, zero matrices)
+are handled explicitly; see the individual functions.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+# Below this angle the sin(Θ) denominator is numerically unstable and the
+# chord is indistinguishable from the arc, so we fall back to normalised
+# linear interpolation.
+SMALL_ANGLE = 1e-7
+# Within this distance of π the geodesic is not unique (antipodal points).
+ANTIPODAL_MARGIN = 1e-6
+
+
+def frobenius_norm(w: np.ndarray) -> float:
+    """Frobenius norm of an arbitrary-shape weight array."""
+    return float(np.sqrt(np.sum(np.asarray(w, dtype=np.float64) ** 2)))
+
+
+def project_to_sphere(w: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Project ``w`` onto the unit n-sphere.
+
+    Returns ``(w / ||w||_F, ||w||_F)``.  A zero matrix cannot be projected
+    and raises ``ValueError`` — the caller (the model-level merger) treats
+    all-zero tensors specially.
+    """
+    w = np.asarray(w, dtype=np.float64)
+    norm = frobenius_norm(w)
+    if norm == 0.0:
+        raise ValueError("cannot project the zero matrix onto the unit sphere")
+    return w / norm, norm
+
+
+def sphere_angle(w_a: np.ndarray, w_b: np.ndarray) -> float:
+    """Angle Θ ∈ [0, π] between two unit-norm weight arrays.
+
+    The inputs are treated as flattened vectors on the n-sphere
+    (n = w.size - 1); the angle is ``arccos`` of their inner product,
+    clipped into [-1, 1] for numerical safety.
+    """
+    dot = float(np.sum(np.asarray(w_a, dtype=np.float64) * np.asarray(w_b, dtype=np.float64)))
+    return float(np.arccos(np.clip(dot, -1.0, 1.0)))
+
+
+def slerp(w_chip: np.ndarray, w_instruct: np.ndarray, lam: float) -> np.ndarray:
+    """Spherical linear interpolation between two unit-norm arrays.
+
+    Parameters
+    ----------
+    w_chip, w_instruct:
+        Unit-Frobenius-norm arrays of identical shape (points on the sphere).
+    lam:
+        Interpolation coefficient in [0, 1]; 1 → chip, 0 → instruct
+        (Lemma III.2's convention).
+
+    Returns
+    -------
+    numpy.ndarray
+        A unit-norm array on the geodesic between the inputs.
+
+    Notes
+    -----
+    * For nearly parallel inputs (Θ < :data:`SMALL_ANGLE`) the formula's
+      ``sin(Θ)`` denominator degenerates; we use normalised linear
+      interpolation, which coincides with the geodesic in the limit.
+    * Antipodal inputs (Θ ≈ π) have no unique geodesic; ``ValueError`` is
+      raised because any choice would be arbitrary.  This never occurs for
+      fine-tunes of a common base in practice.
+    """
+    if not 0.0 <= lam <= 1.0:
+        raise ValueError(f"lambda must be in [0, 1], got {lam}")
+    w_chip = np.asarray(w_chip, dtype=np.float64)
+    w_instruct = np.asarray(w_instruct, dtype=np.float64)
+    if w_chip.shape != w_instruct.shape:
+        raise ValueError(f"shape mismatch: {w_chip.shape} vs {w_instruct.shape}")
+    theta = sphere_angle(w_chip, w_instruct)
+    if theta < SMALL_ANGLE:
+        blended = lam * w_chip + (1.0 - lam) * w_instruct
+        norm = frobenius_norm(blended)
+        return blended / norm if norm > 0 else w_chip.copy()
+    if np.pi - theta < ANTIPODAL_MARGIN:
+        raise ValueError(
+            "inputs are (numerically) antipodal on the sphere; the geodesic "
+            "between them is not unique"
+        )
+    sin_theta = np.sin(theta)
+    coeff_chip = np.sin(lam * theta) / sin_theta
+    coeff_instruct = np.sin((1.0 - lam) * theta) / sin_theta
+    return coeff_chip * w_chip + coeff_instruct * w_instruct
+
+
+def restore_norm(w_unit: np.ndarray, norm_chip: float, norm_instruct: float,
+                 lam: float) -> np.ndarray:
+    """Rescale a unit-norm merged array by the geometric mean of source norms.
+
+    Implements :math:`W = \\mathrm{Norm}_{chip}^{\\lambda}
+    \\mathrm{Norm}_{instruct}^{1-\\lambda} \\bar W`.
+    """
+    if norm_chip <= 0 or norm_instruct <= 0:
+        raise ValueError("norms must be positive to take a geometric mean")
+    return (norm_chip ** lam) * (norm_instruct ** (1.0 - lam)) * np.asarray(w_unit)
+
+
+def geodesic_merge(w_chip: np.ndarray, w_instruct: np.ndarray, lam: float = 0.6) -> np.ndarray:
+    """Full per-tensor ChipAlign merge: project → slerp → restore norm.
+
+    This is ``f(W_chip, W_instruct)`` from the paper's problem formulation,
+    applied to a single weight matrix.  λ defaults to the paper's recommended
+    0.6 (Section IV-E).
+
+    Degenerate inputs: if both tensors are zero the result is zero; if exactly
+    one is zero, spherical projection is undefined and we fall back to the
+    norm-weighted linear blend (which continuously extends the formula).
+    """
+    w_chip = np.asarray(w_chip, dtype=np.float64)
+    w_instruct = np.asarray(w_instruct, dtype=np.float64)
+    if w_chip.shape != w_instruct.shape:
+        raise ValueError(f"shape mismatch: {w_chip.shape} vs {w_instruct.shape}")
+    norm_chip = frobenius_norm(w_chip)
+    norm_instruct = frobenius_norm(w_instruct)
+    if norm_chip == 0.0 and norm_instruct == 0.0:
+        return np.zeros_like(w_chip)
+    if norm_chip == 0.0 or norm_instruct == 0.0:
+        return lam * w_chip + (1.0 - lam) * w_instruct
+    unit_merged = slerp(w_chip / norm_chip, w_instruct / norm_instruct, lam)
+    return restore_norm(unit_merged, norm_chip, norm_instruct, lam)
+
+
+def geodesic_distance(w_a: np.ndarray, w_b: np.ndarray) -> float:
+    """Arc length between the sphere projections of two weight arrays."""
+    unit_a, _ = project_to_sphere(w_a)
+    unit_b, _ = project_to_sphere(w_b)
+    return sphere_angle(unit_a, unit_b)

@@ -1,0 +1,126 @@
+"""Multi-model geodesic merging via the spherical (Karcher) mean.
+
+The paper merges exactly two models; its conclusion notes ChipAlign "has
+potential applications in other domains", and the natural generalisation is
+fusing N ≥ 2 specialists.  The two-model geodesic midpoint generalises to the
+*weighted Karcher mean* on the unit n-sphere: the point minimising the
+weighted sum of squared geodesic distances to the inputs.  We compute it with
+the standard fixed-point iteration in the tangent space (log/exp maps), then
+restore magnitude with the weighted geometric mean of the source norms —
+exactly ChipAlign's rescaling rule extended to N inputs.
+
+For N = 2 the Karcher mean reduces to SLERP, which the tests verify.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .geodesic import frobenius_norm, project_to_sphere
+from .merge import StateDict
+
+
+def log_map(base: np.ndarray, point: np.ndarray) -> np.ndarray:
+    """Riemannian log map on the unit sphere: the tangent vector at ``base``
+    pointing toward ``point`` with length equal to their geodesic distance."""
+    base = np.asarray(base, dtype=np.float64)
+    point = np.asarray(point, dtype=np.float64)
+    dot = float(np.clip(np.sum(base * point), -1.0, 1.0))
+    theta = np.arccos(dot)
+    if theta < 1e-12:
+        return np.zeros_like(base)
+    direction = point - dot * base
+    norm = frobenius_norm(direction)
+    if norm < 1e-15:
+        raise ValueError("antipodal points have no unique log map")
+    return theta * direction / norm
+
+
+def exp_map(base: np.ndarray, tangent: np.ndarray) -> np.ndarray:
+    """Riemannian exp map on the unit sphere: walk from ``base`` along
+    ``tangent`` (length = arc distance) and return the arrival point."""
+    base = np.asarray(base, dtype=np.float64)
+    tangent = np.asarray(tangent, dtype=np.float64)
+    theta = frobenius_norm(tangent)
+    if theta < 1e-12:
+        return base.copy()
+    return np.cos(theta) * base + np.sin(theta) * tangent / theta
+
+
+def karcher_mean(points: Sequence[np.ndarray],
+                 weights: Optional[Sequence[float]] = None,
+                 max_iter: int = 50, tol: float = 1e-10) -> np.ndarray:
+    """Weighted Karcher mean of unit-norm arrays on the sphere.
+
+    Fixed-point iteration: average the log maps at the current estimate,
+    step along the mean tangent, repeat until the tangent norm is below
+    ``tol``.  Converges for points within a geodesic ball of radius < π/2,
+    which fine-tunes of a common base always satisfy in practice.
+    """
+    if not points:
+        raise ValueError("need at least one point")
+    if weights is None:
+        weights = [1.0 / len(points)] * len(points)
+    if len(weights) != len(points):
+        raise ValueError("weights must align with points")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    weights = [w / total for w in weights]
+    # Normalised arithmetic mean is a good initial estimate.
+    estimate = sum(w * np.asarray(p, dtype=np.float64) for w, p in zip(weights, points))
+    norm = frobenius_norm(estimate)
+    if norm < 1e-12:
+        raise ValueError("points are too spread out for a stable mean")
+    estimate = estimate / norm
+    for _ in range(max_iter):
+        tangent = sum(w * log_map(estimate, p) for w, p in zip(weights, points))
+        if frobenius_norm(tangent) < tol:
+            break
+        estimate = exp_map(estimate, tangent)
+    return estimate
+
+
+def karcher_merge_tensors(tensors: Sequence[np.ndarray],
+                          weights: Optional[Sequence[float]] = None) -> np.ndarray:
+    """ChipAlign-style merge of N weight tensors: project to the sphere,
+    take the weighted Karcher mean, restore the weighted-geometric-mean norm."""
+    if not tensors:
+        raise ValueError("need at least one tensor")
+    if weights is None:
+        weights = [1.0 / len(tensors)] * len(tensors)
+    norms = [frobenius_norm(t) for t in tensors]
+    if all(n == 0 for n in norms):
+        return np.zeros_like(np.asarray(tensors[0]))
+    if any(n == 0 for n in norms):
+        # Degenerate tensors fall back to the weighted linear blend.
+        total = float(sum(weights))
+        return sum((w / total) * np.asarray(t, dtype=np.float64)
+                   for w, t in zip(weights, tensors))
+    units = [np.asarray(t, dtype=np.float64) / n for t, n in zip(tensors, norms)]
+    mean_unit = karcher_mean(units, weights)
+    total = float(sum(weights))
+    log_norm = sum((w / total) * np.log(n) for w, n in zip(weights, norms))
+    return float(np.exp(log_norm)) * mean_unit
+
+
+def karcher_merge_state_dicts(dicts: Sequence[StateDict],
+                              weights: Optional[Sequence[float]] = None,
+                              ) -> "OrderedDict[str, np.ndarray]":
+    """Merge N conformable state dicts with the spherical Karcher mean."""
+    if not dicts:
+        raise ValueError("need at least one state dict")
+    keys = list(dicts[0])
+    for d in dicts[1:]:
+        if list(d) != keys and set(d) != set(keys):
+            raise KeyError("state dicts have non-matching keys")
+    merged: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for key in keys:
+        shapes = {np.asarray(d[key]).shape for d in dicts}
+        if len(shapes) != 1:
+            raise ValueError(f"tensor {key!r} has mismatched shapes: {shapes}")
+        merged[key] = karcher_merge_tensors([d[key] for d in dicts], weights)
+    return merged

@@ -1,0 +1,87 @@
+"""Layer-wise λ schedules for ChipAlign.
+
+The paper uses one global λ; a natural ablation (and a practical knob for
+adopters) is letting λ vary across the depth of the network — e.g. keeping
+early layers closer to the chip model (domain features live early) and late
+layers closer to the instruction model (output style lives late), or vice
+versa.  A :class:`LambdaSchedule` maps parameter names to λ values; the
+merge falls back to the global default for non-layer tensors (embeddings,
+final norm, head).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import OrderedDict
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from .geodesic import geodesic_merge
+from .merge import StateDict, validate_conformable
+
+_LAYER_PATTERN = re.compile(r"\bblocks\.(\d+)\.")
+
+
+def layer_index(param_name: str) -> Optional[int]:
+    """The transformer block index a parameter belongs to, or None."""
+    match = _LAYER_PATTERN.search(param_name)
+    return int(match.group(1)) if match else None
+
+
+class LambdaSchedule:
+    """λ as a function of layer depth.
+
+    Parameters
+    ----------
+    fn:
+        Maps the *relative depth* in [0, 1] (0 = first block, 1 = last) to a
+        λ in [0, 1].
+    n_layers:
+        Total number of transformer blocks in the models being merged.
+    default:
+        λ for parameters outside any block (embeddings, final norm, head).
+    """
+
+    def __init__(self, fn: Callable[[float], float], n_layers: int,
+                 default: float = 0.6) -> None:
+        if n_layers <= 0:
+            raise ValueError("n_layers must be positive")
+        if not 0.0 <= default <= 1.0:
+            raise ValueError("default lambda must be in [0, 1]")
+        self.fn = fn
+        self.n_layers = n_layers
+        self.default = default
+
+    def lam_for(self, param_name: str) -> float:
+        index = layer_index(param_name)
+        if index is None:
+            return self.default
+        depth = index / max(self.n_layers - 1, 1)
+        lam = float(self.fn(depth))
+        if not 0.0 <= lam <= 1.0:
+            raise ValueError(f"schedule produced lambda {lam} outside [0, 1]")
+        return lam
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(cls, lam: float, n_layers: int) -> "LambdaSchedule":
+        """The paper's setting: one λ everywhere."""
+        return cls(lambda _: lam, n_layers, default=lam)
+
+    @classmethod
+    def linear(cls, start: float, stop: float, n_layers: int,
+               default: float = 0.6) -> "LambdaSchedule":
+        """λ interpolates linearly from ``start`` (first block) to ``stop``."""
+        return cls(lambda d: start + (stop - start) * d, n_layers, default)
+
+
+def merge_state_dicts_layerwise(chip: StateDict, instruct: StateDict,
+                                schedule: LambdaSchedule,
+                                ) -> "OrderedDict[str, np.ndarray]":
+    """Geodesic merge with a per-layer λ schedule."""
+    validate_conformable(chip, instruct)
+    merged: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for key in chip:
+        merged[key] = geodesic_merge(chip[key], instruct[key], schedule.lam_for(key))
+    return merged

@@ -1,0 +1,99 @@
+"""Model-level ChipAlign merging over state dicts.
+
+The paper merges *every* weight tensor of the two input models — embeddings,
+normalisation, attention, and feed-forward layers — with the same geodesic
+interpolation and a single hyperparameter λ.  This module applies
+:func:`repro.core.geodesic.geodesic_merge` across a pair of state dicts and
+offers a convenience wrapper that produces a merged
+:class:`~repro.nn.transformer.TransformerLM`.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..nn.transformer import TransformerLM
+from .geodesic import geodesic_merge
+
+StateDict = Dict[str, np.ndarray]
+
+
+def validate_conformable(chip: StateDict, instruct: StateDict) -> None:
+    """Raise if the two state dicts cannot be merged (paper's conformability assumption)."""
+    missing = sorted(set(chip) ^ set(instruct))
+    if missing:
+        raise KeyError(f"state dicts have non-matching keys: {missing}")
+    for key in chip:
+        a, b = np.asarray(chip[key]), np.asarray(instruct[key])
+        if a.shape != b.shape:
+            raise ValueError(
+                f"tensor {key!r} has mismatched shapes: {a.shape} vs {b.shape}"
+            )
+
+
+def merge_state_dicts(chip: StateDict, instruct: StateDict, lam: float = 0.6,
+                      exclude: Sequence[str] = ()) -> "OrderedDict[str, np.ndarray]":
+    """Merge two conformable state dicts with geodesic interpolation.
+
+    Parameters
+    ----------
+    chip, instruct:
+        State dicts of the chip-domain and instruction-aligned models; must
+        have identical keys and shapes.
+    lam:
+        ChipAlign's single hyperparameter; 1 → chip weights, 0 → instruct
+        weights; the paper recommends 0.6.
+    exclude:
+        Optional fnmatch-style patterns; matching tensors are copied from the
+        chip model unmerged (useful for ablations — the paper itself merges
+        everything).
+    """
+    validate_conformable(chip, instruct)
+    merged: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for key in chip:
+        if any(fnmatch.fnmatch(key, pattern) for pattern in exclude):
+            merged[key] = np.array(chip[key], copy=True)
+        else:
+            merged[key] = geodesic_merge(chip[key], instruct[key], lam)
+    return merged
+
+
+@dataclass(frozen=True)
+class ChipAlignMerger:
+    """Configured ChipAlign merge, usable on state dicts or whole models.
+
+    Example
+    -------
+    >>> merger = ChipAlignMerger(lam=0.6)
+    >>> merged_model = merger.merge_models(chip_model, instruct_model)
+    """
+
+    lam: float = 0.6
+    exclude: Sequence[str] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.lam <= 1.0:
+            raise ValueError(f"lambda must be in [0, 1], got {self.lam}")
+
+    def merge(self, chip: StateDict, instruct: StateDict) -> "OrderedDict[str, np.ndarray]":
+        """Merge two state dicts."""
+        return merge_state_dicts(chip, instruct, self.lam, self.exclude)
+
+    def merge_models(self, chip_model: TransformerLM,
+                     instruct_model: TransformerLM) -> TransformerLM:
+        """Merge two models of identical architecture into a fresh model."""
+        if chip_model.config != instruct_model.config:
+            raise ValueError(
+                "models must share an architecture: "
+                f"{chip_model.config} vs {instruct_model.config}"
+            )
+        merged = TransformerLM(chip_model.config)
+        merged.load_state_dict(self.merge(chip_model.state_dict(),
+                                          instruct_model.state_dict()))
+        merged.eval()
+        return merged

@@ -1,0 +1,109 @@
+"""Registry of merge methods keyed by the names used in the paper's Table 1.
+
+Every method is exposed through a single uniform signature::
+
+    merged = merge(name, chip=chip_sd, instruct=instruct_sd, base=base_sd, **kwargs)
+
+so the benchmark harness can sweep methods by name.  Task-vector methods
+(TA, TIES, DELLA, DARE) require ``base``; ChipAlign and Model Soup do not.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from . import baselines
+from .merge import StateDict, merge_state_dicts
+
+MergeFn = Callable[..., Dict[str, np.ndarray]]
+
+_REGISTRY: Dict[str, MergeFn] = {}
+
+
+def register(name: str) -> Callable[[MergeFn], MergeFn]:
+    """Decorator adding a merge function to the registry."""
+
+    def inner(fn: MergeFn) -> MergeFn:
+        key = name.lower()
+        if key in _REGISTRY:
+            raise KeyError(f"merge method {name!r} already registered")
+        _REGISTRY[key] = fn
+        return fn
+
+    return inner
+
+
+def available_methods() -> List[str]:
+    """Names of all registered merge methods."""
+    return sorted(_REGISTRY)
+
+
+def merge(name: str, chip: StateDict, instruct: StateDict,
+          base: Optional[StateDict] = None, **kwargs) -> Dict[str, np.ndarray]:
+    """Run the merge method ``name`` on a chip/instruct model pair.
+
+    Raises ``KeyError`` for unknown methods and ``ValueError`` when a
+    task-vector method is called without ``base``.
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown merge method {name!r}; available: {available_methods()}")
+    return _REGISTRY[key](chip=chip, instruct=instruct, base=base, **kwargs)
+
+
+def _require_base(base: Optional[StateDict], method: str) -> StateDict:
+    if base is None:
+        raise ValueError(f"{method} requires the common base model's state dict")
+    return base
+
+
+@register("chipalign")
+def _chipalign(chip: StateDict, instruct: StateDict, base: Optional[StateDict] = None,
+               lam: float = 0.6, **_) -> Dict[str, np.ndarray]:
+    """ChipAlign geodesic merge; ``base`` is accepted and ignored."""
+    return merge_state_dicts(chip, instruct, lam=lam)
+
+
+@register("modelsoup")
+def _soup(chip: StateDict, instruct: StateDict, base: Optional[StateDict] = None,
+          weights=None, **_) -> Dict[str, np.ndarray]:
+    """Model Soup uniform (or weighted) average of the two models."""
+    return baselines.model_soup([chip, instruct], weights=weights)
+
+
+@register("ta")
+def _task_arithmetic(chip: StateDict, instruct: StateDict,
+                     base: Optional[StateDict] = None,
+                     scaling: Optional[float] = None, **_) -> Dict[str, np.ndarray]:
+    """Task arithmetic over the chip and instruct task vectors."""
+    return baselines.task_arithmetic(_require_base(base, "task arithmetic"),
+                                     [chip, instruct], scaling=scaling)
+
+
+@register("ties")
+def _ties(chip: StateDict, instruct: StateDict, base: Optional[StateDict] = None,
+          density: float = 0.2, scaling: float = 1.0, **_) -> Dict[str, np.ndarray]:
+    """TIES merging with the publication's recommended density."""
+    return baselines.ties_merge(_require_base(base, "TIES"), [chip, instruct],
+                                density=density, scaling=scaling)
+
+
+@register("della")
+def _della(chip: StateDict, instruct: StateDict, base: Optional[StateDict] = None,
+           density: float = 0.4, epsilon: float = 0.1, scaling: float = 1.0,
+           seed: int = 0, **_) -> Dict[str, np.ndarray]:
+    """DELLA merging with magnitude-adaptive pruning."""
+    return baselines.della_merge(_require_base(base, "DELLA"), [chip, instruct],
+                                 density=density, epsilon=epsilon,
+                                 scaling=scaling, seed=seed)
+
+
+@register("dare")
+def _dare(chip: StateDict, instruct: StateDict, base: Optional[StateDict] = None,
+          density: float = 0.5, mode: str = "linear", seed: int = 0,
+          **_) -> Dict[str, np.ndarray]:
+    """DARE drop-and-rescale merging (extension baseline)."""
+    return baselines.dare_merge(_require_base(base, "DARE"), [chip, instruct],
+                                density=density, mode=mode, seed=seed)

@@ -1,0 +1,32 @@
+"""Synthetic corpora and benchmark datasets (DESIGN.md §1 substitutions)."""
+
+from .prompting import ASSISTANT_CUE, format_prompt, format_training_sequence
+from .corpus import GENERAL_FACTS, general_qa_pairs, pretraining_sentences
+from .eda_domain import (BUGS, CIRCUIT_FACTS, COMMANDS, FLOW_STAGES,
+                         GUI_PROCEDURES, TOOL, all_documentation)
+from .openroad_qa import QATriplet, documentation_corpus, eval_triplets, train_triplets
+from .industrial_qa import (IndustrialItem, MultiTurnItem, eval_items,
+                            multi_turn_items, train_items)
+from .ifeval_data import IFEvalPrompt, ifeval_prompts
+from .instruction_data import (InstructionSample, counterfactual_grounded_samples,
+                               grounded_general_samples,
+                               grounded_instruction_samples,
+                               instruction_sft_samples, multi_turn_general_samples)
+from .mcq import DOMAINS, MCQItem, items_by_domain, mcq_items
+from .vocab import build_tokenizer
+
+__all__ = [
+    "ASSISTANT_CUE", "format_prompt", "format_training_sequence",
+    "GENERAL_FACTS", "general_qa_pairs", "pretraining_sentences",
+    "BUGS", "CIRCUIT_FACTS", "COMMANDS", "FLOW_STAGES", "GUI_PROCEDURES",
+    "TOOL", "all_documentation",
+    "QATriplet", "documentation_corpus", "eval_triplets", "train_triplets",
+    "IndustrialItem", "MultiTurnItem", "eval_items", "multi_turn_items", "train_items",
+    "IFEvalPrompt", "ifeval_prompts",
+    "InstructionSample", "counterfactual_grounded_samples",
+    "grounded_general_samples", "grounded_instruction_samples",
+    "instruction_sft_samples",
+    "multi_turn_general_samples",
+    "DOMAINS", "MCQItem", "items_by_domain", "mcq_items",
+    "build_tokenizer",
+]

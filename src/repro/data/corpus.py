@@ -1,0 +1,129 @@
+"""The general-knowledge world: pretraining text and general QA.
+
+This plays the role of the web-scale pretraining corpus and the general
+question-answering distribution behind the paper's chat models.  It is a
+closed world of simple facts — colors, animals, counts, weather — rendered
+as declarative sentences (for language-model pretraining) and as
+question/answer pairs (for instruction tuning and IFEval prompts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GeneralFact:
+    """A general-world fact with a question form and its short answer."""
+
+    statement: str
+    question: str
+    answer: str
+
+
+GENERAL_FACTS: Tuple[GeneralFact, ...] = (
+    GeneralFact("the color of the sky is blue", "what is the color of the sky", "the color of the sky is blue"),
+    GeneralFact("the color of grass is green", "what is the color of grass", "the color of grass is green"),
+    GeneralFact("the color of snow is white", "what is the color of snow", "the color of snow is white"),
+    GeneralFact("the color of coal is black", "what is the color of coal", "the color of coal is black"),
+    GeneralFact("the color of a ripe tomato is red", "what is the color of a ripe tomato", "the color of a ripe tomato is red"),
+    GeneralFact("the color of a lemon is yellow", "what is the color of a lemon", "the color of a lemon is yellow"),
+    GeneralFact("a dog says woof", "what does a dog say", "a dog says woof"),
+    GeneralFact("a cat says meow", "what does a cat say", "a cat says meow"),
+    GeneralFact("a cow says moo", "what does a cow say", "a cow says moo"),
+    GeneralFact("a duck says quack", "what does a duck say", "a duck says quack"),
+    GeneralFact("a sheep says baa", "what does a sheep say", "a sheep says baa"),
+    GeneralFact("a week has seven days", "how many days are in a week", "a week has seven days"),
+    GeneralFact("a year has twelve months", "how many months are in a year", "a year has twelve months"),
+    GeneralFact("a triangle has three sides", "how many sides does a triangle have", "a triangle has three sides"),
+    GeneralFact("a square has four sides", "how many sides does a square have", "a square has four sides"),
+    GeneralFact("a hand has five fingers", "how many fingers are on a hand", "a hand has five fingers"),
+    GeneralFact("rain falls from clouds", "where does rain fall from", "rain falls from clouds"),
+    GeneralFact("the sun rises in the east", "where does the sun rise", "the sun rises in the east"),
+    GeneralFact("the sun sets in the west", "where does the sun set", "the sun sets in the west"),
+    GeneralFact("fish live in water", "where do fish live", "fish live in water"),
+    GeneralFact("birds fly in the sky", "where do birds fly", "birds fly in the sky"),
+    GeneralFact("bees make honey", "what do bees make", "bees make honey"),
+    GeneralFact("cows give milk", "what do cows give", "cows give milk"),
+    GeneralFact("hens lay eggs", "what do hens lay", "hens lay eggs"),
+    GeneralFact("ice is frozen water", "what is ice", "ice is frozen water"),
+    GeneralFact("steam is hot water vapor", "what is steam", "steam is hot water vapor"),
+    GeneralFact("honey tastes sweet", "how does honey taste", "honey tastes sweet"),
+    GeneralFact("a lemon tastes sour", "how does a lemon taste", "a lemon tastes sour"),
+    GeneralFact("winter is the cold season", "which season is cold", "winter is the cold season"),
+    GeneralFact("summer is the warm season", "which season is warm", "summer is the warm season"),
+    GeneralFact("a library holds many books", "what does a library hold", "a library holds many books"),
+    GeneralFact("a garden grows many plants", "what does a garden grow", "a garden grows many plants"),
+    GeneralFact("a baker makes fresh bread", "what does a baker make", "a baker makes fresh bread"),
+    GeneralFact("a farmer grows the crops", "what does a farmer grow", "a farmer grows the crops"),
+    GeneralFact("a pilot flies the plane", "who flies the plane", "a pilot flies the plane"),
+    GeneralFact("a doctor helps sick people", "who helps sick people", "a doctor helps sick people"),
+    GeneralFact("a teacher works at a school", "where does a teacher work", "a teacher works at a school"),
+    GeneralFact("a sailor works on a ship", "where does a sailor work", "a sailor works on a ship"),
+    GeneralFact("the moon orbits the earth", "what does the moon orbit", "the moon orbits the earth"),
+    GeneralFact("the earth orbits the sun", "what does the earth orbit", "the earth orbits the sun"),
+)
+
+
+@dataclass(frozen=True)
+class GroundingTemplate:
+    """A fact template with a substitutable slot, for counterfactual
+    reading-comprehension training: the context asserts a (possibly
+    world-knowledge-violating) filled statement and the correct answer is
+    whatever the *context* says — which forces a genuine copy-from-context
+    skill instead of memorised QA."""
+
+    statement: str  # contains one "{x}" slot
+    question: str
+    fills: Tuple[str, ...]
+
+    def fill(self, value: str) -> str:
+        return self.statement.format(x=value)
+
+
+COLOR_FILLS = ("blue", "green", "red", "yellow", "white", "black")
+COUNT_FILLS = ("three", "four", "five", "seven", "twelve", "eight")
+SOUND_FILLS = ("woof", "meow", "moo", "quack", "baa")
+PLACE_FILLS = ("water", "clouds", "the east", "the west", "a school", "a ship")
+
+GROUNDING_TEMPLATES: Tuple[GroundingTemplate, ...] = (
+    GroundingTemplate("the color of the sky is {x}", "what is the color of the sky", COLOR_FILLS),
+    GroundingTemplate("the color of grass is {x}", "what is the color of grass", COLOR_FILLS),
+    GroundingTemplate("the color of snow is {x}", "what is the color of snow", COLOR_FILLS),
+    GroundingTemplate("the color of coal is {x}", "what is the color of coal", COLOR_FILLS),
+    GroundingTemplate("the color of a lemon is {x}", "what is the color of a lemon", COLOR_FILLS),
+    GroundingTemplate("a dog says {x}", "what does a dog say", SOUND_FILLS),
+    GroundingTemplate("a cat says {x}", "what does a cat say", SOUND_FILLS),
+    GroundingTemplate("a cow says {x}", "what does a cow say", SOUND_FILLS),
+    GroundingTemplate("a week has {x} days", "how many days are in a week", COUNT_FILLS),
+    GroundingTemplate("a year has {x} months", "how many months are in a year", COUNT_FILLS),
+    GroundingTemplate("a triangle has {x} sides", "how many sides does a triangle have", COUNT_FILLS),
+    GroundingTemplate("a hand has {x} fingers", "how many fingers are on a hand", COUNT_FILLS),
+    GroundingTemplate("fish live in {x}", "where do fish live", PLACE_FILLS),
+    GroundingTemplate("rain falls from {x}", "where does rain fall from", PLACE_FILLS),
+    GroundingTemplate("the sun rises in {x}", "where does the sun rise", PLACE_FILLS),
+    GroundingTemplate("a teacher works at {x}", "where does a teacher work", PLACE_FILLS),
+)
+
+
+def pretraining_sentences(repeats: int = 4, seed: int = 0) -> List[str]:
+    """The base pretraining corpus: shuffled repetitions of every statement.
+
+    ``repeats`` controls corpus size; shuffling varies sentence order across
+    epochs the way document sampling would.
+    """
+    rng = np.random.default_rng(seed)
+    sentences = [f.statement for f in GENERAL_FACTS]
+    corpus: List[str] = []
+    for _ in range(repeats):
+        order = rng.permutation(len(sentences))
+        corpus.extend(sentences[i] for i in order)
+    return corpus
+
+
+def general_qa_pairs() -> List[Tuple[str, str]]:
+    """All general-world ``(question, answer)`` pairs."""
+    return [(f.question, f.answer) for f in GENERAL_FACTS]

@@ -1,0 +1,332 @@
+"""A deterministic synthetic EDA knowledge base.
+
+This module is the stand-in for the OpenROAD documentation and NVIDIA's
+internal chip-design corpus (DESIGN.md §1).  It defines a fictional but
+structurally realistic RTL-to-GDS tool called ``orflow`` — commands with
+options and defaults, a staged VLSI flow, GUI procedures, install and test
+instructions — plus bug reports and circuit facts used by the multi-choice
+benchmark.
+
+Everything is expressed in a closed lowercase vocabulary so the substrate
+models' word-level tokenizer stays small, and every accessor is
+deterministic: the same facts, documentation paragraphs, and QA pairs are
+produced on every call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+TOOL = "orflow"
+
+# ---------------------------------------------------------------------------
+# Commands: name -> (purpose phrase, flow stage, [(option, role, default)])
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CommandSpec:
+    """One tool command with its options."""
+
+    name: str
+    purpose: str
+    stage: str
+    options: Tuple[Tuple[str, str, str], ...] = ()
+
+
+COMMANDS: Tuple[CommandSpec, ...] = (
+    CommandSpec("read_verilog", "reads the rtl netlist into the tool", "synthesis",
+                (("file", "gives the path of the netlist file", "design.v"),
+                 ("top", "names the top module of the design", "core"))),
+    CommandSpec("read_liberty", "loads the cell timing library", "synthesis",
+                (("corner", "selects the timing corner to load", "typical"),)),
+    CommandSpec("synth_design", "maps the rtl onto library cells", "synthesis",
+                (("effort", "controls the optimization effort level", "medium"),
+                 ("retime", "enables register retiming during mapping", "off"))),
+    CommandSpec("init_floorplan", "creates the die area and rows", "floorplan",
+                (("utilization", "sets the target core utilization", "0.55"),
+                 ("aspect", "sets the ratio of core height to width", "1.0"),
+                 ("margin", "sets the spacing between core and die edge", "2"))),
+    CommandSpec("place_pins", "assigns io pins to die edges", "floorplan",
+                (("layer", "chooses the metal layer for the pins", "metal4"),
+                 ("spread", "spreads pins evenly along each edge", "on"))),
+    CommandSpec("insert_tapcells", "adds tap cells to prevent latchup", "floorplan",
+                (("distance", "sets the maximum distance between tap cells", "20"),)),
+    CommandSpec("build_pdn", "builds the power delivery network", "floorplan",
+                (("pitch", "sets the pitch of the power straps", "10"),
+                 ("width", "sets the width of each power strap", "1"))),
+    CommandSpec("global_place", "performs global placement of cells", "placement",
+                (("density", "sets the target placement density", "0.7"),
+                 ("padding", "adds extra site padding around each cell", "2"),
+                 ("timing_driven", "makes placement optimize the timing cost", "on"))),
+    CommandSpec("detail_place", "legalizes and refines the placement", "placement",
+                (("max_disp", "limits the displacement of each cell", "5"),)),
+    CommandSpec("clock_tree_synth", "builds the clock distribution tree", "cts",
+                (("buffer", "selects the buffer cell for the tree", "clkbuf_x4"),
+                 ("skew", "sets the target clock skew bound", "50"))),
+    CommandSpec("repair_timing", "fixes setup and hold violations", "cts",
+                (("setup_margin", "adds extra margin to setup checks", "0.1"),
+                 ("hold_margin", "adds extra margin to hold checks", "0.05"))),
+    CommandSpec("global_route", "plans routing over a coarse grid", "routing",
+                (("congestion", "sets the allowed congestion overflow", "0"),
+                 ("layers", "restricts the layer range for routing", "metal2 metal7"))),
+    CommandSpec("detail_route", "performs final track assignment and routing", "routing",
+                (("drc_iters", "sets the number of drc repair iterations", "8"),)),
+    CommandSpec("insert_fill", "inserts filler cells into empty sites", "finishing",
+                (("cells", "lists the filler cells to use", "fill_x1 fill_x2"),)),
+    CommandSpec("write_gds", "streams the final layout to gds", "finishing",
+                (("file", "gives the path of the output gds file", "design.gds"),)),
+    CommandSpec("report_timing", "prints the worst timing paths", "analysis",
+                (("paths", "sets the number of paths to report", "10"),
+                 ("mode", "selects setup or hold analysis", "setup"))),
+    CommandSpec("report_power", "prints the power of the design", "analysis",
+                (("unit", "selects the unit used in the report", "milliwatt"),)),
+    CommandSpec("report_area", "prints the cell area of the design", "analysis", ()),
+    CommandSpec("check_drc", "checks the layout against design rules", "analysis",
+                (("limit", "sets the maximum violations to print", "100"),)),
+    CommandSpec("write_def", "saves the placed and routed design to def", "finishing",
+                (("file", "gives the path of the output def file", "design.def"),)),
+)
+
+COMMAND_BY_NAME: Dict[str, CommandSpec] = {c.name: c for c in COMMANDS}
+
+# ---------------------------------------------------------------------------
+# Flow stages, ordered.
+# ---------------------------------------------------------------------------
+
+FLOW_STAGES: Tuple[Tuple[str, str], ...] = (
+    ("synthesis", "maps the rtl description onto library cells"),
+    ("floorplan", "defines the die area and the power network"),
+    ("placement", "decides the location of every standard cell"),
+    ("cts", "builds the clock tree and repairs timing"),
+    ("routing", "connects the placed cells with metal wires"),
+    ("finishing", "adds filler cells and writes the final layout"),
+)
+
+STAGE_ORDER: Tuple[str, ...] = tuple(name for name, _ in FLOW_STAGES)
+
+# ---------------------------------------------------------------------------
+# GUI procedures: name -> (goal phrase, ordered steps)
+# ---------------------------------------------------------------------------
+
+GUI_PROCEDURES: Dict[str, Tuple[str, Tuple[str, ...]]] = {
+    "view timing paths": (
+        "view the setup and hold timing paths",
+        ("click the timing icon in the toolbar",
+         "select paths and then update in the timing report window",
+         "choose the setup tab or the hold tab",
+         "read the arrival time and the slack for each path segment"),
+    ),
+    "view placement density": (
+        "inspect the placement density map",
+        ("open the heatmap menu in the toolbar",
+         "select the density option from the heatmap menu",
+         "adjust the grid size slider to refine the map"),
+    ),
+    "highlight a net": (
+        "highlight one net of the design",
+        ("type the net name into the search box",
+         "press enter to zoom to the net",
+         "pick a highlight color from the palette"),
+    ),
+    "view clock tree": (
+        "inspect the synthesized clock tree",
+        ("open the clock menu in the toolbar",
+         "select the tree view option",
+         "hover over a buffer to see its insertion delay"),
+    ),
+    "measure a distance": (
+        "measure the distance between two points",
+        ("press the ruler key to enter ruler mode",
+         "click the first point and then the second point",
+         "read the distance in the status bar"),
+    ),
+    "view drc violations": (
+        "inspect the drc violations of the layout",
+        ("open the drc viewer from the tools menu",
+         "load the report file produced by check_drc",
+         "click a violation row to zoom to its location"),
+    ),
+    "view net routing": (
+        "inspect the routing of a single net",
+        ("select the net in the object browser",
+         "enable the routing layer toggles on the left panel",
+         "follow the highlighted wire across the layers"),
+    ),
+    "capture a screenshot": (
+        "capture an image of the current view",
+        ("arrange the view you want to capture",
+         "open the file menu and choose the save image entry",
+         "pick a file name and confirm the dialog"),
+    ),
+}
+
+# ---------------------------------------------------------------------------
+# Install and test knowledge.
+# ---------------------------------------------------------------------------
+
+INSTALL_STEPS: Tuple[str, ...] = (
+    "clone the orflow repository from the public mirror",
+    "run the dependency script with sudo to install packages",
+    "create a build directory and run cmake inside it",
+    "run make with the jobs flag to compile the tool",
+    "add the binary directory to your path variable",
+)
+
+TEST_FACTS: Tuple[Tuple[str, str], ...] = (
+    ("smoke", "run the smoke suite with the command make test_smoke to check the basic flow"),
+    ("unit", "run the unit suite with the command make test_unit to check each module"),
+    ("regression", "run the regression suite with the command make test_regs to check full designs"),
+    ("single test", "pass the name flag to make test_regs to run one regression design"),
+)
+
+# ---------------------------------------------------------------------------
+# Bug reports for the multi-choice benchmark (ChipNeMo's bugs domain).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BugRecord:
+    """A bug report: symptom, root cause, and the fix that resolved it."""
+
+    bug_id: str
+    symptom: str
+    cause: str
+    fix: str
+
+
+BUGS: Tuple[BugRecord, ...] = (
+    BugRecord("bug one", "the router loops forever on dense macros",
+              "the congestion overflow was set to a negative value",
+              "clamp the congestion option to zero or more"),
+    BugRecord("bug two", "the placer crashes on designs with no io pins",
+              "the pin spread code divides by the pin count",
+              "skip pin spreading when the pin count is zero"),
+    BugRecord("bug three", "the clock tree has a huge skew on wide dies",
+              "the buffer library lacked a strong enough driver",
+              "allow the tree to pick the clkbuf_x8 buffer"),
+    BugRecord("bug four", "the gds writer drops the filler cells",
+              "the fill cells were tagged with a virtual attribute",
+              "strip the virtual attribute before streaming"),
+    BugRecord("bug five", "the timing report shows paths twice",
+              "the path collector did not dedupe across corners",
+              "merge paths with the same endpoints across corners"),
+    BugRecord("bug six", "the power report prints zero for all nets",
+              "the switching activity file was never loaded",
+              "load the activity file before calling report_power"),
+    BugRecord("bug seven", "the drc checker misses spacing errors on metal7",
+              "the rule deck truncated layers above metal6",
+              "extend the rule deck to cover every routing layer"),
+    BugRecord("bug eight", "the floorplan rows overlap the macro halo",
+              "the row generator ignored the halo margin",
+              "subtract the halo from the row area before cutting rows"),
+)
+
+# ---------------------------------------------------------------------------
+# Circuit facts for the multi-choice benchmark (circuits domain).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CircuitFact:
+    """One circuit-design fact with its subject for question templating."""
+
+    subject: str
+    fact: str
+
+
+CIRCUIT_FACTS: Tuple[CircuitFact, ...] = (
+    CircuitFact("nand gate", "a nand gate outputs low only when both inputs are high"),
+    CircuitFact("nor gate", "a nor gate outputs high only when both inputs are low"),
+    CircuitFact("xor gate", "a xor gate outputs high when the inputs differ"),
+    CircuitFact("setup time", "setup time is the interval data must be stable before the clock edge"),
+    CircuitFact("hold time", "hold time is the interval data must be stable after the clock edge"),
+    CircuitFact("flip flop", "a flip flop samples its input on the active clock edge"),
+    CircuitFact("latch", "a latch passes its input while the enable signal is high"),
+    CircuitFact("clock skew", "clock skew is the arrival difference of the clock at two registers"),
+    CircuitFact("critical path", "the critical path is the slowest register to register path"),
+    CircuitFact("leakage power", "leakage power flows even when the circuit is idle"),
+    CircuitFact("dynamic power", "dynamic power grows with the switching activity and the frequency"),
+    CircuitFact("metastability", "metastability happens when a register samples a changing input"),
+)
+
+
+# ---------------------------------------------------------------------------
+# Documentation rendering.
+# ---------------------------------------------------------------------------
+
+
+def command_paragraph(cmd: CommandSpec) -> str:
+    """Render the documentation paragraph for one command."""
+    parts = [f"the command {cmd.name} {cmd.purpose} .",
+             f"the command {cmd.name} belongs to the {cmd.stage} stage ."]
+    for opt, role, default in cmd.options:
+        parts.append(f"the option {opt} of {cmd.name} {role} .")
+        parts.append(f"the default of {opt} is {default} .")
+    return " ".join(parts)
+
+
+def stage_paragraph() -> str:
+    """Render the flow-overview paragraph."""
+    parts = []
+    for i, (name, desc) in enumerate(FLOW_STAGES):
+        parts.append(f"the {name} stage {desc} .")
+        if i > 0:
+            parts.append(f"the {name} stage runs after the {FLOW_STAGES[i - 1][0]} stage .")
+    return " ".join(parts)
+
+
+def gui_paragraph(name: str) -> str:
+    """Render the documentation paragraph for one GUI procedure."""
+    goal, steps = GUI_PROCEDURES[name]
+    parts = [f"to {goal} in the {TOOL} gui follow these steps ."]
+    words = ["first", "then", "next", "finally", "last"]
+    for i, step in enumerate(steps):
+        parts.append(f"{words[min(i, len(words) - 1)]} {step} .")
+    return " ".join(parts)
+
+
+def install_paragraph() -> str:
+    """Render the install-guide paragraph."""
+    parts = [f"to install {TOOL} follow these steps ."]
+    words = ["first", "then", "next", "after that", "finally"]
+    for i, step in enumerate(INSTALL_STEPS):
+        parts.append(f"{words[min(i, len(words) - 1)]} {step} .")
+    return " ".join(parts)
+
+
+def test_paragraph() -> str:
+    """Render the testing-guide paragraph."""
+    parts = [f"{TOOL} ships three test suites ."]
+    for _, fact in TEST_FACTS:
+        parts.append(f"{fact} .")
+    return " ".join(parts)
+
+
+def bug_paragraph(bug: BugRecord) -> str:
+    """Render one bug report as a documentation paragraph."""
+    return (f"{bug.bug_id} reports that {bug.symptom} . "
+            f"the cause was that {bug.cause} . "
+            f"the fix was to {bug.fix} .")
+
+
+def circuit_paragraph(fact: CircuitFact) -> str:
+    """Render one circuit fact as a documentation sentence."""
+    return f"{fact.fact} ."
+
+
+def all_documentation() -> List[str]:
+    """Every documentation paragraph in the knowledge base.
+
+    This is the DAPT corpus: what ChipNeMo's 24B-token chip corpus is to the
+    paper, this list is to the substrate models.
+    """
+    docs: List[str] = [command_paragraph(c) for c in COMMANDS]
+    docs.append(stage_paragraph())
+    docs.extend(gui_paragraph(name) for name in GUI_PROCEDURES)
+    docs.append(install_paragraph())
+    docs.append(test_paragraph())
+    docs.extend(bug_paragraph(b) for b in BUGS)
+    docs.extend(circuit_paragraph(f) for f in CIRCUIT_FACTS)
+    return docs

@@ -1,0 +1,99 @@
+"""Generic grounded-extraction pretraining.
+
+A 70B base model can already answer "find the sentence about X in this
+passage and repeat it" — that skill comes from pretraining, long before any
+instruction tuning.  The substrate base models need the same capability, and
+crucially it must live in the *common ancestor* of the chat and chip
+branches: circuitry both fine-tunes inherit (and barely move) survives
+weight interpolation, whereas circuitry learned in a single branch is the
+first casualty of merging.
+
+This module generates QA-formatted "web text" teaching content-agnostic
+lookup-and-copy: contexts are key-value facts over *random words from the
+full vocabulary* (so the skill cannot be solved by topic memorisation and
+transfers to chip tokens), and the answer is always a verbatim copy of the
+relevant context sentence.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from . import corpus, eda_domain, industrial_qa
+from .prompting import format_prompt
+
+
+def _word_pool() -> List[str]:
+    """Content words drawn from every corpus, deterministically ordered."""
+    texts: List[str] = [f.statement for f in corpus.GENERAL_FACTS]
+    texts.extend(eda_domain.all_documentation())
+    texts.extend(industrial_qa.documentation_corpus())
+    words = sorted({w for t in texts for w in t.split()
+                    if w.isalpha() and len(w) > 2})
+    return words
+
+
+#: (statement template, question template) — both take key and value slots.
+_PATTERNS: Tuple[Tuple[str, str], ...] = (
+    ("the value of {k} is {v}", "what is the value of {k}"),
+    ("the {k} uses the {v}", "what does the {k} use"),
+    ("the {k} belongs to the {v}", "where does the {k} belong"),
+)
+
+
+def extraction_pretraining_samples(n_samples: int = 300, seed: int = 17,
+                                   n_context: int = 3,
+                                   refusal_fraction: float = 0.0) -> List[str]:
+    """QA-formatted documents teaching generic copy-from-context.
+
+    Returned as plain text (prompt + answer in one string) for language-model
+    pretraining; half the contexts use the chunked format.  With a positive
+    ``refusal_fraction``, that share of samples asks about a key absent from
+    the context and answers with the canonical refusal — teaching the
+    content-agnostic "admit missing information" behaviour of Figure 6.
+    """
+    from .prompting import REFUSAL
+
+    if n_context < 2:
+        raise ValueError("need at least two context facts per sample")
+    if not 0.0 <= refusal_fraction <= 1.0:
+        raise ValueError("refusal_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    pool = _word_pool()
+    samples: List[str] = []
+    for sample_idx in range(n_samples):
+        pattern_idx = int(rng.integers(len(_PATTERNS)))
+        stmt_tpl, q_tpl = _PATTERNS[pattern_idx]
+        keys = rng.choice(len(pool), size=n_context + 1, replace=False)
+        statements = []
+        for k in keys[:n_context]:
+            v = pool[int(rng.integers(len(pool)))]
+            statements.append(stmt_tpl.format(k=pool[int(k)], v=v))
+        if rng.random() < refusal_fraction:
+            # Ask about the held-out key: the context cannot answer it.
+            question = q_tpl.format(k=pool[int(keys[n_context])])
+            answer = REFUSAL
+        else:
+            target = int(rng.integers(n_context))
+            question = q_tpl.format(k=pool[int(keys[target])])
+            answer = statements[target]
+        if sample_idx % 2 == 0:
+            context = " . ".join(statements)
+        else:
+            context = " ".join(f"chunk {i} : {s}" for i, s in enumerate(statements))
+        prompt = format_prompt(question, context=context)
+        samples.append(f"{prompt} {answer}")
+    return samples
+
+
+def extraction_eval_samples(n_samples: int = 40, seed: int = 999,
+                            n_context: int = 3) -> List[Tuple[str, str]]:
+    """Held-out ``(prompt, golden answer)`` pairs for probing the skill."""
+    texts = extraction_pretraining_samples(n_samples, seed=seed, n_context=n_context)
+    pairs: List[Tuple[str, str]] = []
+    for text in texts:
+        prompt, _, answer = text.partition(" assistant : ")
+        pairs.append((prompt + " assistant :", answer))
+    return pairs

@@ -1,0 +1,490 @@
+"""Synthetic industrial production-level chip QA (Table 2's dataset).
+
+The paper evaluates on 39 proprietary questions from NVIDIA hardware
+engineers across four domains — hardware architecture (ARCH), build
+processes (BUILD), job scheduling (LSF), and verification (TESTGEN) — in
+single- and multi-turn settings, with RAG-retrieved context chunks and
+explicit grounding instructions in every prompt (Figure 6).
+
+This module builds the closest synthetic equivalent: a fictional SoC
+(``orion``), build tool (``zmake``), job scheduler (``jsub``/``jstat``), and
+test generator (``testgen``), each with documented facts, chunked contexts,
+question/answer pairs, and two-turn conversations.  The evaluation set has
+39 single-turn questions (10/10/10/9 per category) like the paper's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .prompting import REFUSAL
+
+CATEGORIES = ("arch", "build", "lsf", "testgen")
+
+EVAL_QUOTA: Dict[str, int] = {"arch": 10, "build": 10, "lsf": 10, "testgen": 9}
+
+#: Of each category's eval quota, this many items are *unanswerable*: their
+#: chunks deliberately omit the asked-about fact and the golden answer is the
+#: refusal sentence below.  This reproduces the Figure 6 scenario where the
+#: grounding instruction obliges a model to admit missing information — the
+#: failure mode that separates aligned from unaligned chip models.
+UNANSWERABLE_PER_CATEGORY = 2
+
+@dataclass(frozen=True)
+class InfraFact:
+    """One fact of the fictional infrastructure world."""
+
+    key: str
+    category: str
+    sentence: str
+    questions: Tuple[str, ...]
+    answer: str
+
+
+FACTS: Tuple[InfraFact, ...] = (
+    # ----- ARCH ----------------------------------------------------------
+    InfraFact("arch:clusters", "arch",
+              "the orion chip has four cpu clusters",
+              ("how many cpu clusters does the orion chip have",
+               "what is the cpu cluster count of the orion chip"),
+              "the orion chip has four cpu clusters"),
+    InfraFact("arch:cores", "arch",
+              "each cpu cluster of orion holds eight cores",
+              ("how many cores are in each orion cpu cluster",
+               "what is the core count per cluster in orion"),
+              "each cpu cluster of orion holds eight cores"),
+    InfraFact("arch:noc", "arch",
+              "the mesh noc connects the cpu clusters of orion",
+              ("what connects the cpu clusters of orion",
+               "which fabric links the orion cpu clusters"),
+              "the mesh noc connects the cpu clusters of orion"),
+    InfraFact("arch:l2", "arch",
+              "the l2 cache of orion holds two megabytes per cluster",
+              ("how large is the l2 cache per cluster in orion",
+               "what is the size of the orion l2 cache per cluster"),
+              "the l2 cache of orion holds two megabytes per cluster"),
+    InfraFact("arch:ddr", "arch",
+              "the memory controller of orion supports two ddr channels",
+              ("how many ddr channels does the orion memory controller support",
+               "what is the ddr channel count of orion"),
+              "the memory controller of orion supports two ddr channels"),
+    InfraFact("arch:dma", "arch",
+              "the dma engine of orion moves data between memory and devices",
+              ("what does the dma engine of orion do",
+               "which block of orion moves data between memory and devices"),
+              "the dma engine of orion moves data between memory and devices"),
+    InfraFact("arch:bootrom", "arch",
+              "the boot rom of orion loads the first stage loader",
+              ("what does the boot rom of orion load",
+               "which block loads the first stage loader in orion"),
+              "the boot rom of orion loads the first stage loader"),
+    InfraFact("arch:power", "arch",
+              "the power unit of orion gates each cluster separately",
+              ("how does the power unit of orion gate the clusters",
+               "what does the orion power unit gate"),
+              "the power unit of orion gates each cluster separately"),
+    InfraFact("arch:gpu", "arch",
+              "the orion chip pairs the clusters with one shared gpu block",
+              ("how many gpu blocks does the orion chip have",
+               "which gpu arrangement does the orion chip use"),
+              "the orion chip pairs the clusters with one shared gpu block"),
+    InfraFact("arch:interrupt", "arch",
+              "the interrupt unit of orion routes device signals to the cores",
+              ("what does the interrupt unit of orion route",
+               "which unit routes device signals to the orion cores"),
+              "the interrupt unit of orion routes device signals to the cores"),
+    InfraFact("arch:debug", "arch",
+              "the debug port of orion exposes the trace stream over jtag",
+              ("what does the debug port of orion expose",
+               "how is the trace stream of orion exposed"),
+              "the debug port of orion exposes the trace stream over jtag"),
+    InfraFact("arch:freq", "arch",
+              "the cpu clusters of orion run at two gigahertz",
+              ("at what frequency do the orion cpu clusters run",
+               "what is the clock frequency of the orion clusters"),
+              "the cpu clusters of orion run at two gigahertz"),
+    # ----- BUILD ---------------------------------------------------------
+    InfraFact("build:tool", "build",
+              "the tool zmake builds sandbox targets for the chip project",
+              ("which tool builds sandbox targets for the chip project",
+               "what does the tool zmake build"),
+              "the tool zmake builds sandbox targets for the chip project"),
+    InfraFact("build:build_flag", "build",
+              "use the build flag of zmake with a target name to build it with all its dependencies",
+              ("how do i build a specific sandbox target with zmake",
+               "which zmake flag builds a target with its dependencies"),
+              "use the build flag of zmake with a target name to build it with all its dependencies"),
+    InfraFact("build:only_flag", "build",
+              "use the only flag of zmake to build one target without its dependencies",
+              ("how do i build one target without its dependencies in zmake",
+               "which zmake flag skips the dependencies of a target"),
+              "use the only flag of zmake to build one target without its dependencies"),
+    InfraFact("build:clean_flag", "build",
+              "use the clean flag of zmake to remove the output tree",
+              ("how do i remove the output tree with zmake",
+               "which zmake flag cleans the build outputs"),
+              "use the clean flag of zmake to remove the output tree"),
+    InfraFact("build:jobs_flag", "build",
+              "use the jobs flag of zmake to set the number of parallel jobs",
+              ("how do i set the number of parallel jobs in zmake",
+               "which zmake flag controls build parallelism"),
+              "use the jobs flag of zmake to set the number of parallel jobs"),
+    InfraFact("build:config", "build",
+              "the config file zmake.cfg lists the default targets of the sandbox",
+              ("which file lists the default targets of the sandbox",
+               "where are the default zmake targets listed"),
+              "the config file zmake.cfg lists the default targets of the sandbox"),
+    InfraFact("build:version_flag", "build",
+              "use the version flag of zmake with a tag to build a tagged version of a target",
+              ("how do i build a specific version of a target with zmake",
+               "which zmake flag builds a tagged version"),
+              "use the version flag of zmake with a tag to build a tagged version of a target"),
+    InfraFact("build:log", "build",
+              "zmake writes the build log into the file build.log",
+              ("where does zmake write the build log",
+               "which file holds the zmake build log"),
+              "zmake writes the build log into the file build.log"),
+    InfraFact("build:cache", "build",
+              "zmake stores compiled objects in a shared cache directory",
+              ("where does zmake store compiled objects",
+               "what does the zmake shared cache hold"),
+              "zmake stores compiled objects in a shared cache directory"),
+    InfraFact("build:verify_flag", "build",
+              "use the verify flag of zmake to check a target without building it",
+              ("how do i check a target without building it in zmake",
+               "which zmake flag verifies a target"),
+              "use the verify flag of zmake to check a target without building it"),
+    InfraFact("build:list_flag", "build",
+              "use the list flag of zmake to print every known target",
+              ("how do i print every known zmake target",
+               "which zmake flag lists the targets"),
+              "use the list flag of zmake to print every known target"),
+    InfraFact("build:retry", "build",
+              "failed zmake steps can be retried with the retry flag",
+              ("how do i retry failed zmake steps",
+               "which zmake flag retries failed steps"),
+              "failed zmake steps can be retried with the retry flag"),
+    # ----- LSF -----------------------------------------------------------
+    InfraFact("lsf:submit", "lsf",
+              "submit a batch job with the command jsub",
+              ("which command submits a batch job",
+               "how do i submit a job to the farm"),
+              "submit a batch job with the command jsub"),
+    InfraFact("lsf:queue_flag", "lsf",
+              "use the queue flag of jsub to select the batch queue",
+              ("how do i select the batch queue for a job",
+               "which jsub flag picks the queue"),
+              "use the queue flag of jsub to select the batch queue"),
+    InfraFact("lsf:mem_flag", "lsf",
+              "use the mem flag of jsub to request memory for a job",
+              ("how do i request memory for a job",
+               "which jsub flag reserves memory"),
+              "use the mem flag of jsub to request memory for a job"),
+    InfraFact("lsf:status", "lsf",
+              "check the status of your jobs with the command jstat",
+              ("which command checks the status of my jobs",
+               "how do i see the state of my batch jobs"),
+              "check the status of your jobs with the command jstat"),
+    InfraFact("lsf:kill", "lsf",
+              "kill a running job with the command jkill and the job id",
+              ("how do i kill a running job",
+               "which command stops a job by its id"),
+              "kill a running job with the command jkill and the job id"),
+    InfraFact("lsf:short_queue", "lsf",
+              "the short queue allows jobs up to one hour",
+              ("how long may jobs run in the short queue",
+               "what is the time limit of the short queue"),
+              "the short queue allows jobs up to one hour"),
+    InfraFact("lsf:long_queue", "lsf",
+              "the long queue allows jobs up to one day",
+              ("how long may jobs run in the long queue",
+               "what is the time limit of the long queue"),
+              "the long queue allows jobs up to one day"),
+    InfraFact("lsf:hold", "lsf",
+              "pause a pending job with the command jhold",
+              ("how do i pause a pending job",
+               "which command holds a job before it starts"),
+              "pause a pending job with the command jhold"),
+    InfraFact("lsf:priority", "lsf",
+              "use the priority flag of jsub to raise the priority of a job",
+              ("how do i raise the priority of a job",
+               "which jsub flag changes the job priority"),
+              "use the priority flag of jsub to raise the priority of a job"),
+    InfraFact("lsf:output", "lsf",
+              "the output of a job is written to the file job.out",
+              ("where is the output of a job written",
+               "which file holds the job output"),
+              "the output of a job is written to the file job.out"),
+    InfraFact("lsf:limit", "lsf",
+              "each user may run at most forty jobs at once",
+              ("how many jobs may one user run at once",
+               "what is the per user job limit on the farm"),
+              "each user may run at most forty jobs at once"),
+    InfraFact("lsf:array", "lsf",
+              "use the array flag of jsub to submit many similar jobs",
+              ("how do i submit many similar jobs at once",
+               "which jsub flag creates a job array"),
+              "use the array flag of jsub to submit many similar jobs"),
+    # ----- TESTGEN -------------------------------------------------------
+    InfraFact("testgen:tool", "testgen",
+              "the tool testgen creates random tests for the design",
+              ("which tool creates random tests for the design",
+               "what does the tool testgen create"),
+              "the tool testgen creates random tests for the design"),
+    InfraFact("testgen:seed_flag", "testgen",
+              "use the seed flag of testgen to fix the random seed",
+              ("how do i fix the random seed of testgen",
+               "which testgen flag controls the seed"),
+              "use the seed flag of testgen to fix the random seed"),
+    InfraFact("testgen:count_flag", "testgen",
+              "use the count flag of testgen to set the number of tests",
+              ("how do i set the number of generated tests",
+               "which testgen flag sets the test count"),
+              "use the count flag of testgen to set the number of tests"),
+    InfraFact("testgen:focus_flag", "testgen",
+              "use the focus flag of testgen to target one block of the design",
+              ("how do i target one block with testgen",
+               "which testgen flag focuses on a block"),
+              "use the focus flag of testgen to target one block of the design"),
+    InfraFact("testgen:results", "testgen",
+              "testgen writes the results into the results directory",
+              ("where does testgen write the results",
+               "which directory holds the testgen results"),
+              "testgen writes the results into the results directory"),
+    InfraFact("testgen:replay_flag", "testgen",
+              "use the replay flag of testgen with a test id to rerun one test",
+              ("how do i rerun one failing test",
+               "which testgen flag replays a test by id"),
+              "use the replay flag of testgen with a test id to rerun one test"),
+    InfraFact("testgen:fails", "testgen",
+              "failing tests are listed in the file fails.log",
+              ("where are failing tests listed",
+               "which file lists the failing tests"),
+              "failing tests are listed in the file fails.log"),
+    InfraFact("testgen:coverage", "testgen",
+              "use the cover flag of testgen to collect coverage data",
+              ("how do i collect coverage data with testgen",
+               "which testgen flag enables coverage"),
+              "use the cover flag of testgen to collect coverage data"),
+    InfraFact("testgen:waves", "testgen",
+              "use the waves flag of testgen to dump signal waveforms",
+              ("how do i dump signal waveforms from a test",
+               "which testgen flag dumps waveforms"),
+              "use the waves flag of testgen to dump signal waveforms"),
+    InfraFact("testgen:timeout", "testgen",
+              "each generated test stops after a ten minute timeout",
+              ("when does a generated test stop",
+               "what is the timeout of a generated test"),
+              "each generated test stops after a ten minute timeout"),
+)
+
+FACT_BY_KEY: Dict[str, InfraFact] = {f.key: f for f in FACTS}
+
+#: Follow-up pairs for the multi-turn setting: (first fact, follow-up fact,
+#: follow-up question).  The follow-up question leans on the first turn's
+#: topic, so answering it requires carrying conversational state.
+MULTI_TURN_PAIRS: Tuple[Tuple[str, str, str], ...] = (
+    ("arch:clusters", "arch:cores", "and how many cores does each of those clusters hold"),
+    ("arch:noc", "arch:l2", "and how large is the l2 cache per cluster"),
+    ("arch:ddr", "arch:dma", "and which block moves data between memory and devices"),
+    ("arch:bootrom", "arch:debug", "and what does the debug port expose"),
+    ("arch:freq", "arch:power", "and how does the power unit gate the clusters"),
+    ("build:build_flag", "build:only_flag", "and how do i build it without its dependencies"),
+    ("build:tool", "build:list_flag", "and how do i print every target it knows"),
+    ("build:clean_flag", "build:log", "and where is the build log written"),
+    ("build:version_flag", "build:retry", "and how do i retry the steps that failed"),
+    ("build:jobs_flag", "build:verify_flag", "and how do i check a target without building it"),
+    ("lsf:submit", "lsf:queue_flag", "and how do i select the queue for it"),
+    ("lsf:status", "lsf:kill", "and how do i stop one of them"),
+    ("lsf:short_queue", "lsf:long_queue", "and what is the limit of the long queue"),
+    ("lsf:mem_flag", "lsf:priority", "and how do i raise its priority"),
+    ("lsf:array", "lsf:output", "and where is the output of each job written"),
+    ("testgen:tool", "testgen:count_flag", "and how do i set how many tests it creates"),
+    ("testgen:seed_flag", "testgen:focus_flag", "and how do i target one block"),
+    ("testgen:results", "testgen:fails", "and which file lists the failing tests"),
+    ("testgen:replay_flag", "testgen:waves", "and how do i dump waveforms from it"),
+    ("testgen:coverage", "testgen:timeout", "and when does each test stop"),
+)
+
+
+@dataclass(frozen=True)
+class IndustrialItem:
+    """One evaluation or training item with its chunked context."""
+
+    chunks: Tuple[str, ...]
+    question: str
+    answer: str
+    category: str
+    fact_key: str
+    variant: int
+
+    @property
+    def context(self) -> str:
+        return " ".join(f"chunk {i} : {c}" for i, c in enumerate(self.chunks))
+
+
+@dataclass(frozen=True)
+class MultiTurnItem:
+    """A two-turn conversation; models are scored on the second answer."""
+
+    chunks: Tuple[str, ...]
+    first_question: str
+    first_answer: str
+    question: str
+    answer: str
+    category: str
+    fact_key: str
+
+    @property
+    def context(self) -> str:
+        return " ".join(f"chunk {i} : {c}" for i, c in enumerate(self.chunks))
+
+
+def _chunks_for(fact: InfraFact, extra: Sequence[InfraFact]) -> Tuple[str, ...]:
+    """Context chunks: the grounding fact plus same-category distractors."""
+    chunks = [fact.sentence]
+    chunks.extend(f.sentence for f in extra)
+    return tuple(chunks)
+
+
+def _distractors(fact: InfraFact, n: int = 2) -> List[InfraFact]:
+    same = [f for f in FACTS if f.category == fact.category and f.key != fact.key]
+    # Deterministic selection keyed by the fact, so items are stable.
+    same.sort(key=lambda f: hashlib.sha256((fact.key + f.key).encode()).hexdigest())
+    return same[:n]
+
+
+def _eval_fact_keys() -> frozenset:
+    """Deterministic per-category subset of facts used for evaluation.
+
+    The split is by *phrasing*, not by fact (see :func:`eval_questions`):
+    every fact appears in DAFT training with its training phrasings, and
+    evaluation asks a hash-chosen subset of facts with held-out phrasings —
+    matching the paper's setting, where the chip model's DAPT+DAFT corpus
+    covers every evaluated topic and the 39 questions are engineers' fresh
+    wordings.
+    """
+    keys: List[str] = []
+    for category in CATEGORIES:
+        facts = sorted((f.key for f in FACTS if f.category == category),
+                       key=lambda k: hashlib.sha256(("industrial:" + k).encode()).hexdigest())
+        n_hold = (EVAL_QUOTA[category] + 1) // 2 + 1
+        keys.extend(facts[:n_hold])
+    return frozenset(keys)
+
+
+_EVAL_KEYS = _eval_fact_keys()
+
+
+def _is_eval_fact(fact_key: str) -> bool:
+    return fact_key in _EVAL_KEYS
+
+
+def train_questions(fact: InfraFact) -> List[str]:
+    """DAFT phrasings: the fact's base phrasings plus politeness wrappers."""
+    return [fact.questions[0], fact.questions[1],
+            f"please tell me {fact.questions[0]}",
+            f"i want to know {fact.questions[1]}"]
+
+
+def eval_questions(fact: InfraFact) -> List[str]:
+    """Held-out phrasings, never used in DAFT."""
+    return [f"can you explain {fact.questions[0]}",
+            f"help me understand {fact.questions[1]}"]
+
+
+def unanswerable_question(fact: InfraFact) -> str:
+    """The phrasing reserved for the fact's unanswerable (off-topic-context)
+    item, distinct from both training and answerable-eval phrasings."""
+    return f"please clarify {fact.questions[0]}"
+
+
+def all_items() -> List[IndustrialItem]:
+    """Every single-turn *training-phrasing* item (all facts)."""
+    items: List[IndustrialItem] = []
+    for fact in FACTS:
+        chunks = _chunks_for(fact, _distractors(fact))
+        for variant, q in enumerate(train_questions(fact)):
+            items.append(IndustrialItem(chunks, q, fact.answer, fact.category,
+                                        fact.key, variant))
+    return items
+
+
+def unanswerable_items() -> List[IndustrialItem]:
+    """Items whose chunks are off-topic for the question (golden = refusal).
+
+    The retrieval failure mode of Figure 6: the RAG stage returned chunks
+    from an unrelated domain, so the grounding instruction obliges the model
+    to admit it cannot answer.  Chunks come from a *different* category than
+    the question, which is the detectable signal an aligned model uses.
+    """
+    items: List[IndustrialItem] = []
+    for fact in FACTS:
+        other_cat = CATEGORIES[(CATEGORIES.index(fact.category) + 1) % len(CATEGORIES)]
+        others = [f for f in FACTS if f.category == other_cat]
+        others.sort(key=lambda f: hashlib.sha256((fact.key + f.key).encode()).hexdigest())
+        chunks = tuple(f.sentence for f in others[:3])
+        items.append(IndustrialItem(chunks, unanswerable_question(fact), REFUSAL,
+                                    fact.category, fact.key, variant=99))
+    return items
+
+
+def train_items() -> List[IndustrialItem]:
+    """DAFT training items: every fact with its training phrasings."""
+    return all_items()
+
+
+def eval_items() -> List[IndustrialItem]:
+    """The 39 single-turn evaluation questions (10/10/10/9 per category).
+
+    Each category's quota mixes answerable items (eval facts asked with
+    held-out phrasings) with :data:`UNANSWERABLE_PER_CATEGORY` unanswerable
+    ones (Figure 6 scenario).
+    """
+    pool: List[IndustrialItem] = []
+    for fact in FACTS:
+        if not _is_eval_fact(fact.key):
+            continue
+        chunks = _chunks_for(fact, _distractors(fact))
+        for variant, q in enumerate(eval_questions(fact)):
+            pool.append(IndustrialItem(chunks, q, fact.answer, fact.category,
+                                       fact.key, 10 + variant))
+    refusals = [it for it in unanswerable_items() if _is_eval_fact(it.fact_key)]
+    selected: List[IndustrialItem] = []
+    for category in CATEGORIES:
+        cands = [it for it in pool if it.category == category]
+        cands.sort(key=lambda it: hashlib.sha256(
+            f"{it.fact_key}:{it.variant}".encode()).hexdigest())
+        refs = [it for it in refusals if it.category == category]
+        refs.sort(key=lambda it: hashlib.sha256(
+            ("unans:" + it.fact_key).encode()).hexdigest())
+        quota = EVAL_QUOTA[category] - UNANSWERABLE_PER_CATEGORY
+        if len(cands) < quota or len(refs) < UNANSWERABLE_PER_CATEGORY:
+            raise RuntimeError(
+                f"not enough held-out {category} items: "
+                f"{len(cands)} answerable / {len(refs)} unanswerable"
+            )
+        selected.extend(cands[:quota])
+        selected.extend(refs[:UNANSWERABLE_PER_CATEGORY])
+    return selected
+
+
+def multi_turn_items() -> List[MultiTurnItem]:
+    """Two-turn conversations built from :data:`MULTI_TURN_PAIRS`."""
+    items: List[MultiTurnItem] = []
+    for first_key, second_key, follow_up in MULTI_TURN_PAIRS:
+        first = FACT_BY_KEY[first_key]
+        second = FACT_BY_KEY[second_key]
+        chunks = (first.sentence, second.sentence) + tuple(
+            f.sentence for f in _distractors(second, 1))
+        items.append(MultiTurnItem(chunks, first.questions[0], first.answer,
+                                   follow_up, second.answer, second.category,
+                                   second.key))
+    return items
+
+
+def documentation_corpus() -> List[str]:
+    """All infrastructure doc sentences (the DAPT corpus and RAG pool)."""
+    return [f.sentence for f in FACTS]

@@ -1,0 +1,241 @@
+"""Synthetic instruction-following training data.
+
+The paper points out that high-quality instruction datasets are proprietary;
+this module is our stand-in.  It pairs general-world QA with verifiable
+instructions from :mod:`repro.eval.ifeval.instructions` and produces
+*compliant* responses, so supervised fine-tuning on these samples aligns a
+model the way RLHF'd chat data aligned LLaMA-Chat.
+
+Two overlapping instruction pools model the paper's Section IV-D finding:
+the chat models are aligned on pool A; the ChipNeMo-analog's DAFT mix uses
+pool B (its OASST/SteerLM analog).  Their union is what a geodesic merge can
+inherit, letting the merged model beat *both* sources on IFEval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..eval.ifeval.instructions import (POOL_A_KINDS, POOL_B_KINDS,
+                                        Instruction, build_instruction,
+                                        filter_compatible)
+from .corpus import GROUNDING_TEMPLATES, general_qa_pairs
+from .prompting import REFUSAL, format_prompt
+
+
+@dataclass(frozen=True)
+class InstructionSample:
+    """One supervised instruction-following example."""
+
+    prompt: str
+    response: str
+    instructions: Tuple[Instruction, ...]
+    question: str
+
+
+def _render_sample(question: str, answer: str,
+                   instructions: Sequence[Instruction]) -> InstructionSample:
+    response = answer
+    # Apply inner-most first so structural wrappers (quotes, prefixes) end up
+    # outermost in a deterministic order: content edits, then suffix, prefix,
+    # quoting.
+    priority = {"include_word": 0, "avoid_word": 0,
+                "two_parts": 2, "end_with": 3, "repeat_question": 4,
+                "start_with": 5, "quote_wrap": 6,
+                "max_words": 9, "min_words": 9}
+    ordered = sorted(instructions, key=lambda ins: priority.get(ins.kind, 0))
+    for ins in ordered:
+        response = ins.make_compliant(response)
+    prompt = format_prompt(question, instructions=[i.render() for i in instructions])
+    return InstructionSample(prompt, response, tuple(instructions), question)
+
+
+def instruction_sft_samples(pool: str = "a", per_question: int = 3,
+                            max_instructions: int = 2, seed: int = 0,
+                            include_plain: bool = True) -> List[InstructionSample]:
+    """Generate instruction-SFT samples over the general-world QA pairs.
+
+    Parameters
+    ----------
+    pool:
+        ``"a"`` for the chat models' pool, ``"b"`` for the ChipNeMo-analog's
+        complementary pool, ``"ab"`` for the union (used by oracle ablations).
+    per_question:
+        Number of differently-instructed variants per question.
+    max_instructions:
+        Upper bound on instructions combined in one prompt.
+    include_plain:
+        Also emit one instruction-free variant per question, which keeps the
+        model able to answer unadorned prompts.
+    """
+    kinds = {"a": POOL_A_KINDS, "b": POOL_B_KINDS,
+             "ab": tuple(dict.fromkeys(POOL_A_KINDS + POOL_B_KINDS))}[pool]
+    rng = np.random.default_rng(seed)
+    samples: List[InstructionSample] = []
+    for question, answer in general_qa_pairs():
+        if include_plain:
+            samples.append(InstructionSample(format_prompt(question), answer, (), question))
+        for _ in range(per_question):
+            n = int(rng.integers(1, max_instructions + 1))
+            chosen = [kinds[int(ki)] for ki in
+                      rng.choice(len(kinds), size=n, replace=False)]
+            instructions: List[Instruction] = []
+            for kind in filter_compatible(chosen):
+                instructions.append(build_instruction(kind, rng, question=question))
+            samples.append(_render_sample(question, answer, instructions))
+    return samples
+
+
+def grounded_general_samples(n_samples: int = 120, seed: int = 5,
+                             pool: str = "a", n_context: int = 3,
+                             instruction_fraction: float = 0.5) -> List[InstructionSample]:
+    """Reading-comprehension samples over the general world.
+
+    Each sample shows a small context of general statements (one of which
+    answers the question) and asks the model to ground its answer in it —
+    the capability real chat models have from their SFT mixtures and which
+    the industrial prompts (Figure 6) rely on.
+    """
+    kinds = {"a": POOL_A_KINDS, "b": POOL_B_KINDS}[pool]
+    rng = np.random.default_rng(seed)
+    qa = general_qa_pairs()
+    samples: List[InstructionSample] = []
+    for sample_idx in range(n_samples):
+        idx = rng.choice(len(qa), size=n_context, replace=False)
+        target = int(idx[int(rng.integers(n_context))])
+        question, answer = qa[target]
+        statements = [qa[int(i)][1] for i in idx]
+        if sample_idx % 2 == 0:
+            context = " . ".join(statements)
+        else:
+            # The chunked context format the industrial prompts use (Fig. 6).
+            context = " ".join(f"chunk {i} : {s}" for i, s in enumerate(statements))
+        instructions: Tuple[Instruction, ...] = ()
+        response = answer
+        if rng.random() < instruction_fraction:
+            kind = kinds[int(rng.integers(len(kinds)))]
+            ins = build_instruction(kind, rng, question=question)
+            instructions = (ins,)
+            response = ins.make_compliant(response)
+        prompt = format_prompt(question, context=context,
+                               instructions=[i.render() for i in instructions])
+        samples.append(InstructionSample(prompt, response, instructions, question))
+    return samples
+
+
+def counterfactual_grounded_samples(n_samples: int = 150, seed: int = 9,
+                                    pool: str = "a", n_context: int = 3,
+                                    instruction_fraction: float = 0.3,
+                                    refusal_fraction: float = 0.25) -> List[InstructionSample]:
+    """RAFT-style counterfactual reading comprehension.
+
+    Contexts assert *randomly filled* statements (often contradicting world
+    knowledge) and the golden answer follows the context, so a model can
+    only score by genuinely copying from the context — the extraction skill
+    real chat models carry and that the industrial prompts require.  Half of
+    the samples use the chunked context format.
+    """
+    kinds = {"a": POOL_A_KINDS, "b": POOL_B_KINDS}[pool]
+    rng = np.random.default_rng(seed)
+    samples: List[InstructionSample] = []
+    groups = {}
+    for i, t in enumerate(GROUNDING_TEMPLATES):
+        groups.setdefault(t.fills, []).append(i)
+    group_list = list(groups.values())
+    for sample_idx in range(n_samples):
+        if rng.random() < refusal_fraction:
+            # Off-topic context (Figure 6's retrieval-failure case): the
+            # question's template group is disjoint from the context's, and
+            # the aligned behaviour is to refuse.
+            gi = int(rng.integers(len(group_list)))
+            target_group = group_list[gi]
+            other = [i for g in group_list[:gi] + group_list[gi + 1:] for i in g]
+            ctx_idx = rng.choice(len(other), size=n_context, replace=False)
+            idx = [other[int(i)] for i in ctx_idx]
+            statements = []
+            for i in idx:
+                template = GROUNDING_TEMPLATES[int(i)]
+                fill = template.fills[int(rng.integers(len(template.fills)))]
+                statements.append(template.fill(fill))
+            target = GROUNDING_TEMPLATES[target_group[int(rng.integers(len(target_group)))]]
+            question = target.question
+            answer = REFUSAL
+        else:
+            idx = rng.choice(len(GROUNDING_TEMPLATES), size=n_context, replace=False)
+            statements = []
+            for i in idx:
+                template = GROUNDING_TEMPLATES[int(i)]
+                fill = template.fills[int(rng.integers(len(template.fills)))]
+                statements.append(template.fill(fill))
+            target_pos = int(rng.integers(n_context))
+            target = GROUNDING_TEMPLATES[int(idx[target_pos])]
+            question = target.question
+            answer = statements[target_pos]
+        if sample_idx % 2 == 0:
+            context = " . ".join(statements)
+        else:
+            context = " ".join(f"chunk {i} : {s}" for i, s in enumerate(statements))
+        instructions: Tuple[Instruction, ...] = ()
+        response = answer
+        if rng.random() < instruction_fraction:
+            kind = kinds[int(rng.integers(len(kinds)))]
+            ins = build_instruction(kind, rng, question=question)
+            instructions = (ins,)
+            response = ins.make_compliant(response)
+        prompt = format_prompt(question, context=context,
+                               instructions=[i.render() for i in instructions])
+        samples.append(InstructionSample(prompt, response, instructions, question))
+    return samples
+
+
+def multi_turn_general_samples(n_samples: int = 60, seed: int = 3,
+                               pool: str = "a") -> List[InstructionSample]:
+    """Two-turn general QA samples teaching the conversation-history format.
+
+    Each sample prepends one earlier (question, answer) turn to a fresh
+    question; half the samples carry an instruction on the current turn.
+    """
+    kinds = {"a": POOL_A_KINDS, "b": POOL_B_KINDS}[pool]
+    rng = np.random.default_rng(seed)
+    qa = general_qa_pairs()
+    samples: List[InstructionSample] = []
+    for i in range(n_samples):
+        first = qa[int(rng.integers(len(qa)))]
+        second = qa[int(rng.integers(len(qa)))]
+        instructions: Tuple[Instruction, ...] = ()
+        response = second[1]
+        if i % 2 == 0:
+            kind = kinds[int(rng.integers(len(kinds)))]
+            ins = build_instruction(kind, rng, question=second[0])
+            instructions = (ins,)
+            response = ins.make_compliant(response)
+        prompt = format_prompt(second[0], history=[first],
+                               instructions=[i.render() for i in instructions])
+        samples.append(InstructionSample(prompt, response, instructions, second[0]))
+    return samples
+
+
+def grounded_instruction_samples(triplets, pool: str = "b", seed: int = 0,
+                                 fraction: float = 0.5) -> List[InstructionSample]:
+    """Instruction samples over *context-grounded* QA triplets.
+
+    Used to mix a little alignment data into domain fine-tuning (the paper's
+    ChipNeMo DAFT includes OASST chat data).  ``triplets`` is a sequence of
+    objects with ``.context``, ``.question`` and ``.answer`` attributes.
+    """
+    kinds = {"a": POOL_A_KINDS, "b": POOL_B_KINDS}[pool]
+    rng = np.random.default_rng(seed)
+    samples: List[InstructionSample] = []
+    for triplet in triplets:
+        if rng.random() > fraction:
+            continue
+        kind = kinds[int(rng.integers(len(kinds)))]
+        ins = build_instruction(kind, rng, question=triplet.question)
+        response = ins.make_compliant(triplet.answer)
+        prompt = format_prompt(triplet.question, context=triplet.context,
+                               instructions=[ins.render()])
+        samples.append(InstructionSample(prompt, response, (ins,), triplet.question))
+    return samples

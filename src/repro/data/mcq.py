@@ -1,0 +1,80 @@
+"""Multi-choice chip QA benchmark (Figure 7's dataset).
+
+ChipNeMo's in-house multiple-choice benchmarks cover EDA scripts, bug
+summaries, and circuit design; the items carry *no instructions*, so they
+measure pure domain knowledge.  We build the synthetic equivalent from the
+EDA knowledge base: each item has one correct statement and three
+same-domain distractors, and models are scored by length-normalised
+log-probability of each choice (closed-book — no context is provided).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .eda_domain import BUGS, CIRCUIT_FACTS, COMMANDS
+
+DOMAINS = ("eda_scripts", "bugs", "circuits")
+
+
+@dataclass(frozen=True)
+class MCQItem:
+    """One multiple-choice item; ``answer_idx`` indexes ``choices``."""
+
+    question: str
+    choices: Tuple[str, ...]
+    answer_idx: int
+    domain: str
+
+
+def _shuffle_in(correct: str, distractors: List[str], rng) -> Tuple[Tuple[str, ...], int]:
+    choices = [correct] + distractors[:3]
+    order = rng.permutation(len(choices))
+    shuffled = tuple(choices[i] for i in order)
+    return shuffled, int(np.where(order == 0)[0][0])
+
+
+def mcq_items(seed: int = 7) -> List[MCQItem]:
+    """All multiple-choice items across the three domains."""
+    rng = np.random.default_rng(seed)
+    items: List[MCQItem] = []
+
+    # EDA scripts: which command performs a given task.
+    for cmd in COMMANDS:
+        others = [c for c in COMMANDS if c.name != cmd.name]
+        picks = rng.choice(len(others), size=3, replace=False)
+        correct = f"the command {cmd.name}"
+        distractors = [f"the command {others[int(i)].name}" for i in picks]
+        choices, idx = _shuffle_in(correct, distractors, rng)
+        items.append(MCQItem(f"which command {cmd.purpose}", choices, idx, "eda_scripts"))
+
+    # Bugs: what caused a reported symptom.
+    for bug in BUGS:
+        others = [b for b in BUGS if b.bug_id != bug.bug_id]
+        picks = rng.choice(len(others), size=3, replace=False)
+        correct = f"the cause was that {bug.cause}"
+        distractors = [f"the cause was that {others[int(i)].cause}" for i in picks]
+        choices, idx = _shuffle_in(correct, distractors, rng)
+        items.append(MCQItem(f"what caused the problem where {bug.symptom}",
+                             choices, idx, "bugs"))
+
+    # Circuits: complete the fact about a subject.
+    for fact in CIRCUIT_FACTS:
+        others = [f for f in CIRCUIT_FACTS if f.subject != fact.subject]
+        picks = rng.choice(len(others), size=3, replace=False)
+        distractors = [others[int(i)].fact for i in picks]
+        choices, idx = _shuffle_in(fact.fact, distractors, rng)
+        items.append(MCQItem(f"which statement about the {fact.subject} is true",
+                             choices, idx, "circuits"))
+
+    return items
+
+
+def items_by_domain(domain: str, seed: int = 7) -> List[MCQItem]:
+    """Items of one domain; raises for unknown domains."""
+    if domain not in DOMAINS:
+        raise KeyError(f"unknown MCQ domain {domain!r}; choose from {DOMAINS}")
+    return [it for it in mcq_items(seed) if it.domain == domain]

@@ -1,0 +1,68 @@
+"""Canonical prompt grammar shared by training data, benchmarks, and examples.
+
+All models in the zoo — chat, EDA, ChipNeMo-analog, merged — speak this one
+prompt format, mirroring how the paper's models share a chat template:
+
+``[context : <ctx>] question : <q> [instruction : <i1> and <i2>] assistant :``
+
+with earlier turns prepended verbatim for multi-turn conversations.  The
+``assistant :`` cue is where generation starts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+ASSISTANT_CUE = "assistant :"
+
+#: The canonical refusal an aligned model gives when the provided context
+#: does not contain the asked-about information (Figure 6's golden answer).
+REFUSAL = "i do not have enough information to answer this question"
+
+
+def format_prompt(question: str, context: Optional[str] = None,
+                  instructions: Sequence[str] = (),
+                  history: Sequence[Tuple[str, str]] = ()) -> str:
+    """Render a prompt in the canonical grammar.
+
+    Parameters
+    ----------
+    question:
+        The current question text.
+    context:
+        Optional grounding context placed before the question.
+    instructions:
+        Rendered instruction texts, joined with ``and``.
+    history:
+        Earlier ``(question, answer)`` turns for multi-turn prompts.
+    """
+    parts: List[str] = []
+    if context:
+        parts.append(f"context : {context}")
+    for past_q, past_a in history:
+        parts.append(f"question : {past_q}")
+        parts.append(f"{ASSISTANT_CUE} {past_a}")
+    parts.append(f"question : {question}")
+    if instructions:
+        parts.append("instruction : " + " and ".join(instructions))
+    parts.append(ASSISTANT_CUE)
+    return " ".join(parts)
+
+
+def format_training_sequence(tokenizer, prompt: str, response: str):
+    """Encode a supervised pair into ``(token_ids, loss_mask)``.
+
+    Loss is applied to the response tokens and the end-of-sequence token
+    only; the prompt is context (standard SFT masking).
+    """
+    prompt_ids = tokenizer.encode(prompt, add_bos=True)
+    response_ids = tokenizer.encode(response, add_eos=True)
+    ids = prompt_ids + response_ids
+    mask = [0] * len(prompt_ids) + [1] * len(response_ids)
+    return ids, mask
+
+
+def fits_context(tokenizer, prompt: str, response: str, max_seq_len: int) -> bool:
+    """True if the supervised pair fits in a model context of ``max_seq_len``."""
+    ids, _ = format_training_sequence(tokenizer, prompt, response)
+    return len(ids) <= max_seq_len

@@ -1,0 +1,73 @@
+"""Global vocabulary construction.
+
+All models in the zoo share one word-level tokenizer (the analogue of the
+paper's requirement that merged models share an architecture and embedding
+table).  The vocabulary is the closed union of every corpus, benchmark, and
+instruction phrase in the repository, built deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..eval.ifeval.instructions import ALL_KINDS, build_instruction
+from ..nn.tokenizer import WordTokenizer
+from . import corpus, eda_domain, industrial_qa, mcq, openroad_qa
+from .extraction import extraction_pretraining_samples
+from .ifeval_data import ifeval_prompts
+from .instruction_data import (counterfactual_grounded_samples,
+                               instruction_sft_samples)
+from .prompting import format_prompt
+
+
+def _all_texts() -> List[str]:
+    texts: List[str] = []
+    # General world.
+    texts.extend(f.statement for f in corpus.GENERAL_FACTS)
+    texts.extend(q for q, _ in corpus.general_qa_pairs())
+    # EDA world.
+    texts.extend(eda_domain.all_documentation())
+    for t in openroad_qa._all_triplets():
+        texts.extend((t.context, t.question, t.answer))
+    # Industrial world.
+    texts.extend(industrial_qa.documentation_corpus())
+    for it in industrial_qa.all_items() + industrial_qa.eval_items():
+        texts.extend((it.context, it.question, it.answer))
+    for mt in industrial_qa.multi_turn_items():
+        texts.extend((mt.context, mt.first_question, mt.first_answer,
+                      mt.question, mt.answer))
+    # Multiple choice.
+    for item in mcq.mcq_items():
+        texts.append(item.question)
+        texts.extend(item.choices)
+    # Instruction phrases: render every kind with every parameterisation the
+    # generators can produce (a generous sample covers all pool words).
+    rng = np.random.default_rng(0)
+    for _ in range(200):
+        for kind in ALL_KINDS:
+            ins = build_instruction(kind, rng, question="what is the color of the sky")
+            texts.append(ins.render())
+            texts.append(ins.make_compliant("the color of the sky is blue"))
+    # Instruction-SFT and IFEval prompt surfaces.
+    for sample in instruction_sft_samples(pool="ab", per_question=2, seed=1):
+        texts.extend((sample.prompt, sample.response))
+    for sample in counterfactual_grounded_samples(n_samples=200, seed=1):
+        texts.extend((sample.prompt, sample.response))
+    texts.extend(extraction_pretraining_samples(n_samples=20, seed=1))
+    for p in ifeval_prompts(n_prompts=40, seed=1):
+        texts.append(p.prompt)
+    # Prompt grammar keywords and grounded-answer connectives.
+    texts.append(format_prompt("q", context="c", instructions=["i"],
+                               history=[("hq", "ha")]))
+    texts.append("i do not have enough information to answer this question")
+    texts.append("based on the context")
+    texts.append("answer using only the provided context")
+    texts.append("make your answer rigorous and concrete")
+    return texts
+
+
+def build_tokenizer() -> WordTokenizer:
+    """Build the shared tokenizer over the closed world vocabulary."""
+    return WordTokenizer.from_corpus(_all_texts())

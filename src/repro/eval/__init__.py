@@ -1,0 +1,28 @@
+"""Evaluation: metrics, verifiable-instruction checking, judging, harnesses."""
+
+from .rouge import RougeScore, lcs_length, mean_rouge_l, rouge_l
+from .bleu import corpus_bleu, sentence_bleu
+from .judge import JudgeVerdict, ReferenceJudge, content_words, mean_score
+from .mcq_eval import MCQResult, choose, evaluate_mcq
+from .harness import (GROUNDING_TEXT, INDUSTRIAL_INSTRUCTIONS, OPENROAD_INSTRUCTIONS,
+                      Answerer, IndustrialReport, LMAnswerer, OpenRoadReport,
+                      golden_reference, run_industrial, run_industrial_multiturn,
+                      run_openroad)
+from .oracles import GeneralOracle, RagEdaOracle, split_sentences
+from .ifeval import IFEvalResult, evaluate_model, evaluate_responses
+from .unieval import UniEvalScore, UniEvaluator
+from .perplexity import PerplexityResult, compare_perplexity, corpus_perplexity
+
+__all__ = [
+    "RougeScore", "lcs_length", "mean_rouge_l", "rouge_l",
+    "corpus_bleu", "sentence_bleu",
+    "JudgeVerdict", "ReferenceJudge", "content_words", "mean_score",
+    "MCQResult", "choose", "evaluate_mcq",
+    "GROUNDING_TEXT", "INDUSTRIAL_INSTRUCTIONS", "OPENROAD_INSTRUCTIONS",
+    "Answerer", "IndustrialReport", "LMAnswerer", "OpenRoadReport",
+    "golden_reference", "run_industrial", "run_industrial_multiturn", "run_openroad",
+    "GeneralOracle", "RagEdaOracle", "split_sentences",
+    "IFEvalResult", "evaluate_model", "evaluate_responses",
+    "UniEvalScore", "UniEvaluator",
+    "PerplexityResult", "compare_perplexity", "corpus_perplexity",
+]

@@ -1,0 +1,74 @@
+"""BLEU score (Papineni et al., 2002).
+
+The paper mentions BLEU as an alternative metric it found less
+representative than ROUGE-L on the OpenROAD benchmark; we provide it for the
+same comparison.  Implements corpus-level BLEU with modified n-gram
+precision, uniform weights up to 4-grams, add-nothing clipping, and the
+brevity penalty, plus a smoothed sentence-level variant.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import List, Sequence, Tuple
+
+
+def _ngrams(tokens: Sequence[str], n: int) -> Counter:
+    return Counter(tuple(tokens[i: i + n]) for i in range(len(tokens) - n + 1))
+
+
+def modified_precision(candidate: Sequence[str], reference: Sequence[str],
+                       n: int) -> Tuple[int, int]:
+    """Clipped n-gram matches and total candidate n-grams."""
+    cand_counts = _ngrams(candidate, n)
+    ref_counts = _ngrams(reference, n)
+    matches = sum(min(count, ref_counts[gram]) for gram, count in cand_counts.items())
+    total = max(sum(cand_counts.values()), 0)
+    return matches, total
+
+
+def sentence_bleu(candidate: str, reference: str, max_n: int = 4,
+                  smooth: float = 1.0) -> float:
+    """Smoothed sentence-level BLEU (add-``smooth`` on counts)."""
+    cand = candidate.split()
+    ref = reference.split()
+    if not cand or not ref:
+        return 0.0
+    log_precisions = []
+    for n in range(1, max_n + 1):
+        matches, total = modified_precision(cand, ref, n)
+        log_precisions.append(math.log((matches + smooth) / (total + smooth)))
+    geo_mean = math.exp(sum(log_precisions) / max_n)
+    bp = 1.0 if len(cand) >= len(ref) else math.exp(1 - len(ref) / len(cand))
+    return bp * geo_mean
+
+
+def corpus_bleu(candidates: Sequence[str], references: Sequence[str],
+                max_n: int = 4) -> float:
+    """Corpus-level BLEU with the standard micro-averaged precisions."""
+    if len(candidates) != len(references):
+        raise ValueError("candidates and references must align")
+    if not candidates:
+        raise ValueError("empty evaluation set")
+    match_totals = [0] * max_n
+    cand_totals = [0] * max_n
+    cand_len = ref_len = 0
+    for c, r in zip(candidates, references):
+        cand, ref = c.split(), r.split()
+        cand_len += len(cand)
+        ref_len += len(ref)
+        for n in range(1, max_n + 1):
+            matches, total = modified_precision(cand, ref, n)
+            match_totals[n - 1] += matches
+            cand_totals[n - 1] += total
+    if cand_len == 0:
+        return 0.0
+    log_sum = 0.0
+    for matches, total in zip(match_totals, cand_totals):
+        if matches == 0 or total == 0:
+            return 0.0
+        log_sum += math.log(matches / total)
+    geo_mean = math.exp(log_sum / max_n)
+    bp = 1.0 if cand_len >= ref_len else math.exp(1 - ref_len / cand_len)
+    return bp * geo_mean

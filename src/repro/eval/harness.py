@@ -1,0 +1,233 @@
+"""Benchmark drivers: run any answerer over the QA benchmarks.
+
+An *answerer* is anything with the :class:`Answerer` interface — a wrapped
+substrate language model (:class:`LMAnswerer`) or one of the deterministic
+oracle baselines in :mod:`repro.eval.oracles`.  The drivers here reproduce
+the measurement protocols behind Tables 1 and 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..data.industrial_qa import IndustrialItem, MultiTurnItem
+from ..data.openroad_qa import CATEGORIES as OPENROAD_CATEGORIES
+from ..data.openroad_qa import QATriplet
+from ..data.prompting import format_prompt
+from .ifeval.instructions import Instruction, StartWith
+from .judge import JudgeVerdict, ReferenceJudge
+from .rouge import rouge_l
+
+InstructionLike = Union[Instruction, str]
+
+#: The fixed instruction block of the OpenROAD QA evaluation (Figure 5: the
+#: 90 eval triplets "all follow the same instruction" — make the answer
+#: rigorous and grounded in the provided context).  These are conditioning
+#: text: golden references stay plain, so ROUGE-L measures answer quality,
+#: and the instruction block separates models by their robustness to
+#: instruction-bearing prompts (what DAFT erodes).
+GROUNDING_TEXT = "answer using only the provided context"
+RIGOR_TEXT = "make your answer rigorous and concrete"
+OPENROAD_PREFIX = StartWith("based on the context")
+OPENROAD_INSTRUCTIONS: Tuple[InstructionLike, ...] = (GROUNDING_TEXT, RIGOR_TEXT)
+
+#: The industrial prompts carry the Figure-6-style grounding directive plus
+#: a verifiable format directive ("Please adhere to the following format...")
+#: whose violations the judge penalises.
+INDUSTRIAL_INSTRUCTIONS: Tuple[InstructionLike, ...] = (GROUNDING_TEXT, OPENROAD_PREFIX)
+
+#: A response violating a verifiable instruction cannot be rated above this
+#: (the judge's analog of Figure 6's "Not supported by context" downgrades).
+COMPLIANCE_CAP = 75
+
+
+def _apply_compliance_cap(verdict: JudgeVerdict, response: str,
+                          instructions: Sequence[InstructionLike]) -> JudgeVerdict:
+    """Cap the judge score when a verifiable instruction is violated."""
+    violated = any(isinstance(ins, Instruction) and not ins.check(response)
+                   for ins in instructions)
+    if not violated or verdict.score <= COMPLIANCE_CAP:
+        return verdict
+    return JudgeVerdict(COMPLIANCE_CAP, verdict.coverage, verdict.grounding)
+
+
+def render_instruction(instruction: InstructionLike) -> str:
+    """Instruction objects render themselves; plain strings pass through."""
+    return instruction.render() if isinstance(instruction, Instruction) else instruction
+
+
+def golden_reference(answer: str, instructions: Sequence[InstructionLike]) -> str:
+    """The reference string a fully compliant, fully correct model would emit.
+
+    Verifiable instructions rewrite the golden answer through their
+    ``make_compliant`` transforms, so ROUGE-L rewards compliance exactly the
+    way the paper's golden answers do.
+    """
+    ref = answer
+    for instruction in instructions:
+        if isinstance(instruction, Instruction):
+            ref = instruction.make_compliant(ref)
+    return ref
+
+
+class Answerer:
+    """Interface: produce an answer for a (possibly grounded) question."""
+
+    name: str = "answerer"
+
+    def answer(self, question: str, context: Optional[str] = None,
+               instructions: Sequence[InstructionLike] = (),
+               history: Sequence[Tuple[str, str]] = ()) -> str:
+        raise NotImplementedError
+
+
+class LMAnswerer(Answerer):
+    """Wrap a substrate language model + tokenizer as an answerer."""
+
+    def __init__(self, model, tokenizer, max_new_tokens: int = 56,
+                 name: str = "lm") -> None:
+        from ..nn.infer import InferenceEngine
+
+        self.model = model
+        self.tokenizer = tokenizer
+        self.max_new_tokens = max_new_tokens
+        self.name = name
+        self._engine = InferenceEngine(model)
+
+    def answer(self, question: str, context: Optional[str] = None,
+               instructions: Sequence[InstructionLike] = (),
+               history: Sequence[Tuple[str, str]] = ()) -> str:
+        prompt = format_prompt(question, context=context,
+                               instructions=[render_instruction(i) for i in instructions],
+                               history=history)
+        return self.complete(prompt)
+
+    def complete(self, prompt: str) -> str:
+        """Raw-prompt completion (used by the IFEval driver)."""
+        from ..nn.infer import generate_text_fast
+
+        return generate_text_fast(self._engine, self.tokenizer, prompt,
+                                  max_new_tokens=self.max_new_tokens)
+
+
+# ---------------------------------------------------------------------------
+# OpenROAD QA (Table 1)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OpenRoadReport:
+    """ROUGE-L results of one model on the OpenROAD QA benchmark."""
+
+    by_category: Dict[str, float]
+    overall: float
+    responses: List[str] = field(default_factory=list)
+    references: List[str] = field(default_factory=list)
+
+
+def run_openroad(answerer: Answerer, triplets: Sequence[QATriplet],
+                 context_mode: str = "golden", rag_pipeline=None,
+                 instructions: Sequence[InstructionLike] = OPENROAD_INSTRUCTIONS,
+                 ) -> OpenRoadReport:
+    """Evaluate an answerer on OpenROAD QA triplets with ROUGE-L.
+
+    ``context_mode='golden'`` supplies each item's golden paragraph;
+    ``'rag'`` retrieves the context with the supplied pipeline, matching the
+    paper's two Table-1 regimes.
+    """
+    if context_mode not in ("golden", "rag"):
+        raise ValueError(f"context_mode must be 'golden' or 'rag', got {context_mode!r}")
+    if context_mode == "rag" and rag_pipeline is None:
+        raise ValueError("rag context mode requires a rag_pipeline")
+    if not triplets:
+        raise ValueError("empty evaluation set")
+    responses: List[str] = []
+    references: List[str] = []
+    scores: Dict[str, List[float]] = {c: [] for c in OPENROAD_CATEGORIES}
+    for triplet in triplets:
+        if context_mode == "golden":
+            context = triplet.context
+        else:
+            context = rag_pipeline.retrieve(triplet.question).context
+        response = answerer.answer(triplet.question, context=context,
+                                   instructions=instructions)
+        reference = golden_reference(triplet.answer, instructions)
+        responses.append(response)
+        references.append(reference)
+        scores[triplet.category].append(rouge_l(response, reference).fmeasure)
+    by_category = {c: (sum(v) / len(v) if v else 0.0) for c, v in scores.items()}
+    flat = [s for v in scores.values() for s in v]
+    return OpenRoadReport(by_category, sum(flat) / len(flat), responses, references)
+
+
+# ---------------------------------------------------------------------------
+# Industrial chip QA (Table 2)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class IndustrialReport:
+    """Judge-scored results on the industrial chip QA benchmark."""
+
+    by_category: Dict[str, float]
+    overall: float
+    verdicts: List[JudgeVerdict] = field(default_factory=list)
+    responses: List[str] = field(default_factory=list)
+
+
+def run_industrial(answerer: Answerer, items: Sequence[IndustrialItem],
+                   judge: Optional[ReferenceJudge] = None,
+                   instructions: Sequence[InstructionLike] = INDUSTRIAL_INSTRUCTIONS,
+                   ) -> IndustrialReport:
+    """Single-turn industrial QA with GPT-4-style judge scoring."""
+    if not items:
+        raise ValueError("empty evaluation set")
+    judge = judge or ReferenceJudge()
+    scores: Dict[str, List[int]] = {}
+    verdicts: List[JudgeVerdict] = []
+    responses: List[str] = []
+    for item in items:
+        response = answerer.answer(item.question, context=item.context,
+                                   instructions=instructions)
+        golden = golden_reference(item.answer, instructions)
+        verdict = judge.grade(response, golden, item.context, item.question)
+        verdict = _apply_compliance_cap(verdict, response, instructions)
+        verdicts.append(verdict)
+        responses.append(response)
+        scores.setdefault(item.category, []).append(verdict.score)
+    by_category = {c: sum(v) / len(v) for c, v in scores.items()}
+    flat = [s for v in scores.values() for s in v]
+    return IndustrialReport(by_category, sum(flat) / len(flat), verdicts, responses)
+
+
+def run_industrial_multiturn(answerer: Answerer, items: Sequence[MultiTurnItem],
+                             judge: Optional[ReferenceJudge] = None,
+                             instructions: Sequence[InstructionLike] = INDUSTRIAL_INSTRUCTIONS,
+                             ) -> IndustrialReport:
+    """Multi-turn industrial QA: models are scored on the follow-up answer.
+
+    The first turn's golden answer is injected as conversation history (so
+    every model is graded on the same second-turn task, isolating follow-up
+    ability from first-turn quality).
+    """
+    if not items:
+        raise ValueError("empty evaluation set")
+    judge = judge or ReferenceJudge()
+    scores: Dict[str, List[int]] = {}
+    verdicts: List[JudgeVerdict] = []
+    responses: List[str] = []
+    for item in items:
+        response = answerer.answer(item.question, context=item.context,
+                                   instructions=instructions,
+                                   history=[(item.first_question, item.first_answer)])
+        golden = golden_reference(item.answer, instructions)
+        verdict = judge.grade(response, golden, item.context,
+                              item.question + " " + item.first_question)
+        verdict = _apply_compliance_cap(verdict, response, instructions)
+        verdicts.append(verdict)
+        responses.append(response)
+        scores.setdefault(item.category, []).append(verdict.score)
+    by_category = {c: sum(v) / len(v) for c, v in scores.items()}
+    flat = [s for v in scores.values() for s in v]
+    return IndustrialReport(by_category, sum(flat) / len(flat), verdicts, responses)

@@ -1,0 +1,14 @@
+"""IFEval reimplementation: verifiable instructions + accuracy evaluator."""
+
+from .instructions import (ALL_KINDS, AvoidWord, EndWith, IncludeWord,
+                           Instruction, MaxWords, MinWords, QuoteWrap,
+                           RepeatQuestion, StartWith, TwoParts,
+                           build_instruction, check_loose)
+from .evaluator import IFEvalResult, evaluate_model, evaluate_responses
+
+__all__ = [
+    "ALL_KINDS", "AvoidWord", "EndWith", "IncludeWord", "Instruction",
+    "MaxWords", "MinWords", "QuoteWrap", "RepeatQuestion", "StartWith",
+    "TwoParts", "build_instruction", "check_loose",
+    "IFEvalResult", "evaluate_model", "evaluate_responses",
+]

@@ -1,0 +1,340 @@
+"""Verifiable instructions, in the style of the IFEval benchmark.
+
+Each :class:`Instruction` bundles three things:
+
+* ``render()`` — the natural-language instruction text inserted into prompts;
+* ``check(response)`` — a deterministic verifier, the defining feature of
+  IFEval: compliance is decided by code, not by a judge model;
+* ``make_compliant(answer)`` — rewrite a free-form answer into a compliant
+  one, used to synthesise instruction-following *training* data (the
+  substitute for the proprietary instruction datasets the paper laments).
+
+Keeping the renderer, the verifier, and the compliant-rewriter in one object
+guarantees the training data and the benchmark agree on what each
+instruction means.
+
+All text lives in the substrate's lowercase, whitespace-tokenised world, so
+"words" are whitespace tokens throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+
+def words(text: str) -> List[str]:
+    """Whitespace tokenisation — the substrate's notion of words."""
+    return text.split()
+
+
+class Instruction:
+    """Base class for verifiable instructions."""
+
+    #: registry id, e.g. ``"start_with"``; set by subclasses.
+    kind: str = ""
+
+    def render(self) -> str:
+        """The instruction text shown in a prompt."""
+        raise NotImplementedError
+
+    def check(self, response: str) -> bool:
+        """True iff ``response`` complies with this instruction."""
+        raise NotImplementedError
+
+    def make_compliant(self, answer: str) -> str:
+        """Rewrite ``answer`` so that :meth:`check` passes."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.render()!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class StartWith(Instruction):
+    """Response must begin with an exact phrase."""
+
+    phrase: str
+    kind = "start_with"
+
+    def render(self) -> str:
+        return f"begin your response with the phrase {self.phrase}"
+
+    def check(self, response: str) -> bool:
+        r, p = words(response), words(self.phrase)
+        return len(r) >= len(p) and r[: len(p)] == p
+
+    def make_compliant(self, answer: str) -> str:
+        return f"{self.phrase} {answer}".strip()
+
+
+@dataclass(frozen=True, repr=False)
+class EndWith(Instruction):
+    """Response must end with an exact word."""
+
+    word: str
+    kind = "end_with"
+
+    def render(self) -> str:
+        return f"end your response with the word {self.word}"
+
+    def check(self, response: str) -> bool:
+        r = words(response)
+        return bool(r) and r[-1] == self.word
+
+    def make_compliant(self, answer: str) -> str:
+        return f"{answer} {self.word}".strip()
+
+
+@dataclass(frozen=True, repr=False)
+class IncludeWord(Instruction):
+    """Response must contain a given word anywhere."""
+
+    word: str
+    kind = "include_word"
+
+    def render(self) -> str:
+        return f"include the word {self.word} in your response"
+
+    def check(self, response: str) -> bool:
+        return self.word in words(response)
+
+    def make_compliant(self, answer: str) -> str:
+        if self.check(answer):
+            return answer
+        return f"{self.word} {answer}".strip()
+
+
+@dataclass(frozen=True, repr=False)
+class AvoidWord(Instruction):
+    """Response must not contain a given word."""
+
+    word: str
+    kind = "avoid_word"
+
+    def render(self) -> str:
+        return f"do not use the word {self.word} in your response"
+
+    def check(self, response: str) -> bool:
+        return self.word not in words(response)
+
+    def make_compliant(self, answer: str) -> str:
+        return " ".join(w for w in words(answer) if w != self.word)
+
+
+@dataclass(frozen=True, repr=False)
+class MaxWords(Instruction):
+    """Response must be at most ``limit`` words long."""
+
+    limit: int
+    kind = "max_words"
+
+    def render(self) -> str:
+        return f"respond in at most {self.limit} words"
+
+    def check(self, response: str) -> bool:
+        return 0 < len(words(response)) <= self.limit
+
+    def make_compliant(self, answer: str) -> str:
+        return " ".join(words(answer)[: self.limit])
+
+
+@dataclass(frozen=True, repr=False)
+class MinWords(Instruction):
+    """Response must be at least ``limit`` words long."""
+
+    limit: int
+    kind = "min_words"
+
+    def render(self) -> str:
+        return f"respond in at least {self.limit} words"
+
+    def check(self, response: str) -> bool:
+        return len(words(response)) >= self.limit
+
+    def make_compliant(self, answer: str) -> str:
+        w = words(answer)
+        while len(w) < self.limit:
+            w = w + ["indeed"]
+        return " ".join(w)
+
+
+@dataclass(frozen=True, repr=False)
+class QuoteWrap(Instruction):
+    """Response must be wrapped in double-quote tokens."""
+
+    kind = "quote_wrap"
+
+    def render(self) -> str:
+        return "wrap your whole response in quotes"
+
+    def check(self, response: str) -> bool:
+        r = words(response)
+        return len(r) >= 3 and r[0] == '"' and r[-1] == '"'
+
+    def make_compliant(self, answer: str) -> str:
+        return f'" {answer} "'
+
+
+@dataclass(frozen=True, repr=False)
+class TwoParts(Instruction):
+    """Response must contain the separator word ``next`` between two parts."""
+
+    kind = "two_parts"
+
+    def render(self) -> str:
+        return "give your response in two parts separated by the word next"
+
+    def check(self, response: str) -> bool:
+        r = words(response)
+        return "next" in r[1:-1] if len(r) >= 3 else False
+
+    def make_compliant(self, answer: str) -> str:
+        w = words(answer)
+        if len(w) < 2:
+            return f"{answer} next {answer}".strip()
+        mid = len(w) // 2
+        return " ".join(w[:mid] + ["next"] + w[mid:])
+
+
+@dataclass(frozen=True, repr=False)
+class RepeatQuestion(Instruction):
+    """Response must repeat the question text before answering."""
+
+    question: str
+    kind = "repeat_question"
+
+    def render(self) -> str:
+        return "repeat the question before you answer"
+
+    def check(self, response: str) -> bool:
+        r, q = words(response), words(self.question)
+        return len(r) > len(q) and r[: len(q)] == q
+
+    def make_compliant(self, answer: str) -> str:
+        return f"{self.question} {answer}".strip()
+
+
+# ---------------------------------------------------------------------------
+# Loose evaluation transforms (IFEval's "loose" accuracy re-checks compliance
+# after removing common harmless decorations from the response).
+# ---------------------------------------------------------------------------
+
+def _strip_first_word(response: str) -> str:
+    return " ".join(words(response)[1:])
+
+
+def _strip_last_word(response: str) -> str:
+    return " ".join(words(response)[:-1])
+
+
+def _strip_quotes(response: str) -> str:
+    return " ".join(w for w in words(response) if w != '"')
+
+
+def _strip_common_prefixes(response: str) -> str:
+    r = words(response)
+    for prefix in (["answer", ":"], ["note", ":"], ["response", ":"],
+                   ["based", "on", "the", "context"]):
+        if r[: len(prefix)] == prefix:
+            return " ".join(r[len(prefix):])
+    return response
+
+
+LOOSE_TRANSFORMS: Tuple[Callable[[str], str], ...] = (
+    lambda r: r,
+    _strip_first_word,
+    _strip_last_word,
+    _strip_quotes,
+    _strip_common_prefixes,
+)
+
+
+def check_loose(instruction: Instruction, response: str) -> bool:
+    """Loose compliance: pass if any standard transform of the response passes."""
+    return any(instruction.check(t(response)) for t in LOOSE_TRANSFORMS if t(response))
+
+
+# ---------------------------------------------------------------------------
+# Instruction pools used by the data generators.
+# ---------------------------------------------------------------------------
+
+START_PHRASES: Tuple[str, ...] = ("answer :", "note :", "based on the context")
+END_WORDS: Tuple[str, ...] = ("done", "over", "thanks")
+INCLUDE_WORDS: Tuple[str, ...] = ("indeed", "surely", "clearly")
+MAX_LIMITS: Tuple[int, ...] = (6, 8, 10)
+
+#: The full set of instruction kinds, grouped into two overlapping pools.
+#: Pool "a" is what the general chat models are aligned on; pool "b" is the
+#: (partially complementary) set mixed into the ChipNeMo-analog's DAFT data —
+#: modelling the paper's observation that ChipNeMo's OASST/SteerLM data gave
+#: it instruction knowledge *complementary* to the chat model's, so the merge
+#: can beat both sources on IFEval (Section IV-D).
+POOL_A_KINDS: Tuple[str, ...] = ("start_with", "end_with", "include_word",
+                                 "quote_wrap", "max_words")
+POOL_B_KINDS: Tuple[str, ...] = ("start_with", "include_word", "two_parts",
+                                 "repeat_question", "end_with")
+
+
+def build_instruction(kind: str, rng, question: str = "") -> Instruction:
+    """Construct a random concrete instruction of the given kind."""
+    if kind == "start_with":
+        return StartWith(START_PHRASES[int(rng.integers(len(START_PHRASES)))])
+    if kind == "end_with":
+        return EndWith(END_WORDS[int(rng.integers(len(END_WORDS)))])
+    if kind == "include_word":
+        return IncludeWord(INCLUDE_WORDS[int(rng.integers(len(INCLUDE_WORDS)))])
+    if kind == "avoid_word":
+        return AvoidWord("maybe")
+    if kind == "max_words":
+        return MaxWords(int(MAX_LIMITS[int(rng.integers(len(MAX_LIMITS)))]))
+    if kind == "min_words":
+        return MinWords(4)
+    if kind == "quote_wrap":
+        return QuoteWrap()
+    if kind == "two_parts":
+        return TwoParts()
+    if kind == "repeat_question":
+        if not question:
+            raise ValueError("repeat_question requires the question text")
+        return RepeatQuestion(question)
+    raise KeyError(f"unknown instruction kind {kind!r}")
+
+
+ALL_KINDS: Tuple[str, ...] = ("start_with", "end_with", "include_word", "avoid_word",
+                              "max_words", "min_words", "quote_wrap", "two_parts",
+                              "repeat_question")
+
+#: Pairs of instruction kinds that cannot be jointly satisfied: word-count
+#: limits clash with structure-adding instructions, and instructions that
+#: claim the first or last token clash with each other.  The data generators
+#: never combine conflicting kinds in one prompt (real IFEval likewise avoids
+#: contradictory instruction pairs).
+_LIMIT_KINDS = frozenset({"max_words", "min_words"})
+_LIMIT_COMPATIBLE = frozenset({"start_with", "include_word", "avoid_word"})
+_CONFLICTS = {
+    "quote_wrap": frozenset({"start_with", "end_with", "repeat_question"}),
+    "start_with": frozenset({"repeat_question", "quote_wrap"}),
+    "end_with": frozenset({"quote_wrap"}),
+    "repeat_question": frozenset({"start_with", "quote_wrap"}),
+}
+
+
+def _conflicts(a: str, b: str) -> bool:
+    if a in _LIMIT_KINDS:
+        return b in _LIMIT_KINDS or b not in _LIMIT_COMPATIBLE
+    if b in _LIMIT_KINDS:
+        return a not in _LIMIT_COMPATIBLE
+    return b in _CONFLICTS.get(a, frozenset())
+
+
+def filter_compatible(kinds: Sequence[str]) -> List[str]:
+    """Drop duplicate or mutually contradictory kinds, keeping earlier ones."""
+    kept: List[str] = []
+    for kind in kinds:
+        if kind in kept:
+            continue
+        if any(_conflicts(k, kind) or _conflicts(kind, k) for k in kept):
+            continue
+        kept.append(kind)
+    return kept

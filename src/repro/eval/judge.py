@@ -1,0 +1,128 @@
+"""Deterministic reference-based answer grader (the GPT-4-judge substitute).
+
+The paper grades industrial chip QA with a GPT-4 judge that compares each
+response to the golden answer and emits a score in {0, 25, 50, 75, 100}
+(Section IV-A).  Offline, we replace it with a transparent rubric that
+measures the two properties the paper's judge rewards in Figure 6:
+
+* **fact coverage** — how much of the golden answer's content the response
+  reproduces (LCS recall over content words);
+* **grounding** — whether the response stays within the provided context
+  (fraction of response content words present in context + question),
+  penalising the "not supported by context" failures of Figure 6.
+
+The rubric maps coverage to the 5-point scale and caps the score when the
+response is poorly grounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .rouge import lcs_length
+
+SCORE_LEVELS = (0, 25, 50, 75, 100)
+
+#: Function words ignored when comparing content, plus the decoration tokens
+#: that instruction compliance adds (prefixes, suffixes, separators, quotes) —
+#: the judge grades substance, not formatting.
+STOPWORDS = frozenset(
+    "the a an of to is are in on at with for and or do does did i you it its "
+    "this that which what how where when who your my one each "
+    'based context answer note response done over thanks next indeed surely clearly " :'.split()
+)
+
+
+def content_words(text: str) -> List[str]:
+    """Whitespace tokens with function words removed."""
+    return [w for w in text.split() if w not in STOPWORDS]
+
+
+@dataclass(frozen=True)
+class JudgeVerdict:
+    """One graded response."""
+
+    score: int
+    coverage: float
+    grounding: float
+
+    def __post_init__(self) -> None:
+        if self.score not in SCORE_LEVELS:
+            raise ValueError(f"score must be one of {SCORE_LEVELS}, got {self.score}")
+
+
+class ReferenceJudge:
+    """Grade responses against golden answers on the paper's 5-point scale.
+
+    Thresholds are part of the published rubric: coverage ≥0.9 → 100,
+    ≥0.65 → 75, ≥0.4 → 50, ≥0.15 → 25, else 0; grounding below 0.7 caps the
+    score at 50 and below 0.4 caps it at 25 (an ungrounded answer can never
+    be rated "supported by context").
+    """
+
+    def __init__(self, coverage_thresholds=(0.9, 0.65, 0.4, 0.15),
+                 grounding_caps=((0.7, 50), (0.4, 25))) -> None:
+        if list(coverage_thresholds) != sorted(coverage_thresholds, reverse=True):
+            raise ValueError("coverage thresholds must be decreasing")
+        self.coverage_thresholds = tuple(coverage_thresholds)
+        self.grounding_caps = tuple(grounding_caps)
+
+    # ------------------------------------------------------------------
+    def coverage(self, response: str, golden: str) -> float:
+        """LCS recall of the golden answer's content words in the response."""
+        gold = content_words(golden)
+        resp = content_words(response)
+        if not gold:
+            return 1.0
+        if not resp:
+            return 0.0
+        return lcs_length(resp, gold) / len(gold)
+
+    def grounding(self, response: str, context: str, question: str) -> float:
+        """Fraction of response content words grounded in context or question.
+
+        The canonical refusal phrase is meta-language, not a factual claim,
+        so its words are always considered grounded — refusing when the
+        context lacks the answer is the *most* grounded behaviour.
+        """
+        resp = content_words(response)
+        if not resp:
+            return 0.0
+        from ..data.prompting import REFUSAL
+
+        allowed = (set(content_words(context)) | set(content_words(question))
+                   | set(content_words(REFUSAL)))
+        return sum(1 for w in resp if w in allowed) / len(resp)
+
+    # ------------------------------------------------------------------
+    def grade(self, response: str, golden: str, context: str,
+              question: str = "") -> JudgeVerdict:
+        """Grade one response; see class docstring for the rubric."""
+        cov = self.coverage(response, golden)
+        gnd = self.grounding(response, context, question)
+        score = 0
+        for threshold, level in zip(self.coverage_thresholds, (100, 75, 50, 25)):
+            if cov >= threshold:
+                score = level
+                break
+        for g_threshold, cap in self.grounding_caps:
+            if gnd < g_threshold:
+                score = min(score, cap)
+        return JudgeVerdict(score, cov, gnd)
+
+    def grade_batch(self, responses: Sequence[str], goldens: Sequence[str],
+                    contexts: Sequence[str],
+                    questions: Sequence[str]) -> List[JudgeVerdict]:
+        """Grade aligned batches; raises on length mismatch."""
+        if not (len(responses) == len(goldens) == len(contexts) == len(questions)):
+            raise ValueError("all inputs must align")
+        return [self.grade(r, g, c, q)
+                for r, g, c, q in zip(responses, goldens, contexts, questions)]
+
+
+def mean_score(verdicts: Sequence[JudgeVerdict]) -> float:
+    """Mean judge score over a batch of verdicts."""
+    if not verdicts:
+        raise ValueError("no verdicts to average")
+    return sum(v.score for v in verdicts) / len(verdicts)

@@ -1,0 +1,64 @@
+"""Perplexity evaluation for substrate language models.
+
+Standard held-out diagnostics for the training pipelines: token-level
+negative log-likelihood and perplexity over a corpus, plus a convenience
+comparison helper used to sanity-check DAPT (the chip model should have far
+lower perplexity on chip documents than the chat model).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.tensor import no_grad
+from ..nn.trainer import IGNORE_INDEX, pad_batch
+
+
+@dataclass(frozen=True)
+class PerplexityResult:
+    """NLL/perplexity over a corpus."""
+
+    nll: float
+    n_tokens: int
+
+    @property
+    def perplexity(self) -> float:
+        return math.exp(self.nll)
+
+
+def corpus_perplexity(model, tokenizer, sentences: Sequence[str],
+                      batch_size: int = 16) -> PerplexityResult:
+    """Mean token NLL and perplexity of ``model`` over raw sentences."""
+    if not sentences:
+        raise ValueError("empty corpus")
+    sequences: List[List[int]] = []
+    for sentence in sentences:
+        ids = tokenizer.encode(sentence, add_bos=True, add_eos=True)
+        if len(ids) >= 2:
+            sequences.append(ids)
+    if not sequences:
+        raise ValueError("no scorable sentences (all shorter than 2 tokens)")
+    model.eval()
+    total_nll, total_tokens = 0.0, 0
+    with no_grad():
+        for start in range(0, len(sequences), batch_size):
+            batch = sequences[start: start + batch_size]
+            inputs, targets = pad_batch(batch, tokenizer.pad_id)
+            n_tok = int((targets != IGNORE_INDEX).sum())
+            logits = model(inputs)
+            loss = F.cross_entropy(logits, targets, ignore_index=IGNORE_INDEX)
+            total_nll += loss.item() * n_tok
+            total_tokens += n_tok
+    return PerplexityResult(total_nll / total_tokens, total_tokens)
+
+
+def compare_perplexity(models: Dict[str, object], tokenizer,
+                       sentences: Sequence[str]) -> Dict[str, float]:
+    """Perplexity of several named models over the same corpus."""
+    return {name: corpus_perplexity(model, tokenizer, sentences).perplexity
+            for name, model in models.items()}

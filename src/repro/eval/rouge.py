@@ -1,0 +1,70 @@
+"""ROUGE-L: longest-common-subsequence-based summary metric (Lin, 2004).
+
+The paper scores OpenROAD QA answers with ROUGE-L against golden answers
+(Section IV-A); this is a from-scratch implementation of the sentence-level
+metric: LCS-based precision, recall, and F-measure over whitespace tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class RougeScore:
+    """Precision/recall/F1 of one ROUGE comparison."""
+
+    precision: float
+    recall: float
+    fmeasure: float
+
+
+def lcs_length(a: Sequence[str], b: Sequence[str]) -> int:
+    """Length of the longest common subsequence of two token sequences.
+
+    Standard O(len(a)·len(b)) dynamic program with a rolling row.
+    """
+    if not a or not b:
+        return 0
+    prev = [0] * (len(b) + 1)
+    for x in a:
+        curr = [0] * (len(b) + 1)
+        for j, y in enumerate(b, start=1):
+            if x == y:
+                curr[j] = prev[j - 1] + 1
+            else:
+                curr[j] = max(prev[j], curr[j - 1])
+        prev = curr
+    return prev[-1]
+
+
+def rouge_l(candidate: str, reference: str, beta: float = 1.2) -> RougeScore:
+    """Sentence-level ROUGE-L between a candidate and a reference string.
+
+    ``beta`` weights recall over precision in the F-measure, following the
+    original formulation (β=1.2 is the common default).
+    """
+    cand = candidate.split()
+    ref = reference.split()
+    if not cand or not ref:
+        return RougeScore(0.0, 0.0, 0.0)
+    lcs = lcs_length(cand, ref)
+    precision = lcs / len(cand)
+    recall = lcs / len(ref)
+    if precision == 0.0 and recall == 0.0:
+        return RougeScore(0.0, 0.0, 0.0)
+    beta2 = beta * beta
+    fmeasure = (1 + beta2) * precision * recall / (recall + beta2 * precision)
+    return RougeScore(precision, recall, fmeasure)
+
+
+def mean_rouge_l(candidates: Sequence[str], references: Sequence[str],
+                 beta: float = 1.2) -> float:
+    """Mean ROUGE-L F-measure over aligned candidate/reference lists."""
+    if len(candidates) != len(references):
+        raise ValueError("candidates and references must align")
+    if not candidates:
+        raise ValueError("empty evaluation set")
+    scores = [rouge_l(c, r, beta).fmeasure for c, r in zip(candidates, references)]
+    return sum(scores) / len(scores)

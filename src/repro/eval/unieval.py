@@ -1,0 +1,105 @@
+"""A UniEval-style multi-dimensional response evaluator.
+
+The paper mentions comparing ROUGE-L against BLEU and UniEval scores on the
+OpenROAD benchmark (Section IV-A) and finding ROUGE-L most representative.
+To support that comparison, this module provides a lightweight,
+deterministic analog of UniEval's multi-dimensional evaluation: it scores a
+response along four dimensions and aggregates them.
+
+* **relevance** — content overlap with the golden answer (LCS recall);
+* **consistency** — grounding of the response in the source context;
+* **fluency** — repetition-free, reasonable-length text (degenerate loops
+  and single-word outputs score low);
+* **coherence** — the response stays on the question's topic.
+
+Each dimension is in [0, 1]; :meth:`UniEvaluator.overall` is their mean.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict
+
+from .judge import content_words
+from .rouge import lcs_length
+
+
+@dataclass(frozen=True)
+class UniEvalScore:
+    """Per-dimension scores of one response."""
+
+    relevance: float
+    consistency: float
+    fluency: float
+    coherence: float
+
+    @property
+    def overall(self) -> float:
+        return (self.relevance + self.consistency + self.fluency + self.coherence) / 4
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"relevance": self.relevance, "consistency": self.consistency,
+                "fluency": self.fluency, "coherence": self.coherence,
+                "overall": self.overall}
+
+
+class UniEvaluator:
+    """Multi-dimensional reference-based response evaluator."""
+
+    def __init__(self, min_length: int = 3, max_length: int = 64) -> None:
+        if min_length <= 0 or max_length <= min_length:
+            raise ValueError("need 0 < min_length < max_length")
+        self.min_length = min_length
+        self.max_length = max_length
+
+    # ------------------------------------------------------------------
+    def relevance(self, response: str, golden: str) -> float:
+        gold = content_words(golden)
+        resp = content_words(response)
+        if not gold:
+            return 1.0
+        if not resp:
+            return 0.0
+        return lcs_length(resp, gold) / len(gold)
+
+    def consistency(self, response: str, context: str) -> float:
+        resp = content_words(response)
+        if not resp:
+            return 0.0
+        allowed = set(content_words(context))
+        return sum(1 for w in resp if w in allowed) / len(resp)
+
+    def fluency(self, response: str) -> float:
+        words = response.split()
+        if len(words) < self.min_length:
+            return 0.0
+        # Penalise degenerate repetition: distinct-bigram ratio.
+        if len(words) == 1:
+            return 0.5
+        bigrams = list(zip(words, words[1:]))
+        distinct = len(set(bigrams)) / len(bigrams)
+        # Penalise run-away length.
+        length_penalty = 1.0 if len(words) <= self.max_length else \
+            self.max_length / len(words)
+        return distinct * length_penalty
+
+    def coherence(self, response: str, question: str) -> float:
+        resp = set(content_words(response))
+        q = set(content_words(question))
+        if not q:
+            return 1.0
+        if not resp:
+            return 0.0
+        return len(resp & q) / len(q)
+
+    # ------------------------------------------------------------------
+    def score(self, response: str, golden: str, context: str,
+              question: str) -> UniEvalScore:
+        """Score one response along all four dimensions."""
+        return UniEvalScore(
+            relevance=self.relevance(response, golden),
+            consistency=self.consistency(response, context),
+            fluency=self.fluency(response),
+            coherence=self.coherence(response, question),
+        )

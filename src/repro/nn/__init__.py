@@ -1,0 +1,34 @@
+"""From-scratch neural substrate: autograd, transformer LM, LoRA, training.
+
+This package replaces the PyTorch/HuggingFace stack the paper's experiments
+assume.  See DESIGN.md §1 for the substitution rationale.
+"""
+
+from .tensor import Tensor, no_grad, cat, stack, where
+from .module import Module, ModuleList, Parameter
+from .layers import Dropout, Embedding, FeedForward, LayerNorm, Linear, RMSNorm
+from .attention import MultiHeadSelfAttention, causal_mask
+from .transformer import TransformerConfig, TransformerLM, preset_config
+from .tokenizer import BPETokenizer, WordTokenizer
+from .optim import SGD, Adam, AdamW, CosineSchedule, clip_grad_norm
+from .trainer import IGNORE_INDEX, TrainConfig, Trainer, TrainResult, pad_batch
+from .generation import continuation_logprob, generate, generate_text, sequence_logprob
+from .lora import LoRALinear, apply_lora, lora_parameters, merge_lora
+from .checkpoint import (checkpoint_exists, load_model, load_state_dict,
+                         save_model, save_state_dict)
+from .infer import InferenceEngine, generate_text_fast
+
+__all__ = [
+    "Tensor", "no_grad", "cat", "stack", "where",
+    "Module", "ModuleList", "Parameter",
+    "Dropout", "Embedding", "FeedForward", "LayerNorm", "Linear", "RMSNorm",
+    "MultiHeadSelfAttention", "causal_mask",
+    "TransformerConfig", "TransformerLM", "preset_config",
+    "BPETokenizer", "WordTokenizer",
+    "SGD", "Adam", "AdamW", "CosineSchedule", "clip_grad_norm",
+    "IGNORE_INDEX", "TrainConfig", "Trainer", "TrainResult", "pad_batch",
+    "continuation_logprob", "generate", "generate_text", "sequence_logprob",
+    "LoRALinear", "apply_lora", "lora_parameters", "merge_lora",
+    "checkpoint_exists", "load_model", "load_state_dict", "save_model", "save_state_dict",
+    "InferenceEngine", "generate_text_fast",
+]

@@ -1,0 +1,104 @@
+"""Multi-head causal self-attention with rotary position embeddings."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .layers import Linear
+from .module import Module
+from .tensor import Tensor, cat
+
+
+def causal_mask(seq_len: int) -> np.ndarray:
+    """Boolean mask that is True at positions a query may NOT attend to."""
+    return np.triu(np.ones((seq_len, seq_len), dtype=bool), k=1)
+
+
+def rope_cache(seq_len: int, head_dim: int, base: float = 10000.0):
+    """Precompute the RoPE cos/sin tables.
+
+    Returns ``(cos, sin)`` of shape ``(seq_len, head_dim)`` using the
+    rotate-half (GPT-NeoX / LLaMA) convention, where the second half of the
+    head dimension pairs with the first.
+    """
+    if head_dim % 2 != 0:
+        raise ValueError(f"head_dim must be even for RoPE, got {head_dim}")
+    half = head_dim // 2
+    freqs = base ** (-np.arange(half, dtype=np.float64) / half)
+    angles = np.outer(np.arange(seq_len, dtype=np.float64), freqs)  # (T, half)
+    cos = np.concatenate([np.cos(angles), np.cos(angles)], axis=-1)
+    sin = np.concatenate([np.sin(angles), np.sin(angles)], axis=-1)
+    return cos, sin
+
+
+def apply_rope(x: Tensor, cos: np.ndarray, sin: np.ndarray) -> Tensor:
+    """Rotate query/key tensors of shape ``(B, H, T, Dh)`` by position.
+
+    Implements ``x * cos + rotate_half(x) * sin`` with rotate_half being
+    ``[-x2, x1]`` for ``x = [x1, x2]`` split along the head dimension.
+    """
+    head_dim = x.shape[-1]
+    half = head_dim // 2
+    x1 = x[..., :half]
+    x2 = x[..., half:]
+    rotated = cat([-x2, x1], axis=-1)
+    return x * cos + rotated * sin
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled-dot-product self-attention with a causal mask and RoPE.
+
+    Rotary embeddings (LLaMA-style) give the relative-position structure
+    that induction/copying heads need; set ``rope=False`` for the plain
+    absolute-position variant (positions must then come from an external
+    positional embedding).  Projections are bias-free, matching the
+    LLaMA-family architectures whose weights the paper merges.
+    """
+
+    def __init__(self, dim: int, n_heads: int, seed: Optional[int] = None,
+                 rope: bool = True, max_seq_len: int = 4096) -> None:
+        super().__init__()
+        if dim % n_heads != 0:
+            raise ValueError(f"dim={dim} must be divisible by n_heads={n_heads}")
+        self.dim = dim
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        self.rope = rope
+        rng = np.random.default_rng(seed)
+        seeds = rng.integers(0, 2 ** 31 - 1, size=4)
+        self.q_proj = Linear(dim, dim, bias=False, seed=int(seeds[0]))
+        self.k_proj = Linear(dim, dim, bias=False, seed=int(seeds[1]))
+        self.v_proj = Linear(dim, dim, bias=False, seed=int(seeds[2]))
+        self.o_proj = Linear(dim, dim, bias=False, seed=int(seeds[3]))
+        if rope:
+            self._cos, self._sin = rope_cache(max_seq_len, self.head_dim)
+        else:
+            self._cos = self._sin = None
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        # (B, T, D) -> (B, H, T, Dh)
+        return x.reshape(batch, seq, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.q_proj(x), batch, seq)
+        k = self._split_heads(self.k_proj(x), batch, seq)
+        v = self._split_heads(self.v_proj(x), batch, seq)
+
+        if self.rope:
+            if seq > self._cos.shape[0]:
+                self._cos, self._sin = rope_cache(seq, self.head_dim)
+            cos = self._cos[:seq].astype(q.data.dtype)
+            sin = self._sin[:seq].astype(q.data.dtype)
+            q = apply_rope(q, cos, sin)
+            k = apply_rope(k, cos, sin)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        scores = F.masked_fill(scores, causal_mask(seq), -1e30)
+        attn = F.softmax(scores, axis=-1)
+        ctx = attn @ v  # (B, H, T, Dh)
+        merged = ctx.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
+        return self.o_proj(merged)

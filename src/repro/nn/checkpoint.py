@@ -1,0 +1,54 @@
+"""Checkpoint persistence for models and tokenizers.
+
+State dicts are saved as ``.npz`` archives plus a JSON sidecar holding the
+model configuration, so a checkpoint is self-describing and can be reloaded
+without knowing the architecture in advance.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .transformer import TransformerConfig, TransformerLM
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path) -> None:
+    """Save a flat name → array mapping to an ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **{k: np.asarray(v) for k, v in state.items()})
+
+
+def load_state_dict(path) -> "OrderedDict[str, np.ndarray]":
+    """Load a state dict previously saved by :func:`save_state_dict`."""
+    with np.load(Path(path)) as archive:
+        return OrderedDict((k, archive[k]) for k in archive.files)
+
+
+def save_model(model: TransformerLM, path, metadata: Optional[dict] = None) -> None:
+    """Save a model's weights (``<path>.npz``) and config (``<path>.json``)."""
+    path = Path(path)
+    save_state_dict(model.state_dict(), path.with_suffix(".npz"))
+    payload = {"config": model.config.to_dict(), "metadata": metadata or {}}
+    path.with_suffix(".json").write_text(json.dumps(payload, indent=2))
+
+
+def load_model(path) -> Tuple[TransformerLM, dict]:
+    """Load a model saved by :func:`save_model`; returns ``(model, metadata)``."""
+    path = Path(path)
+    payload = json.loads(path.with_suffix(".json").read_text())
+    config = TransformerConfig.from_dict(payload["config"])
+    model = TransformerLM(config)
+    model.load_state_dict(load_state_dict(path.with_suffix(".npz")))
+    return model, payload.get("metadata", {})
+
+
+def checkpoint_exists(path) -> bool:
+    """True if both the weight archive and the config sidecar exist."""
+    path = Path(path)
+    return path.with_suffix(".npz").exists() and path.with_suffix(".json").exists()

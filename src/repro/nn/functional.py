@@ -1,0 +1,185 @@
+"""Functional neural-network operations built on the autograd :class:`Tensor`.
+
+These are the composite operations a transformer needs — numerically stable
+softmax and cross-entropy, GELU, embedding lookup, masking — expressed either
+as custom autograd nodes (where a fused backward is much cheaper) or as
+compositions of :class:`~repro.nn.tensor.Tensor` primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, _unbroadcast
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis`` with a fused backward."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    probs = e / e.sum(axis=axis, keepdims=True)
+    out = Tensor(probs, requires_grad=x.requires_grad, _children=(x,) if x.requires_grad else (), _op="softmax")
+
+    def _backward() -> None:
+        if not x.requires_grad:
+            return
+        g = out.grad
+        dot = (g * probs).sum(axis=axis, keepdims=True)
+        x._accumulate(probs * (g - dot))
+
+    out._backward = _backward
+    return out
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable ``log(softmax(x))`` with a fused backward."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    logp = shifted - logsumexp
+    out = Tensor(logp, requires_grad=x.requires_grad, _children=(x,) if x.requires_grad else (), _op="log_softmax")
+
+    def _backward() -> None:
+        if not x.requires_grad:
+            return
+        g = out.grad
+        x._accumulate(g - np.exp(logp) * g.sum(axis=axis, keepdims=True))
+
+    out._backward = _backward
+    return out
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian Error Linear Unit (tanh approximation, as in GPT-2/LLaMA-era stacks)."""
+    c = np.sqrt(2.0 / np.pi)
+    inner = c * (x.data + 0.044715 * x.data ** 3)
+    t = np.tanh(inner)
+    out_data = 0.5 * x.data * (1.0 + t)
+    out = Tensor(out_data, requires_grad=x.requires_grad, _children=(x,) if x.requires_grad else (), _op="gelu")
+
+    def _backward() -> None:
+        if not x.requires_grad:
+            return
+        dt = (1.0 - t ** 2) * c * (1.0 + 3 * 0.044715 * x.data ** 2)
+        local = 0.5 * (1.0 + t) + 0.5 * x.data * dt
+        x._accumulate(out.grad * local)
+
+    out._backward = _backward
+    return out
+
+
+def silu(x: Tensor) -> Tensor:
+    """SiLU / swish activation ``x * sigmoid(x)`` (used by LLaMA-style MLPs)."""
+    sig = 1.0 / (1.0 + np.exp(-x.data))
+    out = Tensor(x.data * sig, requires_grad=x.requires_grad, _children=(x,) if x.requires_grad else (), _op="silu")
+
+    def _backward() -> None:
+        if not x.requires_grad:
+            return
+        local = sig * (1.0 + x.data * (1.0 - sig))
+        x._accumulate(out.grad * local)
+
+    out._backward = _backward
+    return out
+
+
+def embedding(weight: Tensor, ids: np.ndarray) -> Tensor:
+    """Look up rows of ``weight`` by integer ``ids`` (any shape).
+
+    Returns a tensor of shape ``ids.shape + (embedding_dim,)``; the backward
+    pass scatter-adds gradients into the embedding matrix.
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    out_data = weight.data[ids]
+    out = Tensor(out_data, requires_grad=weight.requires_grad,
+                 _children=(weight,) if weight.requires_grad else (), _op="embedding")
+
+    def _backward() -> None:
+        if not weight.requires_grad:
+            return
+        g = np.zeros_like(weight.data)
+        np.add.at(g, ids.reshape(-1), out.grad.reshape(-1, weight.data.shape[-1]))
+        weight._accumulate(g)
+
+    out._backward = _backward
+    return out
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, ignore_index: Optional[int] = None) -> Tensor:
+    """Mean token-level cross-entropy between ``logits`` and integer ``targets``.
+
+    Parameters
+    ----------
+    logits:
+        Shape ``(..., vocab)``.
+    targets:
+        Integer array of shape ``logits.shape[:-1]``.
+    ignore_index:
+        Target value whose positions contribute no loss (e.g. padding).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    vocab = logits.shape[-1]
+    flat_logits = logits.data.reshape(-1, vocab)
+    flat_targets = targets.reshape(-1)
+    mask = np.ones_like(flat_targets, dtype=bool)
+    if ignore_index is not None:
+        mask = flat_targets != ignore_index
+    safe_targets = np.where(mask, flat_targets, 0)
+
+    shifted = flat_logits - flat_logits.max(axis=-1, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    logp = shifted - logsumexp
+    picked = logp[np.arange(len(flat_targets)), safe_targets]
+    count = max(int(mask.sum()), 1)
+    loss_val = -(picked * mask).sum() / count
+
+    out = Tensor(loss_val, requires_grad=logits.requires_grad,
+                 _children=(logits,) if logits.requires_grad else (), _op="cross_entropy")
+
+    def _backward() -> None:
+        if not logits.requires_grad:
+            return
+        probs = np.exp(logp)
+        probs[np.arange(len(flat_targets)), safe_targets] -= 1.0
+        probs *= (mask / count)[:, None]
+        logits._accumulate(out.grad * probs.reshape(logits.shape))
+
+    out._backward = _backward
+    return out
+
+
+def masked_fill(x: Tensor, mask: np.ndarray, value: float) -> Tensor:
+    """Return ``x`` with positions where ``mask`` is True replaced by ``value``.
+
+    Gradient flows only through unmasked positions.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    data = np.where(mask, value, x.data)
+    out = Tensor(data, requires_grad=x.requires_grad, _children=(x,) if x.requires_grad else (), _op="masked_fill")
+
+    def _backward() -> None:
+        if x.requires_grad:
+            x._accumulate(_unbroadcast(out.grad * (~mask), x.shape))
+
+    out._backward = _backward
+    return out
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: zero a fraction ``p`` of activations during training."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    rng = rng or np.random.default_rng()
+    keep = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    out = Tensor(x.data * keep, requires_grad=x.requires_grad,
+                 _children=(x,) if x.requires_grad else (), _op="dropout")
+
+    def _backward() -> None:
+        if x.requires_grad:
+            x._accumulate(out.grad * keep)
+
+    out._backward = _backward
+    return out

@@ -1,0 +1,122 @@
+"""Autoregressive decoding for :class:`~repro.nn.transformer.TransformerLM`.
+
+The paper evaluates all models at temperature 0.0, i.e. greedy decoding;
+:func:`generate` therefore treats ``temperature=0.0`` as argmax and positive
+temperatures as softmax sampling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .tensor import no_grad
+from .transformer import TransformerLM
+
+
+def generate(
+    model: TransformerLM,
+    prompt_ids: Sequence[int],
+    max_new_tokens: int = 48,
+    temperature: float = 0.0,
+    eos_id: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> List[int]:
+    """Generate a continuation of ``prompt_ids``.
+
+    Parameters
+    ----------
+    model:
+        The language model (put into eval mode for the call).
+    prompt_ids:
+        Conditioning token ids; must fit within the model context.
+    max_new_tokens:
+        Upper bound on generated tokens.
+    temperature:
+        0.0 → greedy argmax; >0 → softmax sampling at that temperature.
+    eos_id:
+        If given, generation stops after this token is emitted (the eos token
+        itself is not included in the returned continuation).
+
+    Returns
+    -------
+    list[int]
+        Only the newly generated token ids (prompt excluded).
+    """
+    if temperature < 0:
+        raise ValueError(f"temperature must be >= 0, got {temperature}")
+    was_training = model.training
+    model.eval()
+    rng = rng or np.random.default_rng(0)
+    ids = list(int(i) for i in prompt_ids)
+    if not ids:
+        raise ValueError("prompt_ids must be non-empty")
+    generated: List[int] = []
+    max_ctx = model.config.max_seq_len
+    try:
+        with no_grad():
+            for _ in range(max_new_tokens):
+                window = ids[-max_ctx:]
+                logits = model(np.asarray(window, dtype=np.int64)[None, :]).data[0, -1]
+                if temperature == 0.0:
+                    next_id = int(np.argmax(logits))
+                else:
+                    scaled = logits / temperature
+                    scaled -= scaled.max()
+                    probs = np.exp(scaled)
+                    probs /= probs.sum()
+                    next_id = int(rng.choice(len(probs), p=probs))
+                if eos_id is not None and next_id == eos_id:
+                    break
+                generated.append(next_id)
+                ids.append(next_id)
+    finally:
+        if was_training:
+            model.train()
+    return generated
+
+
+def generate_text(model: TransformerLM, tokenizer, prompt: str,
+                  max_new_tokens: int = 48, temperature: float = 0.0,
+                  rng: Optional[np.random.Generator] = None) -> str:
+    """Convenience wrapper: encode prompt, generate, decode the continuation."""
+    prompt_ids = tokenizer.encode(prompt, add_bos=True)
+    out = generate(model, prompt_ids, max_new_tokens=max_new_tokens,
+                   temperature=temperature, eos_id=tokenizer.eos_id, rng=rng)
+    return tokenizer.decode(out)
+
+
+def sequence_logprob(model: TransformerLM, ids: Sequence[int]) -> float:
+    """Total log-probability the model assigns to ``ids`` (teacher-forced).
+
+    Used by the multiple-choice evaluator: the chosen answer is the option
+    with the highest conditional log-probability.
+    """
+    ids = np.asarray(list(ids), dtype=np.int64)
+    if ids.size < 2:
+        raise ValueError("need at least two tokens to score a sequence")
+    with no_grad():
+        logits = model(ids[None, :-1]).data[0]
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    logp = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    targets = ids[1:]
+    return float(logp[np.arange(len(targets)), targets].sum())
+
+
+def continuation_logprob(model: TransformerLM, prompt_ids: Sequence[int],
+                         continuation_ids: Sequence[int]) -> float:
+    """Log-probability of ``continuation_ids`` given ``prompt_ids``."""
+    prompt_ids = list(prompt_ids)
+    continuation_ids = list(continuation_ids)
+    if not continuation_ids:
+        raise ValueError("continuation must be non-empty")
+    full = np.asarray(prompt_ids + continuation_ids, dtype=np.int64)
+    with no_grad():
+        logits = model(full[None, :-1]).data[0]
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    logp = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    start = len(prompt_ids) - 1
+    targets = full[len(prompt_ids):]
+    rows = np.arange(start, start + len(targets))
+    return float(logp[rows, targets].sum())

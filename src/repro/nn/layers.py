@@ -1,0 +1,114 @@
+"""Core neural-network layers: linear, embedding, normalisation, dropout."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+def _init_rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` with Kaiming-style initialisation."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 seed: Optional[int] = None) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = _init_rng(seed)
+        scale = 1.0 / np.sqrt(in_features)
+        self.weight = Parameter(rng.uniform(-scale, scale, size=(out_features, in_features)))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.swapaxes(0, 1)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Token-id → dense-vector lookup table."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, seed: Optional[int] = None) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        rng = _init_rng(seed)
+        self.weight = Parameter(rng.normal(0.0, 0.02, size=(num_embeddings, embedding_dim)))
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids)
+        if ids.max(initial=0) >= self.num_embeddings or ids.min(initial=0) < 0:
+            raise IndexError(
+                f"token id out of range [0, {self.num_embeddings}): "
+                f"min={ids.min()}, max={ids.max()}"
+            )
+        return F.embedding(self.weight, ids)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension with learned affine."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.weight = Parameter(np.ones(dim))
+        self.bias = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        centered = x - mu
+        var = (centered ** 2.0).mean(axis=-1, keepdims=True)
+        normed = centered * (var + self.eps) ** -0.5
+        return normed * self.weight + self.bias
+
+
+class RMSNorm(Module):
+    """Root-mean-square normalisation (LLaMA-style; no mean subtraction)."""
+
+    def __init__(self, dim: int, eps: float = 1e-6) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.weight = Parameter(np.ones(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        ms = (x ** 2.0).mean(axis=-1, keepdims=True)
+        return x * (ms + self.eps) ** -0.5 * self.weight
+
+
+class Dropout(Module):
+    """Inverted dropout layer; identity in eval mode."""
+
+    def __init__(self, p: float = 0.0, seed: Optional[int] = None) -> None:
+        super().__init__()
+        self.p = p
+        self._rng = _init_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self._rng)
+
+
+class FeedForward(Module):
+    """Gated MLP block (SwiGLU-style), matching LLaMA-family transformer blocks."""
+
+    def __init__(self, dim: int, hidden_dim: int, seed: Optional[int] = None) -> None:
+        super().__init__()
+        rng = _init_rng(seed)
+        seeds = rng.integers(0, 2 ** 31 - 1, size=3)
+        self.gate_proj = Linear(dim, hidden_dim, bias=False, seed=int(seeds[0]))
+        self.up_proj = Linear(dim, hidden_dim, bias=False, seed=int(seeds[1]))
+        self.down_proj = Linear(hidden_dim, dim, bias=False, seed=int(seeds[2]))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.down_proj(F.silu(self.gate_proj(x)) * self.up_proj(x))

@@ -1,0 +1,117 @@
+"""Low-rank adaptation (LoRA) for the transformer substrate.
+
+The paper's DAFT recipe fine-tunes with LoRA (rank 8, alpha 16) and then the
+merged-weight model is what ChipAlign fuses.  This module provides:
+
+* :class:`LoRALinear` — a :class:`~repro.nn.layers.Linear` augmented with a
+  trainable low-rank delta ``scale * B A`` while the base weight is frozen.
+* :func:`apply_lora` — wrap the attention and MLP projections of a
+  :class:`~repro.nn.transformer.TransformerLM` in-place.
+* :func:`merge_lora` — fold every adapter back into its base weight, restoring
+  a plain model whose state dict is mergeable by :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .layers import Linear
+from .module import Module, Parameter
+from .tensor import Tensor
+from .transformer import TransformerLM
+
+DEFAULT_TARGETS = ("q_proj", "k_proj", "v_proj", "o_proj", "gate_proj", "up_proj", "down_proj")
+
+
+class LoRALinear(Module):
+    """A frozen linear layer plus a trainable low-rank update.
+
+    Forward: ``y = x W^T + scale * (x A^T) B^T`` where ``A`` is ``(r, in)``
+    and ``B`` is ``(out, r)``; ``B`` starts at zero so the wrapped layer is
+    initially identical to the base layer.
+    """
+
+    def __init__(self, base: Linear, rank: int, alpha: float,
+                 seed: Optional[int] = None) -> None:
+        super().__init__()
+        if rank <= 0:
+            raise ValueError(f"LoRA rank must be positive, got {rank}")
+        self.base = base
+        self.rank = rank
+        self.alpha = alpha
+        self.scale = alpha / rank
+        base.weight.requires_grad = False
+        if base.bias is not None:
+            base.bias.requires_grad = False
+        rng = np.random.default_rng(seed)
+        self.lora_a = Parameter(rng.normal(0.0, 0.01, size=(rank, base.in_features)))
+        self.lora_b = Parameter(np.zeros((base.out_features, rank)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.base(x)
+        delta = (x @ self.lora_a.swapaxes(0, 1)) @ self.lora_b.swapaxes(0, 1)
+        return out + delta * self.scale
+
+    def delta_weight(self) -> np.ndarray:
+        """The dense weight update ``scale * B A`` this adapter represents."""
+        return self.scale * (self.lora_b.data @ self.lora_a.data)
+
+
+def _iter_target_parents(model: TransformerLM, targets: Sequence[str]):
+    """Yield ``(parent_module, attr_name, linear)`` for each adaptable layer."""
+    for _, module in model.named_modules():
+        for attr in targets:
+            child = getattr(module, attr, None)
+            if isinstance(child, Linear):
+                yield module, attr, child
+
+
+def apply_lora(model: TransformerLM, rank: int = 8, alpha: float = 16.0,
+               targets: Sequence[str] = DEFAULT_TARGETS, seed: int = 0) -> List[LoRALinear]:
+    """Wrap matching linear layers of ``model`` with LoRA adapters, in place.
+
+    All non-adapter parameters are frozen.  Returns the adapters created.
+    """
+    adapters: List[LoRALinear] = []
+    rng = np.random.default_rng(seed)
+    replacements: List[Tuple[Module, str, Linear]] = list(_iter_target_parents(model, targets))
+    if not replacements:
+        raise ValueError(f"no linear layers matched targets {list(targets)}")
+    for p in model.parameters():
+        p.requires_grad = False
+    for parent, attr, linear in replacements:
+        adapter = LoRALinear(linear, rank=rank, alpha=alpha,
+                             seed=int(rng.integers(0, 2 ** 31 - 1)))
+        setattr(parent, attr, adapter)
+        adapters.append(adapter)
+    return adapters
+
+
+def merge_lora(model: TransformerLM) -> TransformerLM:
+    """Fold all LoRA adapters of ``model`` into base weights, in place.
+
+    After merging, every :class:`LoRALinear` is replaced by its base
+    :class:`Linear` (with the delta added) and all parameters are trainable
+    again.  Returns ``model`` for chaining.
+    """
+    for _, module in model.named_modules():
+        for attr, child in list(module._modules.items()):
+            if isinstance(child, LoRALinear):
+                child.base.weight.data = child.base.weight.data + child.delta_weight()
+                setattr(module, attr, child.base)
+    # apply_lora froze every non-adapter parameter; the merged model is a
+    # plain fully-trainable model again.
+    for p in model.parameters():
+        p.requires_grad = True
+    return model
+
+
+def lora_parameters(model: TransformerLM) -> List[Parameter]:
+    """Return only the trainable adapter parameters of a LoRA-wrapped model."""
+    params = [p for name, p in model.named_parameters()
+              if p.requires_grad and ".lora_" in name]
+    if not params:
+        raise ValueError("model has no trainable LoRA parameters; call apply_lora first")
+    return params

@@ -1,0 +1,136 @@
+"""Optimizers and learning-rate schedules for training the substrate models."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .module import Parameter
+
+
+class Optimizer:
+    """Base optimizer over a list of parameters."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float, momentum: float = 0.0) -> None:
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba) with bias correction."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-3,
+                 betas=(0.9, 0.999), eps: float = 1e-8) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def _update(self, p: Parameter, m: np.ndarray, v: np.ndarray) -> np.ndarray:
+        m *= self.beta1
+        m += (1 - self.beta1) * p.grad
+        v *= self.beta2
+        v += (1 - self.beta2) * p.grad ** 2
+        m_hat = m / (1 - self.beta1 ** self.t)
+        v_hat = v / (1 - self.beta2 ** self.t)
+        return self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def step(self) -> None:
+        self.t += 1
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            p.data -= self._update(p, m, v)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter)."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-3,
+                 betas=(0.9, 0.999), eps: float = 1e-8, weight_decay: float = 0.01) -> None:
+        super().__init__(params, lr, betas, eps)
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        self.t += 1
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            p.data -= self.lr * self.weight_decay * p.data
+            p.data -= self._update(p, m, v)
+
+
+class CosineSchedule:
+    """Cosine decay from ``base_lr`` to ``min_lr`` after a linear warmup."""
+
+    def __init__(self, base_lr: float, total_steps: int, warmup_steps: int = 0,
+                 min_lr: float = 0.0) -> None:
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        if warmup_steps >= total_steps:
+            raise ValueError("warmup_steps must be < total_steps")
+        self.base_lr = base_lr
+        self.total_steps = total_steps
+        self.warmup_steps = warmup_steps
+        self.min_lr = min_lr
+
+    def lr_at(self, step: int) -> float:
+        """Learning rate at 0-indexed optimisation step ``step``."""
+        if self.warmup_steps and step < self.warmup_steps:
+            return self.base_lr * (step + 1) / self.warmup_steps
+        progress = (step - self.warmup_steps) / max(1, self.total_steps - self.warmup_steps)
+        progress = min(max(progress, 0.0), 1.0)
+        cos = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cos
+
+    def apply(self, optimizer: Optimizer, step: int) -> float:
+        """Set the optimizer's lr for ``step`` and return it."""
+        lr = self.lr_at(step)
+        optimizer.lr = lr
+        return lr
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Clip gradients in place to a global L2 norm; returns the pre-clip norm."""
+    params = [p for p in params if p.grad is not None]
+    total = math.sqrt(sum(float((p.grad ** 2).sum()) for p in params))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total

@@ -1,0 +1,521 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module is the foundation of the :mod:`repro.nn` substrate.  It provides a
+:class:`Tensor` wrapper around ``numpy.ndarray`` that records the operations
+applied to it and can compute gradients of a scalar loss with respect to every
+tensor created with ``requires_grad=True``.
+
+The engine is intentionally small: it supports exactly the operations needed
+by a decoder-only transformer language model (broadcasted arithmetic, matmul,
+reductions, indexing, concatenation, common nonlinearities) plus a few
+conveniences.  All gradients are dense numpy arrays of the same shape as the
+tensor's data.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.nn.tensor import Tensor
+>>> x = Tensor(np.ones((2, 3)), requires_grad=True)
+>>> y = (x * 3.0 + 1.0).sum()
+>>> y.backward()
+>>> np.allclose(x.grad, 3.0)
+True
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+Arrayish = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+_grad_enabled = True
+
+# Models train in float32 for speed; numerical tests (finite-difference
+# gradient checks) switch to float64 via set_default_dtype.
+_default_dtype = np.float32
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the dtype new tensors are created with (float32 or float64)."""
+    global _default_dtype
+    dtype = np.dtype(dtype)
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"unsupported default dtype {dtype}")
+    _default_dtype = dtype.type
+
+
+def get_default_dtype():
+    """Return the dtype new tensors are created with."""
+    return _default_dtype
+
+
+class no_grad:
+    """Context manager that disables gradient recording.
+
+    Used during evaluation and text generation, where building the autograd
+    graph would waste memory.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _grad_enabled
+        self._prev = _grad_enabled
+        _grad_enabled = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _grad_enabled
+        _grad_enabled = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether autograd recording is currently active."""
+    return _grad_enabled
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting.
+
+    When a tensor of shape ``shape`` was broadcast up to ``grad.shape`` in the
+    forward pass, the correct gradient contribution is the sum over the
+    broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor with reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a numpy float array.
+    requires_grad:
+        If True, gradients are accumulated into ``self.grad`` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op")
+
+    def __init__(
+        self,
+        data: Arrayish,
+        requires_grad: bool = False,
+        _children: Sequence["Tensor"] = (),
+        _op: str = "",
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=_default_dtype)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and _grad_enabled
+        self._backward: Callable[[], None] = lambda: None
+        self._prev: Tuple[Tensor, ...] = tuple(_children) if _grad_enabled else ()
+        self._op = _op
+
+    # ------------------------------------------------------------------
+    # basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_str = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_str})"
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (no copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # graph machinery
+    # ------------------------------------------------------------------
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Seed gradient.  Defaults to ones, which for a scalar loss is the
+            conventional ``dL/dL = 1``.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a scalar "
+                    f"tensor, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        topo: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for child in node._prev:
+                if id(child) not in visited:
+                    stack.append((child, False))
+        self.grad = np.asarray(grad, dtype=self.data.dtype)
+        for node in reversed(topo):
+            node._backward()
+
+    @staticmethod
+    def _wrap(other: Arrayish) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def _make(self, data: np.ndarray, children: Sequence["Tensor"], op: str) -> "Tensor":
+        requires = any(c.requires_grad for c in children)
+        out = Tensor(data, requires_grad=requires, _children=children if requires else (), _op=op)
+        return out
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: Arrayish) -> "Tensor":
+        other = self._wrap(other)
+        out = self._make(self.data + other.data, (self, other), "add")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(out.grad, other.shape))
+
+        out._backward = _backward
+        return out
+
+    def __mul__(self, other: Arrayish) -> "Tensor":
+        other = self._wrap(other)
+        out = self._make(self.data * other.data, (self, other), "mul")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
+
+        out._backward = _backward
+        return out
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __sub__(self, other: Arrayish) -> "Tensor":
+        return self + (-self._wrap(other))
+
+    def __rsub__(self, other: Arrayish) -> "Tensor":
+        return self._wrap(other) + (-self)
+
+    def __truediv__(self, other: Arrayish) -> "Tensor":
+        other = self._wrap(other)
+        return self * other ** -1.0
+
+    def __rtruediv__(self, other: Arrayish) -> "Tensor":
+        return self._wrap(other) * self ** -1.0
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("Tensor ** exponent supports Python scalars only")
+        out = self._make(self.data ** exponent, (self,), "pow")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+
+        out._backward = _backward
+        return out
+
+    __radd__ = __add__
+    __rmul__ = __mul__
+
+    # ------------------------------------------------------------------
+    # matmul
+    # ------------------------------------------------------------------
+    def __matmul__(self, other: Arrayish) -> "Tensor":
+        other = self._wrap(other)
+        out = self._make(self.data @ other.data, (self, other), "matmul")
+
+        def _backward() -> None:
+            a, b = self.data, other.data
+            g = out.grad
+            if self.requires_grad:
+                if b.ndim == 1:
+                    ga = np.multiply.outer(g, b) if g.ndim else g * b
+                else:
+                    ga = g @ np.swapaxes(b, -1, -2)
+                self._accumulate(_unbroadcast(ga, self.shape))
+            if other.requires_grad:
+                if a.ndim == 1:
+                    gb = np.multiply.outer(a, g) if g.ndim else a * g
+                else:
+                    gb = np.swapaxes(a, -1, -2) @ g
+                other._accumulate(_unbroadcast(gb, other.shape))
+
+        out._backward = _backward
+        return out
+
+    def matmul(self, other: Arrayish) -> "Tensor":
+        return self @ other
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        out = self._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), "sum")
+
+        def _backward() -> None:
+            if not self.requires_grad:
+                return
+            g = out.grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                axes = tuple(a % self.ndim for a in axes)
+                g = np.expand_dims(g, axis=tuple(sorted(axes)))
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        out._backward = _backward
+        return out
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        out = self._make(out_data, (self,), "max")
+
+        def _backward() -> None:
+            if not self.requires_grad:
+                return
+            g = out.grad
+            full = out.data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+                full = np.expand_dims(full, axis=axis)
+            mask = (self.data == full).astype(self.data.dtype)
+            # Split gradient evenly across ties for a well-defined subgradient.
+            denom = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(mask * g / denom)
+
+        out._backward = _backward
+        return out
+
+    def var(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        sq = (self - mu) ** 2.0
+        return sq.mean(axis=axis, keepdims=keepdims)
+
+    # ------------------------------------------------------------------
+    # shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = self._make(self.data.reshape(shape), (self,), "reshape")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad.reshape(self.shape))
+
+        out._backward = _backward
+        return out
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out = self._make(self.data.transpose(axes), (self,), "transpose")
+        inverse = np.argsort(axes)
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad.transpose(inverse))
+
+        out._backward = _backward
+        return out
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(*axes)
+
+    def __getitem__(self, idx) -> "Tensor":
+        out = self._make(self.data[idx], (self,), "getitem")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                g = np.zeros_like(self.data)
+                np.add.at(g, idx, out.grad)
+                self._accumulate(g)
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------
+    # elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out = self._make(np.exp(self.data), (self,), "exp")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * out.data)
+
+        out._backward = _backward
+        return out
+
+    def log(self) -> "Tensor":
+        out = self._make(np.log(self.data), (self,), "log")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad / self.data)
+
+        out._backward = _backward
+        return out
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def tanh(self) -> "Tensor":
+        out = self._make(np.tanh(self.data), (self,), "tanh")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * (1.0 - out.data ** 2))
+
+        out._backward = _backward
+        return out
+
+    def relu(self) -> "Tensor":
+        out = self._make(np.maximum(self.data, 0.0), (self,), "relu")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * (self.data > 0))
+
+        out._backward = _backward
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        out = self._make(1.0 / (1.0 + np.exp(-self.data)), (self,), "sigmoid")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * out.data * (1.0 - out.data))
+
+        out._backward = _backward
+        return out
+
+
+def cat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [Tensor._wrap(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires, _children=tuple(tensors) if requires else (), _op="cat")
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def _backward() -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                slicer = [slice(None)] * data.ndim
+                slicer[axis] = slice(start, stop)
+                t._accumulate(out.grad[tuple(slicer)])
+
+    out._backward = _backward
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    tensors = [Tensor._wrap(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires, _children=tuple(tensors) if requires else (), _op="stack")
+
+    def _backward() -> None:
+        for i, t in enumerate(tensors):
+            if t.requires_grad:
+                t._accumulate(np.take(out.grad, i, axis=axis))
+
+    out._backward = _backward
+    return out
+
+
+def where(mask: np.ndarray, a: Arrayish, b: Arrayish) -> Tensor:
+    """Differentiable elementwise select; ``mask`` is a constant boolean array."""
+    a = Tensor._wrap(a)
+    b = Tensor._wrap(b)
+    mask = np.asarray(mask, dtype=bool)
+    data = np.where(mask, a.data, b.data)
+    requires = a.requires_grad or b.requires_grad
+    out = Tensor(data, requires_grad=requires, _children=(a, b) if requires else (), _op="where")
+
+    def _backward() -> None:
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(out.grad * mask, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(out.grad * (~mask), b.shape))
+
+    out._backward = _backward
+    return out

@@ -1,0 +1,243 @@
+"""Tokenizers for the synthetic corpora.
+
+Two tokenizers are provided:
+
+* :class:`WordTokenizer` — whitespace word-level vocabulary with special
+  tokens; this is what the experiment pipelines use, because the synthetic
+  corpora have a small closed vocabulary.
+* :class:`BPETokenizer` — a byte-pair-encoding tokenizer trained from a
+  corpus, provided for users who bring open-vocabulary text.
+
+Both share the same encode/decode interface and special-token conventions.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+PAD, BOS, EOS, UNK = "<pad>", "<bos>", "<eos>", "<unk>"
+SPECIAL_TOKENS = [PAD, BOS, EOS, UNK]
+
+
+class WordTokenizer:
+    """Whitespace tokenizer over a fixed vocabulary.
+
+    Unknown words map to ``<unk>``.  Token ids are stable across runs given
+    the same vocabulary list, which keeps model checkpoints compatible.
+    """
+
+    def __init__(self, vocab: Sequence[str]) -> None:
+        tokens = list(SPECIAL_TOKENS)
+        seen = set(tokens)
+        for w in vocab:
+            if w not in seen:
+                tokens.append(w)
+                seen.add(w)
+        self.id_to_token: List[str] = tokens
+        self.token_to_id: Dict[str, int] = {t: i for i, t in enumerate(tokens)}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_corpus(cls, texts: Iterable[str], min_count: int = 1,
+                    max_vocab: Optional[int] = None) -> "WordTokenizer":
+        """Build a vocabulary from whitespace-split corpus text."""
+        counts = Counter()
+        for text in texts:
+            counts.update(text.split())
+        items = [(w, c) for w, c in counts.items() if c >= min_count]
+        items.sort(key=lambda wc: (-wc[1], wc[0]))
+        if max_vocab is not None:
+            items = items[: max_vocab]
+        return cls([w for w, _ in items])
+
+    # ------------------------------------------------------------------
+    @property
+    def vocab_size(self) -> int:
+        return len(self.id_to_token)
+
+    @property
+    def pad_id(self) -> int:
+        return self.token_to_id[PAD]
+
+    @property
+    def bos_id(self) -> int:
+        return self.token_to_id[BOS]
+
+    @property
+    def eos_id(self) -> int:
+        return self.token_to_id[EOS]
+
+    @property
+    def unk_id(self) -> int:
+        return self.token_to_id[UNK]
+
+    def encode(self, text: str, add_bos: bool = False, add_eos: bool = False) -> List[int]:
+        """Encode whitespace-separated text into token ids."""
+        ids = [self.token_to_id.get(w, self.unk_id) for w in text.split()]
+        if add_bos:
+            ids.insert(0, self.bos_id)
+        if add_eos:
+            ids.append(self.eos_id)
+        return ids
+
+    def decode(self, ids: Sequence[int], skip_special: bool = True) -> str:
+        """Decode token ids back into a space-joined string."""
+        words = []
+        special = set(SPECIAL_TOKENS)
+        for i in ids:
+            tok = self.id_to_token[int(i)]
+            if skip_special and tok in special:
+                continue
+            words.append(tok)
+        return " ".join(words)
+
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist the vocabulary as JSON."""
+        payload = {"type": "word", "tokens": self.id_to_token}
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path) -> "WordTokenizer":
+        payload = json.loads(Path(path).read_text())
+        if payload.get("type") != "word":
+            raise ValueError(f"not a WordTokenizer file: {path}")
+        tok = cls.__new__(cls)
+        tok.id_to_token = list(payload["tokens"])
+        tok.token_to_id = {t: i for i, t in enumerate(tok.id_to_token)}
+        return tok
+
+
+class BPETokenizer:
+    """Minimal byte-pair-encoding tokenizer.
+
+    Trains merge rules on a corpus of words (split on whitespace; an
+    end-of-word marker keeps merges from crossing word boundaries).
+    """
+
+    EOW = "</w>"
+
+    def __init__(self, merges: List[Tuple[str, str]], vocab: List[str]) -> None:
+        self.merges = merges
+        self.merge_ranks = {pair: i for i, pair in enumerate(merges)}
+        tokens = list(SPECIAL_TOKENS) + [t for t in vocab if t not in SPECIAL_TOKENS]
+        self.id_to_token = tokens
+        self.token_to_id = {t: i for i, t in enumerate(tokens)}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def train(cls, texts: Iterable[str], num_merges: int = 200) -> "BPETokenizer":
+        """Learn ``num_merges`` BPE merge rules from the corpus."""
+        word_counts = Counter()
+        for text in texts:
+            word_counts.update(text.split())
+        # Each word is a tuple of symbols, initially characters + EOW.
+        words: Dict[Tuple[str, ...], int] = {
+            tuple(list(w) + [cls.EOW]): c for w, c in word_counts.items()
+        }
+        merges: List[Tuple[str, str]] = []
+        for _ in range(num_merges):
+            pair_counts: Counter = Counter()
+            for symbols, count in words.items():
+                for a, b in zip(symbols, symbols[1:]):
+                    pair_counts[(a, b)] += count
+            if not pair_counts:
+                break
+            best, best_count = pair_counts.most_common(1)[0]
+            if best_count < 2:
+                break
+            merges.append(best)
+            merged_sym = best[0] + best[1]
+            new_words: Dict[Tuple[str, ...], int] = {}
+            for symbols, count in words.items():
+                out: List[str] = []
+                i = 0
+                while i < len(symbols):
+                    if i + 1 < len(symbols) and (symbols[i], symbols[i + 1]) == best:
+                        out.append(merged_sym)
+                        i += 2
+                    else:
+                        out.append(symbols[i])
+                        i += 1
+                new_words[tuple(out)] = new_words.get(tuple(out), 0) + count
+            words = new_words
+        vocab = sorted({s for symbols in words for s in symbols})
+        # Make sure single characters survive as fallbacks.
+        chars = sorted({c for w in word_counts for c in w})
+        vocab = sorted(set(vocab) | set(chars) | {cls.EOW})
+        return cls(merges, vocab)
+
+    # ------------------------------------------------------------------
+    def _bpe_word(self, word: str) -> List[str]:
+        symbols = list(word) + [self.EOW]
+        while len(symbols) > 1:
+            pairs = [(self.merge_ranks.get((a, b), float("inf")), i)
+                     for i, (a, b) in enumerate(zip(symbols, symbols[1:]))]
+            rank, idx = min(pairs)
+            if rank == float("inf"):
+                break
+            symbols = symbols[:idx] + [symbols[idx] + symbols[idx + 1]] + symbols[idx + 2:]
+        return symbols
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.id_to_token)
+
+    @property
+    def pad_id(self) -> int:
+        return self.token_to_id[PAD]
+
+    @property
+    def bos_id(self) -> int:
+        return self.token_to_id[BOS]
+
+    @property
+    def eos_id(self) -> int:
+        return self.token_to_id[EOS]
+
+    @property
+    def unk_id(self) -> int:
+        return self.token_to_id[UNK]
+
+    def encode(self, text: str, add_bos: bool = False, add_eos: bool = False) -> List[int]:
+        ids: List[int] = []
+        for word in text.split():
+            for sym in self._bpe_word(word):
+                ids.append(self.token_to_id.get(sym, self.unk_id))
+        if add_bos:
+            ids.insert(0, self.bos_id)
+        if add_eos:
+            ids.append(self.eos_id)
+        return ids
+
+    def decode(self, ids: Sequence[int], skip_special: bool = True) -> str:
+        special = set(SPECIAL_TOKENS)
+        pieces = []
+        for i in ids:
+            tok = self.id_to_token[int(i)]
+            if skip_special and tok in special:
+                continue
+            pieces.append(tok)
+        text = "".join(pieces).replace(self.EOW, " ")
+        return re.sub(r"\s+", " ", text).strip()
+
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        payload = {
+            "type": "bpe",
+            "merges": [list(m) for m in self.merges],
+            "tokens": self.id_to_token,
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path) -> "BPETokenizer":
+        payload = json.loads(Path(path).read_text())
+        if payload.get("type") != "bpe":
+            raise ValueError(f"not a BPETokenizer file: {path}")
+        merges = [tuple(m) for m in payload["merges"]]
+        return cls(merges, payload["tokens"])

@@ -1,0 +1,189 @@
+"""Training loop utilities for the substrate language models.
+
+The trainer consumes token-id sequences (optionally with per-token loss
+masks so supervised fine-tuning can train only on answer spans), batches and
+pads them, and runs AdamW with cosine decay and gradient clipping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import functional as F
+from .module import Parameter
+from .optim import AdamW, CosineSchedule, clip_grad_norm
+from .transformer import TransformerLM
+
+IGNORE_INDEX = -100
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters for :class:`Trainer`."""
+
+    lr: float = 2e-3
+    epochs: int = 20
+    batch_size: int = 8
+    weight_decay: float = 0.01
+    warmup_frac: float = 0.05
+    grad_clip: float = 1.0
+    seed: int = 0
+    min_lr: float = 1e-5
+    log_every: int = 0  # 0 disables progress printing
+    # Group similar-length sequences into batches (minimises padding waste);
+    # batch order is still shuffled every epoch.
+    bucket_by_length: bool = True
+
+
+@dataclass
+class TrainResult:
+    """Loss trace returned by :meth:`Trainer.fit`."""
+
+    losses: List[float] = field(default_factory=list)
+    steps: int = 0
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise ValueError("no training steps were run")
+        return self.losses[-1]
+
+
+def pad_batch(sequences: Sequence[Sequence[int]], pad_id: int,
+              masks: Optional[Sequence[Sequence[int]]] = None) -> Tuple[np.ndarray, np.ndarray]:
+    """Pad variable-length sequences into inputs and shifted targets.
+
+    Returns ``(inputs, targets)`` each of shape ``(batch, T-1)`` where
+    ``targets`` uses :data:`IGNORE_INDEX` at padded positions and at positions
+    masked out by ``masks`` (a 0/1 per-token array aligned with each sequence;
+    a 0 means "do not train on predicting this token").
+    """
+    if not sequences:
+        raise ValueError("empty batch")
+    max_len = max(len(s) for s in sequences)
+    if max_len < 2:
+        raise ValueError("sequences must have at least 2 tokens to form targets")
+    inputs = np.full((len(sequences), max_len - 1), pad_id, dtype=np.int64)
+    targets = np.full((len(sequences), max_len - 1), IGNORE_INDEX, dtype=np.int64)
+    for i, seq in enumerate(sequences):
+        seq = np.asarray(seq, dtype=np.int64)
+        inputs[i, : len(seq) - 1] = seq[:-1]
+        tgt = seq[1:].copy()
+        if masks is not None:
+            m = np.asarray(masks[i], dtype=np.int64)
+            if len(m) != len(seq):
+                raise ValueError(
+                    f"mask length {len(m)} != sequence length {len(seq)}"
+                )
+            tgt = np.where(m[1:] > 0, tgt, IGNORE_INDEX)
+        targets[i, : len(tgt)] = tgt
+    return inputs, targets
+
+
+class Trainer:
+    """Minimal next-token-prediction trainer.
+
+    Parameters
+    ----------
+    model:
+        The language model to train.
+    pad_id:
+        Padding token id used when batching.
+    config:
+        Optimisation hyperparameters.
+    parameters:
+        Optional explicit parameter list (used by LoRA fine-tuning to train
+        only adapter weights); defaults to all model parameters.
+    """
+
+    def __init__(self, model: TransformerLM, pad_id: int,
+                 config: Optional[TrainConfig] = None,
+                 parameters: Optional[List[Parameter]] = None) -> None:
+        self.model = model
+        self.pad_id = pad_id
+        self.config = config or TrainConfig()
+        params = parameters if parameters is not None else model.parameters()
+        self.optimizer = AdamW(params, lr=self.config.lr,
+                               weight_decay=self.config.weight_decay)
+
+    def fit(self, sequences: Sequence[Sequence[int]],
+            masks: Optional[Sequence[Sequence[int]]] = None) -> TrainResult:
+        """Train for ``config.epochs`` epochs over ``sequences``.
+
+        ``masks`` (optional) aligns with ``sequences``: per-token 0/1 flags,
+        0 meaning the token is context and should not contribute loss.
+        """
+        cfg = self.config
+        if masks is not None and len(masks) != len(sequences):
+            raise ValueError("masks must align one-to-one with sequences")
+        n = len(sequences)
+        if n == 0:
+            raise ValueError("no training sequences")
+        rng = np.random.default_rng(cfg.seed)
+        steps_per_epoch = (n + cfg.batch_size - 1) // cfg.batch_size
+        total_steps = steps_per_epoch * cfg.epochs
+        warmup = min(int(total_steps * cfg.warmup_frac), total_steps - 1)
+        schedule = CosineSchedule(cfg.lr, total_steps, warmup_steps=max(0, warmup),
+                                  min_lr=cfg.min_lr)
+        result = TrainResult()
+        self.model.train()
+        lengths = np.array([len(s) for s in sequences])
+        step = 0
+        for epoch in range(cfg.epochs):
+            if cfg.bucket_by_length:
+                # Sort by length with random jitter, then shuffle whole batches.
+                jitter = rng.random(n) * 2.0
+                order = np.argsort(lengths + jitter, kind="stable")
+                starts = np.arange(0, n, cfg.batch_size)
+                rng.shuffle(starts)
+            else:
+                order = rng.permutation(n)
+                starts = np.arange(0, n, cfg.batch_size)
+            for start in starts:
+                idx = order[start: start + cfg.batch_size]
+                batch_seqs = [sequences[i] for i in idx]
+                batch_masks = [masks[i] for i in idx] if masks is not None else None
+                inputs, targets = pad_batch(batch_seqs, self.pad_id, batch_masks)
+                if (targets == IGNORE_INDEX).all():
+                    continue
+                schedule.apply(self.optimizer, step)
+                logits = self.model(inputs)
+                loss = F.cross_entropy(logits, targets, ignore_index=IGNORE_INDEX)
+                self.optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(self.optimizer.params, cfg.grad_clip)
+                self.optimizer.step()
+                result.losses.append(loss.item())
+                step += 1
+                if cfg.log_every and step % cfg.log_every == 0:
+                    print(f"epoch {epoch} step {step}/{total_steps} loss {loss.item():.4f}")
+        result.steps = step
+        self.model.eval()
+        return result
+
+    def evaluate_loss(self, sequences: Sequence[Sequence[int]],
+                      masks: Optional[Sequence[Sequence[int]]] = None) -> float:
+        """Mean cross-entropy over ``sequences`` without updating weights."""
+        from .tensor import no_grad
+
+        self.model.eval()
+        total, count = 0.0, 0
+        with no_grad():
+            for start in range(0, len(sequences), self.config.batch_size):
+                batch_seqs = list(sequences[start: start + self.config.batch_size])
+                batch_masks = (list(masks[start: start + self.config.batch_size])
+                               if masks is not None else None)
+                inputs, targets = pad_batch(batch_seqs, self.pad_id, batch_masks)
+                n_tok = int((targets != IGNORE_INDEX).sum())
+                if n_tok == 0:
+                    continue
+                logits = self.model(inputs)
+                loss = F.cross_entropy(logits, targets, ignore_index=IGNORE_INDEX)
+                total += loss.item() * n_tok
+                count += n_tok
+        if count == 0:
+            raise ValueError("no unmasked tokens to evaluate")
+        return total / count

@@ -1,0 +1,131 @@
+"""Decoder-only transformer language model.
+
+This is the substrate standing in for the LLaMA / Qwen backbones merged by the
+paper: pre-norm RMSNorm blocks, bias-free attention projections, SwiGLU MLPs,
+learned positional embeddings, and an untied LM head.  Its weights are exposed
+through the state-dict protocol consumed by :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, asdict
+from typing import Optional
+
+import numpy as np
+
+from .attention import MultiHeadSelfAttention
+from .layers import Dropout, Embedding, FeedForward, Linear, RMSNorm
+from .module import Module, ModuleList
+from .tensor import Tensor
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Hyperparameters of a :class:`TransformerLM`.
+
+    The named presets in :func:`preset_config` mirror the paper's backbone
+    families at toy scale (see DESIGN.md §1).
+    """
+
+    vocab_size: int
+    dim: int = 64
+    n_layers: int = 2
+    n_heads: int = 4
+    max_seq_len: int = 128
+    ffn_mult: int = 4
+    dropout: float = 0.0
+    seed: int = 0
+    # "rope" (LLaMA-style rotary, the default) or "learned" absolute.
+    pos_encoding: str = "rope"
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(d: dict) -> "TransformerConfig":
+        return TransformerConfig(**d)
+
+
+def preset_config(name: str, vocab_size: int, seed: int = 0) -> TransformerConfig:
+    """Return a named backbone preset.
+
+    ``nano`` / ``micro`` / ``grande`` play the roles of Qwen1.5-14B,
+    LLaMA3-8B, and LLaMA2-70B respectively — same architecture family,
+    increasing capacity.
+    """
+    presets = {
+        "nano": dict(dim=48, n_layers=2, n_heads=4, max_seq_len=176),
+        "micro": dict(dim=64, n_layers=2, n_heads=4, max_seq_len=176),
+        "grande": dict(dim=96, n_layers=3, n_heads=6, max_seq_len=208),
+    }
+    if name not in presets:
+        raise KeyError(f"unknown preset {name!r}; choose from {sorted(presets)}")
+    return TransformerConfig(vocab_size=vocab_size, seed=seed, **presets[name])
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer block: ``x + attn(norm(x))`` then ``x + mlp(norm(x))``."""
+
+    def __init__(self, config: TransformerConfig, seed: int) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        seeds = rng.integers(0, 2 ** 31 - 1, size=2)
+        self.attn_norm = RMSNorm(config.dim)
+        self.attn = MultiHeadSelfAttention(config.dim, config.n_heads, seed=int(seeds[0]),
+                                           rope=config.pos_encoding == "rope",
+                                           max_seq_len=config.max_seq_len)
+        self.mlp_norm = RMSNorm(config.dim)
+        self.mlp = FeedForward(config.dim, config.dim * config.ffn_mult, seed=int(seeds[1]))
+        self.dropout = Dropout(config.dropout, seed=int(seeds[1]) ^ 0x5EED)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.dropout(self.attn(self.attn_norm(x)))
+        x = x + self.dropout(self.mlp(self.mlp_norm(x)))
+        return x
+
+
+class TransformerLM(Module):
+    """Decoder-only causal language model over integer token ids."""
+
+    def __init__(self, config: TransformerConfig) -> None:
+        super().__init__()
+        self.config = config
+        if config.pos_encoding not in ("rope", "learned"):
+            raise ValueError(f"unknown pos_encoding {config.pos_encoding!r}")
+        rng = np.random.default_rng(config.seed)
+        seeds = rng.integers(0, 2 ** 31 - 1, size=config.n_layers + 3)
+        self.tok_emb = Embedding(config.vocab_size, config.dim, seed=int(seeds[0]))
+        if config.pos_encoding == "learned":
+            self.pos_emb = Embedding(config.max_seq_len, config.dim, seed=int(seeds[1]))
+        else:
+            self.pos_emb = None
+        self.blocks = ModuleList(
+            TransformerBlock(config, seed=int(seeds[2 + i])) for i in range(config.n_layers)
+        )
+        self.final_norm = RMSNorm(config.dim)
+        self.lm_head = Linear(config.dim, config.vocab_size, bias=False, seed=int(seeds[-1]))
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        """Map token ids ``(batch, seq)`` to next-token logits ``(batch, seq, vocab)``."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.ndim == 1:
+            ids = ids[None, :]
+        batch, seq = ids.shape
+        if seq > self.config.max_seq_len:
+            raise ValueError(
+                f"sequence length {seq} exceeds max_seq_len={self.config.max_seq_len}"
+            )
+        x = self.tok_emb(ids)
+        if self.pos_emb is not None:
+            positions = np.broadcast_to(np.arange(seq), (batch, seq))
+            x = x + self.pos_emb(positions)
+        for block in self.blocks:
+            x = block(x)
+        x = self.final_norm(x)
+        return self.lm_head(x)
+
+    def clone(self) -> "TransformerLM":
+        """Return a structurally identical model with copied weights."""
+        other = TransformerLM(self.config)
+        other.load_state_dict(self.state_dict())
+        return other

@@ -1,0 +1,14 @@
+"""Experiment orchestration: model zoo, training recipes, table runners."""
+
+from .daft import daft_lora, pretrain, sft, triplet_pairs
+from .model_zoo import (CHIP_VARIANT, FAMILIES, ModelZoo, default_cache_dir,
+                        default_zoo)
+from .experiment import (GRANDE_LAMBDA, OPENROAD_LAMBDA, run_complexity, run_fig2, run_fig7,
+                         run_fig8, run_table1, run_table2, run_table3)
+
+__all__ = [
+    "daft_lora", "pretrain", "sft", "triplet_pairs",
+    "CHIP_VARIANT", "FAMILIES", "ModelZoo", "default_cache_dir", "default_zoo",
+    "GRANDE_LAMBDA", "OPENROAD_LAMBDA", "run_complexity", "run_fig2", "run_fig7", "run_fig8",
+    "run_table1", "run_table2", "run_table3",
+]

@@ -1,0 +1,101 @@
+"""Training pipelines: pretraining, instruction SFT, DAPT and DAFT.
+
+These functions reproduce the *recipes* of Section IV-A at substrate scale:
+
+* :func:`pretrain` — autoregressive language modelling on raw sentences
+  (the foundation-model stage, and ChipNeMo's DAPT when run on chip docs);
+* :func:`sft` — supervised fine-tuning on prompt/response pairs with loss
+  masked to the response (instruction tuning and DAFT);
+* :func:`daft_lora` — the paper's retrieval-augmented DAFT: LoRA (rank 8,
+  alpha 16, like Section IV-A) over context-grounded QA triplets, adapters
+  folded back into the base weights afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..data.prompting import format_prompt, format_training_sequence
+from ..nn.lora import apply_lora, lora_parameters, merge_lora
+from ..nn.trainer import TrainConfig, Trainer, TrainResult
+from ..nn.transformer import TransformerLM
+
+
+def pretrain(model: TransformerLM, tokenizer, sentences: Sequence[str],
+             config: Optional[TrainConfig] = None) -> TrainResult:
+    """Autoregressive LM training over raw sentences (full loss)."""
+    if not sentences:
+        raise ValueError("no pretraining sentences")
+    config = config or TrainConfig(lr=3e-3, epochs=4, batch_size=16)
+    sequences = [tokenizer.encode(s, add_bos=True, add_eos=True) for s in sentences]
+    sequences = [s for s in sequences if len(s) >= 2]
+    trainer = Trainer(model, pad_id=tokenizer.pad_id, config=config)
+    return trainer.fit(sequences)
+
+
+def sft(model: TransformerLM, tokenizer,
+        pairs: Sequence[Tuple[str, str]],
+        config: Optional[TrainConfig] = None,
+        parameters=None) -> TrainResult:
+    """Supervised fine-tuning on (prompt, response) pairs.
+
+    Loss applies only to response tokens.  Pairs that overflow the model
+    context are skipped with a count check (an error if *all* overflow).
+    """
+    if not pairs:
+        raise ValueError("no SFT pairs")
+    config = config or TrainConfig(lr=2e-3, epochs=12, batch_size=16)
+    sequences: List[List[int]] = []
+    masks: List[List[int]] = []
+    max_len = model.config.max_seq_len
+    for prompt, response in pairs:
+        ids, mask = format_training_sequence(tokenizer, prompt, response)
+        if len(ids) + 1 > max_len:
+            continue
+        sequences.append(ids)
+        masks.append(mask)
+    if not sequences:
+        raise ValueError(
+            f"all {len(pairs)} SFT pairs overflow the model context ({max_len})"
+        )
+    trainer = Trainer(model, pad_id=tokenizer.pad_id, config=config,
+                      parameters=parameters)
+    return trainer.fit(sequences, masks)
+
+
+def triplet_pairs(triplets) -> List[Tuple[str, str]]:
+    """Render grounded QA triplets as plain DAFT (prompt, response) pairs.
+
+    Following Figure 4(a)'s recipe, DAFT prompts contain the golden context
+    and the question but *no instruction block* — this is precisely why DAFT
+    erodes instruction alignment (Section II-B).
+    """
+    return [(format_prompt(t.question, context=t.context), t.answer) for t in triplets]
+
+
+def sft_lora(model: TransformerLM, tokenizer, pairs: Sequence[Tuple[str, str]],
+             rank: int = 8, alpha: float = 16.0,
+             config: Optional[TrainConfig] = None, seed: int = 0) -> TransformerLM:
+    """Supervised fine-tuning through LoRA adapters, folded back afterwards.
+
+    Returns ``model`` (modified in place) with the adapters merged into the
+    dense weights, ready for ChipAlign merging.
+    """
+    apply_lora(model, rank=rank, alpha=alpha, seed=seed)
+    config = config or TrainConfig(lr=4e-3, epochs=16, batch_size=12)
+    sft(model, tokenizer, pairs, config=config,
+        parameters=lora_parameters(model))
+    return merge_lora(model)
+
+
+def daft_lora(model: TransformerLM, tokenizer, triplets,
+              rank: int = 8, alpha: float = 16.0,
+              config: Optional[TrainConfig] = None,
+              seed: int = 0) -> TransformerLM:
+    """Retrieval-augmented DAFT with LoRA (the Figure 4(a) recipe).
+
+    Mirrors Section IV-A: LoRA rank 8, alpha 16, training on each QA pair
+    with its golden context.
+    """
+    return sft_lora(model, tokenizer, triplet_pairs(triplets),
+                    rank=rank, alpha=alpha, config=config, seed=seed)

@@ -1,0 +1,383 @@
+"""Table and figure runners — the code behind every artifact in the paper's
+evaluation section.
+
+Each ``run_*`` function returns structured results plus a formatted text
+table whose rows mirror the paper's layout; the benchmark files under
+``benchmarks/`` and the examples call into these, so there is exactly one
+implementation of each experiment.
+
+See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for measured
+vs. paper numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.merge import merge_state_dicts
+from ..data import (eval_items, eval_triplets, ifeval_prompts, mcq_items,
+                    multi_turn_items)
+from ..data.openroad_qa import documentation_corpus
+from ..eval import (GeneralOracle, LMAnswerer, RagEdaOracle, evaluate_mcq,
+                    run_industrial, run_industrial_multiturn, run_openroad)
+from ..eval.ifeval import evaluate_model
+from ..rag import RagPipeline
+from .model_zoo import ModelZoo, default_zoo
+
+#: Substrate-scale λ defaults (see DESIGN.md §4 and EXPERIMENTS.md):
+#: fine-tuning deltas are proportionally larger at substrate scale than at
+#: 8B-70B, which shifts each family's optimal interpolation point toward the
+#: chip model.  The λ-sweep benches (Figure 8) locate the interior optimum
+#: exactly the way the paper's Section IV-E locates 0.6.
+OPENROAD_LAMBDA = 0.75
+GRANDE_LAMBDA = 0.9
+
+#: Table 1's merge-method rows, in paper order, with registry kwargs.
+TABLE1_METHODS: Tuple[Tuple[str, str, dict], ...] = (
+    ("TA", "ta", {}),
+    ("TIES", "ties", {}),
+    ("DELLA", "della", {}),
+    ("ModelSoup", "modelsoup", {}),
+    ("ChipAlign", "chipalign", {"lam": OPENROAD_LAMBDA}),
+)
+
+
+def _fmt_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [max(len(str(headers[i])), max((len(str(r[i])) for r in rows), default=0))
+              for i in range(len(headers))]
+    def line(cells):
+        return " | ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+    sep = "-+-".join("-" * w for w in widths)
+    return "\n".join([line(headers), sep] + [line(r) for r in rows])
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — OpenROAD QA ROUGE-L
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table1Result:
+    """ROUGE-L per method × context mode × category for one backbone family."""
+
+    family: str
+    scores: Dict[str, Dict[str, Dict[str, float]]]  # method -> mode -> col -> value
+    table: str = ""
+
+
+def _openroad_answerers(zoo: ModelZoo, family: str):
+    """The Table-1 rows for one family, in paper order."""
+    tok = zoo.tokenizer
+    corpus = documentation_corpus()
+    rows: List[Tuple[str, object]] = [
+        ("GPT-4-sim", GeneralOracle()),
+        ("RAG-EDA-sim", RagEdaOracle(corpus)),
+        (f"{family}-Instruct", LMAnswerer(zoo.get(family, "instruct"), tok)),
+        (f"{family}-EDA", LMAnswerer(zoo.chip_model(family), tok)),
+    ]
+    for label, method, kwargs in TABLE1_METHODS:
+        rows.append((f"{family}-{label}",
+                     LMAnswerer(zoo.merged(family, method, **kwargs), tok)))
+    return rows
+
+
+def run_table1(families: Sequence[str] = ("nano", "micro"),
+               zoo: Optional[ModelZoo] = None,
+               max_items: Optional[int] = None) -> List[Table1Result]:
+    """Reproduce Table 1: ROUGE-L on OpenROAD QA, golden and RAG contexts."""
+    zoo = zoo or default_zoo()
+    triplets = eval_triplets()
+    if max_items:
+        triplets = triplets[:max_items]
+    rag = RagPipeline(documentation_corpus())
+    results: List[Table1Result] = []
+    columns = ["functionality", "vlsi_flow", "gui_install_test", "all"]
+    for family in families:
+        scores: Dict[str, Dict[str, Dict[str, float]]] = {}
+        rows = []
+        for name, answerer in _openroad_answerers(zoo, family):
+            scores[name] = {}
+            row = [name]
+            for mode in ("golden", "rag"):
+                report = run_openroad(answerer, triplets, context_mode=mode,
+                                      rag_pipeline=rag)
+                cells = dict(report.by_category)
+                cells["all"] = report.overall
+                scores[name][mode] = cells
+                row.extend(f"{cells[c]:.3f}" for c in columns)
+            rows.append(row)
+        headers = (["method"] + [f"golden:{c}" for c in columns]
+                   + [f"rag:{c}" for c in columns])
+        results.append(Table1Result(family, scores, _fmt_table(headers, rows)))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — industrial chip QA
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table2Result:
+    """Judge scores per model × turn setting × category."""
+
+    scores: Dict[str, Dict[str, Dict[str, float]]]  # model -> setting -> col -> value
+    table: str = ""
+
+
+def grande_models(zoo: ModelZoo, lam: float = GRANDE_LAMBDA):
+    """The Table-2 model trio (plus the paper-default λ merge for reference)."""
+    tok = zoo.tokenizer
+    return [
+        ("LLaMA2-70B-Chat (grande-instruct)", LMAnswerer(zoo.get("grande", "instruct"), tok)),
+        ("LLaMA2-70B-ChipNeMo (grande-chipnemo)", LMAnswerer(zoo.get("grande", "chipnemo"), tok)),
+        (f"LLaMA2-70B-ChipAlign (lam={lam})",
+         LMAnswerer(zoo.merged("grande", "chipalign", lam=lam), tok)),
+        ("LLaMA2-70B-ChipAlign (lam=0.6, paper default)",
+         LMAnswerer(zoo.merged("grande", "chipalign", lam=0.6), tok)),
+    ]
+
+
+def run_table2(zoo: Optional[ModelZoo] = None) -> Table2Result:
+    """Reproduce Table 2: GPT-4-style judge scores on industrial chip QA."""
+    zoo = zoo or default_zoo()
+    single = eval_items()
+    multi = multi_turn_items()
+    columns = ["arch", "build", "lsf", "testgen", "all"]
+    scores: Dict[str, Dict[str, Dict[str, float]]] = {}
+    rows = []
+    for name, answerer in grande_models(zoo):
+        s_rep = run_industrial(answerer, single)
+        m_rep = run_industrial_multiturn(answerer, multi)
+        scores[name] = {}
+        row = [name]
+        for setting, rep in (("single", s_rep), ("multi", m_rep)):
+            cells = dict(rep.by_category)
+            cells["all"] = rep.overall
+            scores[name][setting] = cells
+            row.extend(f"{cells.get(c, float('nan')):.1f}" for c in columns)
+        rows.append(row)
+    headers = (["model"] + [f"single:{c}" for c in columns]
+               + [f"multi:{c}" for c in columns])
+    return Table2Result(scores, _fmt_table(headers, rows))
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — IFEval
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table3Result:
+    """IFEval accuracies per model."""
+
+    scores: Dict[str, Dict[str, float]]
+    table: str = ""
+
+
+def run_table3(zoo: Optional[ModelZoo] = None,
+               n_prompts: int = 120) -> Table3Result:
+    """Reproduce Table 3: instruction-following accuracy on IFEval."""
+    zoo = zoo or default_zoo()
+    tok = zoo.tokenizer
+    prompts = ifeval_prompts(n_prompts=n_prompts)
+    models = [
+        ("micro-Instruct (LLaMA3-8B-Instruct)", zoo.get("micro", "instruct")),
+        ("micro-EDA (LLaMA3-8B-EDA)", zoo.chip_model("micro")),
+        ("micro-ChipAlign", zoo.merged("micro", "chipalign", lam=OPENROAD_LAMBDA)),
+        ("grande-Chat (LLaMA2-70B-Chat)", zoo.get("grande", "instruct")),
+        ("grande-ChipNeMo (LLaMA2-70B-ChipNeMo)", zoo.get("grande", "chipnemo")),
+        ("grande-ChipAlign", zoo.merged("grande", "chipalign", lam=GRANDE_LAMBDA)),
+    ]
+    scores: Dict[str, Dict[str, float]] = {}
+    rows = []
+    for name, model in models:
+        result = evaluate_model(model, tok, prompts)
+        scores[name] = result.as_dict()
+        rows.append([name,
+                     f"{result.prompt_strict * 100:.1f}",
+                     f"{result.prompt_loose * 100:.1f}",
+                     f"{result.instruction_strict * 100:.1f}",
+                     f"{result.instruction_loose * 100:.1f}"])
+    headers = ["model", "prompt-strict", "prompt-loose", "inst-strict", "inst-loose"]
+    return Table3Result(scores, _fmt_table(headers, rows))
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — multi-choice chip QA; Figure 2 — radar
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig7Result:
+    """MCQ accuracy per model × domain."""
+
+    scores: Dict[str, Dict[str, float]]
+    table: str = ""
+
+
+def run_fig7(zoo: Optional[ModelZoo] = None) -> Fig7Result:
+    """Reproduce Figure 7: multi-choice chip QA accuracy (grande trio)."""
+    zoo = zoo or default_zoo()
+    tok = zoo.tokenizer
+    items = mcq_items()
+    models = [
+        ("Chat", zoo.get("grande", "instruct")),
+        ("ChipNeMo", zoo.get("grande", "chipnemo")),
+        ("ChipAlign", zoo.merged("grande", "chipalign", lam=GRANDE_LAMBDA)),
+    ]
+    scores: Dict[str, Dict[str, float]] = {}
+    rows = []
+    for name, model in models:
+        result = evaluate_mcq(model, tok, items)
+        cells = dict(result.by_domain)
+        cells["overall"] = result.overall
+        scores[name] = cells
+        rows.append([name] + [f"{cells[d] * 100:.1f}"
+                              for d in ("eda_scripts", "bugs", "circuits", "overall")])
+    headers = ["model", "eda_scripts", "bugs", "circuits", "overall"]
+    return Fig7Result(scores, _fmt_table(headers, rows))
+
+
+@dataclass
+class Fig2Result:
+    """Min-max-normalised capability axes per model (the radar chart data)."""
+
+    axes: List[str]
+    raw: Dict[str, Dict[str, float]]
+    normalized: Dict[str, Dict[str, float]]
+    table: str = ""
+
+
+def run_fig2(zoo: Optional[ModelZoo] = None) -> Fig2Result:
+    """Reproduce Figure 2: the capability radar for the grande trio.
+
+    Axes: IFEval prompt-strict/loose, industrial single/multi-turn, and the
+    three MCQ domains; values min-max normalised per axis across models,
+    following the paper's normalisation."""
+    zoo = zoo or default_zoo()
+    table3 = run_table3(zoo, n_prompts=60)
+    table2 = run_table2(zoo)
+    fig7 = run_fig7(zoo)
+    name_map = {
+        "Chat": ("grande-Chat (LLaMA2-70B-Chat)",
+                 "LLaMA2-70B-Chat (grande-instruct)"),
+        "ChipNeMo": ("grande-ChipNeMo (LLaMA2-70B-ChipNeMo)",
+                     "LLaMA2-70B-ChipNeMo (grande-chipnemo)"),
+        "ChipAlign": ("grande-ChipAlign",
+                      f"LLaMA2-70B-ChipAlign (lam={GRANDE_LAMBDA})"),
+    }
+    axes = ["ifeval_strict", "ifeval_loose", "industrial_single",
+            "industrial_multi", "mcq_scripts", "mcq_bugs", "mcq_circuits"]
+    raw: Dict[str, Dict[str, float]] = {}
+    for label, (t3_name, t2_name) in name_map.items():
+        raw[label] = {
+            "ifeval_strict": table3.scores[t3_name]["prompt_strict"],
+            "ifeval_loose": table3.scores[t3_name]["prompt_loose"],
+            "industrial_single": table2.scores[t2_name]["single"]["all"],
+            "industrial_multi": table2.scores[t2_name]["multi"]["all"],
+            "mcq_scripts": fig7.scores[label]["eda_scripts"],
+            "mcq_bugs": fig7.scores[label]["bugs"],
+            "mcq_circuits": fig7.scores[label]["circuits"],
+        }
+    normalized: Dict[str, Dict[str, float]] = {label: {} for label in raw}
+    for axis in axes:
+        values = [raw[label][axis] for label in raw]
+        lo, hi = min(values), max(values)
+        span = (hi - lo) or 1.0
+        for label in raw:
+            normalized[label][axis] = (raw[label][axis] - lo) / span
+    rows = [[label] + [f"{normalized[label][a]:.2f}" for a in axes] for label in raw]
+    return Fig2Result(axes, raw, normalized, _fmt_table(["model"] + axes, rows))
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — λ sensitivity
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig8Result:
+    """ROUGE-L along the λ sweep per family."""
+
+    lams: List[float]
+    scores: Dict[str, List[float]]  # family -> rouge per lam
+    table: str = ""
+
+
+def run_fig8(families: Sequence[str] = ("nano", "micro"),
+             lams: Optional[Sequence[float]] = None,
+             zoo: Optional[ModelZoo] = None,
+             max_items: Optional[int] = None) -> Fig8Result:
+    """Reproduce Figure 8: OpenROAD QA ROUGE-L as a function of λ."""
+    zoo = zoo or default_zoo()
+    tok = zoo.tokenizer
+    lams = list(lams) if lams is not None else [round(0.1 * i, 1) for i in range(11)]
+    triplets = eval_triplets()
+    if max_items:
+        triplets = triplets[:max_items]
+    scores: Dict[str, List[float]] = {}
+    for family in families:
+        series = []
+        for lam in lams:
+            model = zoo.merged(family, "chipalign", lam=float(lam))
+            report = run_openroad(LMAnswerer(model, tok), triplets,
+                                  context_mode="golden")
+            series.append(report.overall)
+        scores[family] = series
+    rows = [[f"{lam:.1f}"] + [f"{scores[f][i]:.3f}" for f in families]
+            for i, lam in enumerate(lams)]
+    return Fig8Result(list(lams), scores, _fmt_table(["lambda"] + list(families), rows))
+
+
+# ---------------------------------------------------------------------------
+# §III-C — complexity
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ComplexityResult:
+    """Merge wall-time versus parameter count."""
+
+    param_counts: List[int]
+    seconds: List[float]
+    table: str = ""
+
+    @property
+    def linear_fit_r2(self) -> float:
+        """R² of a linear (through-origin) fit of time vs parameters."""
+        x = np.asarray(self.param_counts, dtype=np.float64)
+        y = np.asarray(self.seconds, dtype=np.float64)
+        slope = (x * y).sum() / (x * x).sum()
+        pred = slope * x
+        ss_res = ((y - pred) ** 2).sum()
+        ss_tot = ((y - y.mean()) ** 2).sum()
+        return 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+
+
+def run_complexity(sizes: Sequence[Tuple[int, int]] = ((32, 1), (64, 2), (96, 3), (128, 4)),
+                   vocab: int = 512, repeats: int = 3) -> ComplexityResult:
+    """Verify §III-C: ChipAlign's merge time scales linearly in parameters."""
+    from ..nn.transformer import TransformerConfig, TransformerLM
+
+    param_counts: List[int] = []
+    seconds: List[float] = []
+    for dim, layers in sizes:
+        config = TransformerConfig(vocab_size=vocab, dim=dim, n_layers=layers,
+                                   n_heads=max(2, dim // 16), max_seq_len=64, seed=0)
+        a = TransformerLM(config).state_dict()
+        b = TransformerLM(TransformerConfig(**{**config.to_dict(), "seed": 1})).state_dict()
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            merge_state_dicts(a, b, lam=0.6)
+            best = min(best, time.perf_counter() - start)
+        param_counts.append(sum(w.size for w in a.values()))
+        seconds.append(best)
+    rows = [[f"{p:,}", f"{s * 1000:.2f} ms"] for p, s in zip(param_counts, seconds)]
+    result = ComplexityResult(param_counts, seconds, _fmt_table(["params", "merge time"], rows))
+    return result

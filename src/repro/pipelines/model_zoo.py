@@ -1,0 +1,263 @@
+"""The model zoo: every named model of the paper's experiments, buildable
+and cached on disk.
+
+Families mirror the paper's backbones at substrate scale (DESIGN.md §1):
+
+====== ===================== =========================================
+family plays the role of      variants
+====== ===================== =========================================
+nano   Qwen1.5-14B            base, instruct ("-Chat"), eda ("-EDA")
+micro  LLaMA3-8B              base, instruct, eda
+grande LLaMA2-70B             base, instruct ("-Chat"), chipnemo
+====== ===================== =========================================
+
+plus, for every family, merged variants produced by any registered merge
+method (``chipalign``, ``modelsoup``, ``ta``, ``ties``, ``della``, ``dare``).
+
+Trained checkpoints are cached under ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro_chipalign``) keyed by a recipe version, so benchmarks and
+examples reuse them instead of retraining.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..core.registry import merge as registry_merge
+from ..data import (eda_domain, industrial_qa, openroad_qa)
+from ..data.corpus import pretraining_sentences
+from ..data.extraction import extraction_pretraining_samples
+from ..data.instruction_data import (counterfactual_grounded_samples,
+                                     grounded_general_samples,
+                                     grounded_instruction_samples,
+                                     instruction_sft_samples,
+                                     multi_turn_general_samples)
+from ..data.prompting import format_prompt
+from ..data.vocab import build_tokenizer
+from ..nn.checkpoint import checkpoint_exists, load_model, save_model
+from ..nn.tokenizer import WordTokenizer
+from ..nn.trainer import TrainConfig
+from ..nn.transformer import TransformerLM, preset_config
+from .daft import daft_lora, pretrain, sft, sft_lora, triplet_pairs
+
+#: Bump to invalidate every cached checkpoint when a recipe changes.
+RECIPE_VERSION = "v1"
+
+FAMILIES = ("nano", "micro", "grande")
+
+#: Architecture seeds; one per family so families are distinct models.
+FAMILY_SEEDS: Dict[str, int] = {"nano": 11, "micro": 22, "grande": 33}
+
+#: The chip-model variant of each family (what ChipAlign merges with chat).
+CHIP_VARIANT: Dict[str, str] = {"nano": "eda", "micro": "eda", "grande": "chipnemo"}
+
+
+def default_cache_dir() -> Path:
+    """Checkpoint cache directory, overridable via ``REPRO_CACHE_DIR``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    return Path(env) if env else Path.home() / ".cache" / "repro_chipalign"
+
+
+class ModelZoo:
+    """Build, cache, and serve every model of the reproduction."""
+
+    def __init__(self, cache_dir: Optional[Path] = None, verbose: bool = False) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.verbose = verbose
+        self._tokenizer: Optional[WordTokenizer] = None
+        self._models: Dict[str, TransformerLM] = {}
+
+    # ------------------------------------------------------------------
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[model-zoo] {message}")
+
+    @property
+    def tokenizer(self) -> WordTokenizer:
+        """The shared word tokenizer (built once, cached on disk)."""
+        if self._tokenizer is None:
+            path = self.cache_dir / f"tokenizer_{RECIPE_VERSION}.json"
+            if path.exists():
+                self._tokenizer = WordTokenizer.load(path)
+            else:
+                self._tokenizer = build_tokenizer()
+                self._tokenizer.save(path)
+        return self._tokenizer
+
+    def _ckpt_path(self, family: str, variant: str) -> Path:
+        return self.cache_dir / f"{family}_{variant}_{RECIPE_VERSION}"
+
+    def _new_model(self, family: str) -> TransformerLM:
+        config = preset_config(family, self.tokenizer.vocab_size,
+                               seed=FAMILY_SEEDS[family])
+        return TransformerLM(config)
+
+    # ------------------------------------------------------------------
+    # build recipes
+    # ------------------------------------------------------------------
+    def _build_base(self, family: str) -> TransformerLM:
+        """Foundation pretraining: general text plus a light pass over the
+        public chip documentation (the way web-scale corpora contain some
+        EDA text)."""
+        self._log(f"pretraining {family}/base")
+        model = self._new_model(family)
+        sentences = list(pretraining_sentences(repeats=4, seed=FAMILY_SEEDS[family]))
+        sentences.extend(eda_domain.all_documentation())
+        sentences.extend(industrial_qa.documentation_corpus())
+        sentences.extend(extraction_pretraining_samples(
+            n_samples=400, seed=FAMILY_SEEDS[family] + 7))
+        pretrain(model, self.tokenizer, sentences,
+                 TrainConfig(lr=3e-3, epochs=20, batch_size=16,
+                             seed=FAMILY_SEEDS[family]))
+        return model
+
+    def _build_instruct(self, family: str) -> TransformerLM:
+        """Instruction alignment on pool A — the public chat model."""
+        self._log(f"instruction-tuning {family}/instruct")
+        model = self.get(family, "base").clone()
+        samples = instruction_sft_samples(pool="a", per_question=6,
+                                          seed=FAMILY_SEEDS[family])
+        samples += multi_turn_general_samples(n_samples=60,
+                                              seed=FAMILY_SEEDS[family], pool="a")
+        samples += grounded_general_samples(n_samples=120,
+                                            seed=FAMILY_SEEDS[family], pool="a")
+        samples += counterfactual_grounded_samples(n_samples=150,
+                                                   seed=FAMILY_SEEDS[family], pool="a")
+        pairs = [(s.prompt, s.response) for s in samples]
+        # Refresh the base-born extraction skill so SFT does not erode it,
+        # and teach the content-agnostic refusal behaviour of Figure 6.
+        refresh = extraction_pretraining_samples(n_samples=80,
+                                                 seed=FAMILY_SEEDS[family] + 8)
+        for text in refresh:
+            prompt, _, answer = text.rpartition(" assistant : ")
+            pairs.append((prompt + " assistant :", answer))
+        sft(model, self.tokenizer, pairs,
+            TrainConfig(lr=2e-3, epochs=25, batch_size=16,
+                        seed=FAMILY_SEEDS[family] + 1))
+        return model
+
+    def _build_eda(self, family: str) -> TransformerLM:
+        """Figure 4(a)'s recipe: LoRA DAFT of the chat model on OpenROAD QA
+        triplets with golden contexts and no instruction blocks."""
+        self._log(f"DAFT (LoRA) {family}/eda")
+        model = self.get(family, "instruct").clone()
+        daft_lora(model, self.tokenizer, openroad_qa.train_triplets(),
+                  rank=8, alpha=16.0,
+                  config=TrainConfig(lr=5e-3, epochs=30, batch_size=12,
+                                     seed=FAMILY_SEEDS[family] + 2),
+                  seed=FAMILY_SEEDS[family] + 2)
+        return model
+
+    def _build_chipnemo(self, family: str) -> TransformerLM:
+        """Figure 4(b)'s recipe at substrate scale: DAPT on chip documents,
+        then DAFT on domain QA mixed with pool-B instruction data (the
+        OASST / SteerLM analog that gives ChipNeMo its complementary
+        alignment knowledge).
+
+        Substitution note (see DESIGN.md): the paper's ChipNeMo branches
+        from LLaMA2-70B-*Base*, where fine-tuning moves weights by a tiny
+        angle relative to pretraining.  At substrate scale a full fine-tune
+        from base drifts far enough from the chat model that *no* merge
+        method works; to preserve the paper's mergeability precondition
+        (small angular separation between same-ancestor fine-tunes) the
+        DAPT+DAFT here branches from the instruction-tuned checkpoint, and
+        alignment forgetting is still clearly measurable afterwards.
+        """
+        self._log(f"DAPT+DAFT {family}/chipnemo")
+        model = self.get(family, "instruct").clone()
+        pairs = triplet_pairs(industrial_qa.train_items()) * 2
+        pairs += triplet_pairs(openroad_qa.train_triplets())
+        grounded = grounded_instruction_samples(industrial_qa.train_items(),
+                                                pool="b",
+                                                seed=FAMILY_SEEDS[family] + 4)
+        pairs += [(s.prompt, s.response) for s in grounded]
+        chat_mix = instruction_sft_samples(pool="b", per_question=1,
+                                           seed=FAMILY_SEEDS[family] + 5,
+                                           include_plain=False)
+        pairs += [(s.prompt, s.response) for s in chat_mix]
+        # DAPT is folded into the same stage as raw-document language
+        # modelling (empty-prompt pairs put the loss on the whole sentence):
+        # carving domain memory and QA behaviour into one deep basin makes
+        # the skill robust to interpolation, where a separate shallow DAPT
+        # stage was the first casualty of merging.
+        docs = eda_domain.all_documentation() + industrial_qa.documentation_corpus()
+        pairs += [("", doc) for doc in docs]
+        sft(model, self.tokenizer, pairs,
+            TrainConfig(lr=3e-3, epochs=30, batch_size=12,
+                        seed=FAMILY_SEEDS[family] + 6))
+        return model
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def get(self, family: str, variant: str) -> TransformerLM:
+        """Return a trained model, building and caching it if necessary."""
+        if family not in FAMILIES:
+            raise KeyError(f"unknown family {family!r}; choose from {FAMILIES}")
+        builders = {"base": self._build_base, "instruct": self._build_instruct,
+                    "eda": self._build_eda, "chipnemo": self._build_chipnemo}
+        if variant not in builders:
+            raise KeyError(f"unknown variant {variant!r}; choose from {sorted(builders)}")
+        if variant == "eda" and family == "grande":
+            raise KeyError("the grande family's chip model is 'chipnemo', not 'eda'")
+        if variant == "chipnemo" and family != "grande":
+            raise KeyError("'chipnemo' exists only in the grande family")
+        key = f"{family}/{variant}"
+        if key in self._models:
+            return self._models[key]
+        path = self._ckpt_path(family, variant)
+        if checkpoint_exists(path):
+            model, _ = load_model(path)
+        else:
+            model = builders[variant](family)
+            save_model(model, path, metadata={"family": family, "variant": variant,
+                                              "recipe": RECIPE_VERSION})
+        model.eval()
+        self._models[key] = model
+        return model
+
+    def chip_model(self, family: str) -> TransformerLM:
+        """The family's chip-domain model (eda or chipnemo)."""
+        return self.get(family, CHIP_VARIANT[family])
+
+    def merged(self, family: str, method: str = "chipalign", **kwargs) -> TransformerLM:
+        """Merge the family's chip and instruct models with a registry method.
+
+        Merging is fast (seconds), so merged models are built on demand and
+        memo-cached in memory only.
+        """
+        key = f"{family}/merged:{method}:{sorted(kwargs.items())!r}"
+        if key in self._models:
+            return self._models[key]
+        chip = self.chip_model(family)
+        instruct = self.get(family, "instruct")
+        base = self.get(family, "base")
+        merged_sd = registry_merge(method, chip=chip.state_dict(),
+                                   instruct=instruct.state_dict(),
+                                   base=base.state_dict(), **kwargs)
+        model = TransformerLM(chip.config)
+        model.load_state_dict(dict(merged_sd))
+        model.eval()
+        self._models[key] = model
+        return model
+
+    def prewarm(self, families=FAMILIES) -> None:
+        """Build every trainable variant up front (useful before benchmarks)."""
+        for family in families:
+            self.get(family, "base")
+            self.get(family, "instruct")
+            self.chip_model(family)
+
+
+_DEFAULT_ZOO: Optional[ModelZoo] = None
+
+
+def default_zoo(verbose: bool = False) -> ModelZoo:
+    """Process-wide shared zoo instance."""
+    global _DEFAULT_ZOO
+    if _DEFAULT_ZOO is None:
+        _DEFAULT_ZOO = ModelZoo(verbose=verbose)
+    return _DEFAULT_ZOO

@@ -1,0 +1,72 @@
+"""BM25 lexical retrieval, from scratch (Okapi BM25).
+
+Plays the role of the paper's BM25 stage in its three-part RAG pipeline
+(Section IV-B: bge embeddings + BM25 + bge reranker).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+
+class BM25Index:
+    """An in-memory BM25 index over whitespace-tokenised documents.
+
+    Parameters
+    ----------
+    documents:
+        The corpus; document ids are list indices.
+    k1, b:
+        Standard BM25 saturation and length-normalisation parameters.
+    """
+
+    def __init__(self, documents: Sequence[str], k1: float = 1.5, b: float = 0.75) -> None:
+        if not documents:
+            raise ValueError("cannot index an empty corpus")
+        if k1 < 0 or not 0 <= b <= 1:
+            raise ValueError(f"invalid BM25 parameters k1={k1}, b={b}")
+        self.documents = list(documents)
+        self.k1 = k1
+        self.b = b
+        self._doc_tokens = [doc.split() for doc in self.documents]
+        self._doc_freqs = [Counter(toks) for toks in self._doc_tokens]
+        self._doc_lens = [len(toks) for toks in self._doc_tokens]
+        self._avg_len = sum(self._doc_lens) / len(self._doc_lens)
+        df: Counter = Counter()
+        for freqs in self._doc_freqs:
+            df.update(freqs.keys())
+        n = len(self.documents)
+        # BM25+-style floor keeps idf non-negative for very common terms.
+        self._idf: Dict[str, float] = {
+            term: max(math.log((n - d + 0.5) / (d + 0.5) + 1.0), 0.0)
+            for term, d in df.items()
+        }
+
+    def score(self, query: str, doc_id: int) -> float:
+        """BM25 score of one document for the query."""
+        if not 0 <= doc_id < len(self.documents):
+            raise IndexError(f"doc_id {doc_id} out of range")
+        freqs = self._doc_freqs[doc_id]
+        length = self._doc_lens[doc_id]
+        score = 0.0
+        for term in query.split():
+            if term not in freqs:
+                continue
+            tf = freqs[term]
+            idf = self._idf.get(term, 0.0)
+            denom = tf + self.k1 * (1 - self.b + self.b * length / self._avg_len)
+            score += idf * tf * (self.k1 + 1) / denom
+        return score
+
+    def search(self, query: str, top_k: int = 5) -> List[Tuple[int, float]]:
+        """Top-``top_k`` ``(doc_id, score)`` pairs, best first.
+
+        Ties break toward lower doc ids for determinism.
+        """
+        if top_k <= 0:
+            raise ValueError(f"top_k must be positive, got {top_k}")
+        scores = [(i, self.score(query, i)) for i in range(len(self.documents))]
+        scores.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scores[:top_k]

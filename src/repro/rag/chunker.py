@@ -1,0 +1,55 @@
+"""Document chunking for retrieval.
+
+Splits documentation paragraphs into overlapping word-window chunks, the
+usual preprocessing step before indexing; used when callers want a finer
+retrieval granularity than whole paragraphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One chunk with provenance back to its source document."""
+
+    text: str
+    doc_id: int
+    start: int  # word offset within the source document
+
+
+def chunk_document(text: str, doc_id: int, window: int = 40,
+                   overlap: int = 10) -> List[Chunk]:
+    """Split one document into overlapping word windows.
+
+    The final window is always emitted even if shorter, so no words are
+    dropped; ``overlap`` must be smaller than ``window``.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    if not 0 <= overlap < window:
+        raise ValueError(f"overlap must be in [0, window), got {overlap}")
+    words = text.split()
+    if not words:
+        return []
+    chunks: List[Chunk] = []
+    step = window - overlap
+    start = 0
+    while True:
+        piece = words[start: start + window]
+        chunks.append(Chunk(" ".join(piece), doc_id, start))
+        if start + window >= len(words):
+            break
+        start += step
+    return chunks
+
+
+def chunk_corpus(documents: Sequence[str], window: int = 40,
+                 overlap: int = 10) -> List[Chunk]:
+    """Chunk every document in a corpus, preserving provenance."""
+    chunks: List[Chunk] = []
+    for doc_id, text in enumerate(documents):
+        chunks.extend(chunk_document(text, doc_id, window, overlap))
+    return chunks

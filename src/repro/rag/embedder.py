@@ -1,0 +1,67 @@
+"""Hashed n-gram text embeddings and a dense retriever.
+
+Stands in for the *bge-large-en-v1.5* embedding model of the paper's RAG
+pipeline: a deterministic feature-hashing embedder (unigrams + bigrams,
+TF-weighted, L2-normalised) with cosine-similarity search.  No training or
+weights required, which keeps the pipeline fully offline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def _hash_feature(feature: str, dim: int) -> Tuple[int, float]:
+    """Map a feature string to (bucket, ±1 sign) via a stable hash."""
+    digest = hashlib.md5(feature.encode()).digest()
+    bucket = int.from_bytes(digest[:4], "little") % dim
+    sign = 1.0 if digest[4] % 2 == 0 else -1.0
+    return bucket, sign
+
+
+class HashedEmbedder:
+    """Feature-hashing sentence embedder over word unigrams and bigrams."""
+
+    def __init__(self, dim: int = 256) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        self.dim = dim
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed one text into an L2-normalised vector (zeros if empty)."""
+        vec = np.zeros(self.dim, dtype=np.float64)
+        tokens = text.split()
+        features = list(tokens)
+        features.extend(f"{a}_{b}" for a, b in zip(tokens, tokens[1:]))
+        for feature in features:
+            bucket, sign = _hash_feature(feature, self.dim)
+            vec[bucket] += sign
+        norm = np.linalg.norm(vec)
+        return vec / norm if norm > 0 else vec
+
+    def embed_batch(self, texts: Sequence[str]) -> np.ndarray:
+        """Embed many texts into a ``(n, dim)`` matrix."""
+        return np.stack([self.embed(t) for t in texts]) if texts else np.zeros((0, self.dim))
+
+
+class DenseRetriever:
+    """Cosine-similarity retrieval over pre-embedded documents."""
+
+    def __init__(self, documents: Sequence[str], embedder: HashedEmbedder = None) -> None:
+        if not documents:
+            raise ValueError("cannot index an empty corpus")
+        self.documents = list(documents)
+        self.embedder = embedder or HashedEmbedder()
+        self._matrix = self.embedder.embed_batch(self.documents)
+
+    def search(self, query: str, top_k: int = 5) -> List[Tuple[int, float]]:
+        """Top-``top_k`` ``(doc_id, cosine)`` pairs, best first."""
+        if top_k <= 0:
+            raise ValueError(f"top_k must be positive, got {top_k}")
+        q = self.embedder.embed(query)
+        sims = self._matrix @ q
+        order = np.lexsort((np.arange(len(sims)), -sims))
+        return [(int(i), float(sims[i])) for i in order[:top_k]]

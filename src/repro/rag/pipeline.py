@@ -1,0 +1,86 @@
+"""The full retrieve → fuse → rerank RAG pipeline.
+
+Matches the three-stage shape of the paper's Section IV-B setup: a dense
+embedding retriever and BM25 run in parallel, their candidate lists are
+fused with reciprocal-rank fusion, and a reranker picks the final context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .bm25 import BM25Index
+from .embedder import DenseRetriever, HashedEmbedder
+from .reranker import OverlapReranker
+
+
+def reciprocal_rank_fusion(rankings: Sequence[Sequence[int]], k: float = 60.0) -> List[int]:
+    """Fuse ranked doc-id lists with RRF; returns doc ids best-first."""
+    if not rankings:
+        raise ValueError("need at least one ranking to fuse")
+    scores: Dict[int, float] = {}
+    for ranking in rankings:
+        for rank, doc_id in enumerate(ranking):
+            scores[doc_id] = scores.get(doc_id, 0.0) + 1.0 / (k + rank + 1)
+    return sorted(scores, key=lambda d: (-scores[d], d))
+
+
+@dataclass(frozen=True)
+class RetrievalResult:
+    """Final retrieval output: chosen context plus diagnostics."""
+
+    context: str
+    doc_ids: Tuple[int, ...]
+    candidates: Tuple[int, ...]
+
+
+class RagPipeline:
+    """Dense + BM25 retrieval with RRF fusion and overlap reranking.
+
+    Parameters
+    ----------
+    corpus:
+        The documentation paragraphs to retrieve from.
+    candidate_k:
+        Candidates taken from each first-stage retriever before fusion.
+    final_k:
+        Number of paragraphs concatenated into the returned context.
+    """
+
+    def __init__(self, corpus: Sequence[str], candidate_k: int = 5,
+                 final_k: int = 1, embed_dim: int = 256) -> None:
+        if final_k > candidate_k:
+            raise ValueError("final_k cannot exceed candidate_k")
+        self.corpus = list(corpus)
+        self.candidate_k = candidate_k
+        self.final_k = final_k
+        self.dense = DenseRetriever(self.corpus, HashedEmbedder(embed_dim))
+        self.bm25 = BM25Index(self.corpus)
+        self.reranker = OverlapReranker(self.corpus)
+
+    def retrieve(self, query: str) -> RetrievalResult:
+        """Retrieve the context for ``query`` through all three stages."""
+        dense_ids = [i for i, _ in self.dense.search(query, self.candidate_k)]
+        bm25_ids = [i for i, _ in self.bm25.search(query, self.candidate_k)]
+        fused = reciprocal_rank_fusion([dense_ids, bm25_ids])[: self.candidate_k]
+        reranked = self.reranker.rerank(
+            query, [(i, self.corpus[i]) for i in fused], top_k=self.final_k)
+        chosen = tuple(i for i, _ in reranked)
+        context = " ".join(self.corpus[i] for i in chosen)
+        return RetrievalResult(context, chosen, tuple(fused))
+
+    def recall_at_k(self, queries: Sequence[str], golden_ids: Sequence[int],
+                    k: int = None) -> float:
+        """Fraction of queries whose golden paragraph survives to the context."""
+        if len(queries) != len(golden_ids):
+            raise ValueError("queries and golden_ids must align")
+        if not queries:
+            raise ValueError("empty query set")
+        hits = 0
+        for query, golden in zip(queries, golden_ids):
+            result = self.retrieve(query)
+            pool = result.doc_ids if k is None else result.candidates[:k]
+            if golden in pool:
+                hits += 1
+        return hits / len(queries)

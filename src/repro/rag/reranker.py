@@ -1,0 +1,50 @@
+"""Cross-attention-style reranking (the *bge-reranker-large* substitute).
+
+Scores each candidate document jointly with the query using token-overlap
+statistics that approximate what a cross-encoder learns to do: weigh exact
+matches by their informativeness (inverse frequency in the pool) and reward
+consecutive-phrase matches.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import List, Sequence, Tuple
+
+
+class OverlapReranker:
+    """Rerank (query, document) pairs by IDF-weighted overlap + bigram bonus."""
+
+    def __init__(self, pool: Sequence[str], bigram_weight: float = 0.5) -> None:
+        if not pool:
+            raise ValueError("reranker needs a document pool for idf statistics")
+        self.bigram_weight = bigram_weight
+        df: Counter = Counter()
+        for doc in pool:
+            df.update(set(doc.split()))
+        n = len(pool)
+        self._idf = {t: math.log(1 + n / d) for t, d in df.items()}
+        self._default_idf = math.log(1 + n)
+
+    def score(self, query: str, document: str) -> float:
+        """Joint relevance score of one pair."""
+        q_tokens = query.split()
+        d_tokens = document.split()
+        d_set = set(d_tokens)
+        score = sum(self._idf.get(t, self._default_idf)
+                    for t in set(q_tokens) if t in d_set)
+        d_bigrams = set(zip(d_tokens, d_tokens[1:]))
+        for pair in zip(q_tokens, q_tokens[1:]):
+            if pair in d_bigrams:
+                score += self.bigram_weight
+        return score
+
+    def rerank(self, query: str, candidates: Sequence[Tuple[int, str]],
+               top_k: int = 1) -> List[Tuple[int, float]]:
+        """Order candidate ``(doc_id, text)`` pairs; return the best ``top_k``."""
+        if top_k <= 0:
+            raise ValueError(f"top_k must be positive, got {top_k}")
+        scored = [(doc_id, self.score(query, text)) for doc_id, text in candidates]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:top_k]

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import set_default_dtype
+
+
+@pytest.fixture
+def float64():
+    """Run a test with float64 tensors (finite-difference gradient checks)."""
+    set_default_dtype(np.float64)
+    yield
+    set_default_dtype(np.float32)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def zoo():
+    """The shared model zoo (uses the on-disk checkpoint cache; training
+    happens only if checkpoints are missing)."""
+    from repro.pipelines.model_zoo import default_zoo
+
+    return default_zoo()
+
+
+@pytest.fixture(scope="session")
+def tokenizer(zoo):
+    return zoo.tokenizer
+
+
+def numeric_grad(fn, x, eps=1e-6):
+    """Central-difference gradient of scalar fn at numpy array x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn()
+        flat[i] = orig - eps
+        lo = fn()
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad

@@ -1,0 +1,79 @@
+"""Weight-space analysis tests (angles, norms, interpolation paths)."""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (interpolation_path, linear_merge_tensor,
+                                 norm_deviation_along_path, pairwise_geometry,
+                                 summarize_geometry)
+
+
+def sd(seed, shift=0.0):
+    rng = np.random.default_rng(seed)
+    return OrderedDict((f"w{i}", rng.normal(size=(3, 3)) + shift) for i in range(3))
+
+
+def test_pairwise_geometry_fields():
+    a, b = sd(0), sd(1)
+    rows = pairwise_geometry(a, b)
+    assert len(rows) == 3
+    for row in rows:
+        assert 0 <= row.angle <= np.pi
+        assert row.norm_chip > 0 and row.norm_instruct > 0
+        assert row.norm_ratio == pytest.approx(row.norm_chip / row.norm_instruct)
+
+
+def test_identical_models_zero_angle():
+    a = sd(0)
+    summary = summarize_geometry(a, a)
+    assert summary["angle_mean"] == pytest.approx(0.0, abs=1e-6)
+    assert summary["norm_ratio_mean"] == pytest.approx(1.0)
+
+
+def test_summary_keys():
+    summary = summarize_geometry(sd(0), sd(1))
+    for key in ("n_tensors", "angle_mean", "angle_max", "angle_min",
+                "norm_ratio_mean", "norm_ratio_max"):
+        assert key in summary
+    assert summary["angle_min"] <= summary["angle_mean"] <= summary["angle_max"]
+
+
+def test_linear_merge_tensor_endpoints():
+    a = np.ones((2, 2))
+    b = np.zeros((2, 2))
+    assert np.allclose(linear_merge_tensor(a, b, 1.0), a)
+    assert np.allclose(linear_merge_tensor(a, b, 0.0), b)
+
+
+def test_norm_deviation_zero_for_geodesic():
+    rng = np.random.default_rng(0)
+    a, b = rng.normal(size=(4, 4)), rng.normal(size=(4, 4))
+    lams = np.linspace(0, 1, 9)
+    dev = norm_deviation_along_path(a, b, lams, path="geodesic")
+    assert np.allclose(dev, 0.0, atol=1e-9)
+
+
+def test_norm_deviation_positive_for_linear_interior():
+    """The chord's norm sags below the geometric-mean target in the interior —
+    the defect the paper's rescaling step removes."""
+    rng = np.random.default_rng(1)
+    a, b = rng.normal(size=(8, 8)), rng.normal(size=(8, 8))
+    dev = norm_deviation_along_path(a, b, np.array([0.5]), path="linear")
+    assert dev[0] > 0.0
+
+
+def test_norm_deviation_path_validation():
+    with pytest.raises(ValueError):
+        norm_deviation_along_path(np.ones(2), np.ones(2), np.array([0.5]), path="bogus")
+
+
+def test_interpolation_path_samples():
+    a, b = sd(0), sd(1)
+    lams = np.array([0.0, 0.5, 1.0])
+    path = interpolation_path(a, b, lams)
+    assert len(path) == 3
+    for key in a:
+        assert np.allclose(path[0][key], b[key], atol=1e-8)
+        assert np.allclose(path[2][key], a[key], atol=1e-8)

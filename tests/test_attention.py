@@ -1,0 +1,105 @@
+"""Attention tests: causal masking, RoPE properties, shapes."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import (MultiHeadSelfAttention, apply_rope, causal_mask,
+                                rope_cache)
+from repro.nn.tensor import Tensor
+
+
+def test_causal_mask_shape_and_structure():
+    m = causal_mask(4)
+    assert m.shape == (4, 4)
+    assert not m[3].any() or m[0, 1]  # row 0 masks everything after itself
+    assert m[0, 1] and m[0, 3]
+    assert not m.diagonal().any()
+    assert not m[3, :3].any()
+
+
+def test_attention_output_shape():
+    attn = MultiHeadSelfAttention(16, 4, seed=0)
+    out = attn(Tensor(np.random.default_rng(0).normal(size=(2, 5, 16))))
+    assert out.shape == (2, 5, 16)
+
+
+def test_attention_dim_head_mismatch():
+    with pytest.raises(ValueError):
+        MultiHeadSelfAttention(10, 3)
+
+
+def test_causality_future_tokens_do_not_affect_past():
+    """Changing a future token must not change earlier positions' outputs."""
+    attn = MultiHeadSelfAttention(8, 2, seed=0)
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(1, 6, 8))
+    out1 = attn(Tensor(x)).data.copy()
+    x2 = x.copy()
+    x2[0, 5] += 10.0  # perturb the last token
+    out2 = attn(Tensor(x2)).data
+    assert np.allclose(out1[0, :5], out2[0, :5], atol=1e-5)
+    assert not np.allclose(out1[0, 5], out2[0, 5], atol=1e-3)
+
+
+def test_rope_cache_shapes_and_first_position_identity():
+    cos, sin = rope_cache(10, 8)
+    assert cos.shape == (10, 8) and sin.shape == (10, 8)
+    # At position 0 the rotation is the identity: cos=1, sin=0.
+    assert np.allclose(cos[0], 1.0) and np.allclose(sin[0], 0.0)
+
+
+def test_rope_requires_even_head_dim():
+    with pytest.raises(ValueError):
+        rope_cache(4, 5)
+
+
+def test_rope_preserves_norm():
+    cos, sin = rope_cache(12, 8)
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.normal(size=(2, 12, 8)))  # (H, T, Dh)
+    rotated = apply_rope(x, cos[:12], sin[:12]).data
+    assert np.allclose(np.linalg.norm(rotated, axis=-1),
+                       np.linalg.norm(x.data, axis=-1), atol=1e-4)
+
+
+def test_rope_relative_property():
+    """q·k after RoPE depends only on relative offset, not absolute position."""
+    head_dim = 8
+    cos, sin = rope_cache(64, head_dim)
+    rng = np.random.default_rng(1)
+    q = rng.normal(size=head_dim)
+    k = rng.normal(size=head_dim)
+
+    def rotated_dot(pos_q, pos_k):
+        tq = Tensor(q[None, None, :])
+        tk = Tensor(k[None, None, :])
+        rq = apply_rope(tq, cos[pos_q:pos_q + 1], sin[pos_q:pos_q + 1]).data[0, 0]
+        rk = apply_rope(tk, cos[pos_k:pos_k + 1], sin[pos_k:pos_k + 1]).data[0, 0]
+        return float(rq @ rk)
+
+    assert rotated_dot(3, 1) == pytest.approx(rotated_dot(10, 8), abs=1e-4)
+    assert rotated_dot(5, 5) == pytest.approx(rotated_dot(20, 20), abs=1e-4)
+
+
+def test_attention_without_rope_is_permutation_sensitive_via_mask_only():
+    """With rope=False and no positional encoding, attention output for the
+    last token is invariant to permuting earlier tokens (bag-of-words)."""
+    attn = MultiHeadSelfAttention(8, 2, seed=0, rope=False)
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(1, 5, 8))
+    out1 = attn(Tensor(x)).data[0, -1]
+    perm = x.copy()
+    perm[0, :4] = perm[0, [2, 0, 3, 1]]
+    out2 = attn(Tensor(perm)).data[0, -1]
+    assert np.allclose(out1, out2, atol=1e-5)
+
+
+def test_attention_with_rope_is_position_sensitive():
+    attn = MultiHeadSelfAttention(8, 2, seed=0, rope=True)
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(1, 5, 8))
+    out1 = attn(Tensor(x)).data[0, -1]
+    perm = x.copy()
+    perm[0, :4] = perm[0, [2, 0, 3, 1]]
+    out2 = attn(Tensor(perm)).data[0, -1]
+    assert not np.allclose(out1, out2, atol=1e-4)

@@ -1,0 +1,165 @@
+"""Baseline merge-method tests: soup, task arithmetic, TIES, DELLA, DARE."""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (_elect_sign, _magprune, _trim_by_magnitude,
+                                  dare_merge, della_merge, model_soup,
+                                  task_arithmetic, task_vectors, ties_merge)
+
+
+def sd(seed, shapes=((4, 4), (6,))):
+    rng = np.random.default_rng(seed)
+    return OrderedDict((f"w{i}", rng.normal(size=s)) for i, s in enumerate(shapes))
+
+
+class TestModelSoup:
+    def test_uniform_average(self):
+        a, b = sd(0), sd(1)
+        out = model_soup([a, b])
+        for key in a:
+            assert np.allclose(out[key], (a[key] + b[key]) / 2)
+
+    def test_weighted_average_normalised(self):
+        a, b = sd(0), sd(1)
+        out = model_soup([a, b], weights=[3.0, 1.0])
+        for key in a:
+            assert np.allclose(out[key], 0.75 * a[key] + 0.25 * b[key])
+
+    def test_weight_validation(self):
+        a, b = sd(0), sd(1)
+        with pytest.raises(ValueError):
+            model_soup([a, b], weights=[1.0])
+        with pytest.raises(ValueError):
+            model_soup([a, b], weights=[0.0, 0.0])
+
+    def test_key_mismatch(self):
+        a, b = sd(0), sd(1)
+        del b["w1"]
+        with pytest.raises(KeyError):
+            model_soup([a, b])
+
+
+class TestTaskArithmetic:
+    def test_two_equal_tasks_recover_task(self):
+        base = sd(0)
+        tuned = sd(1)
+        out = task_arithmetic(base, [tuned, tuned], scaling=0.5)
+        for key in base:
+            assert np.allclose(out[key], tuned[key])
+
+    def test_default_scaling_averages(self):
+        base, t1, t2 = sd(0), sd(1), sd(2)
+        out = task_arithmetic(base, [t1, t2])
+        for key in base:
+            expected = base[key] + 0.5 * ((t1[key] - base[key]) + (t2[key] - base[key]))
+            assert np.allclose(out[key], expected)
+
+    def test_task_vectors(self):
+        base, tuned = sd(0), sd(1)
+        vec = task_vectors(base, tuned)
+        for key in base:
+            assert np.allclose(vec[key], tuned[key] - base[key])
+
+
+class TestTrimAndSign:
+    def test_trim_keeps_top_fraction(self):
+        v = np.array([0.1, -5.0, 0.2, 3.0, -0.05])
+        out = _trim_by_magnitude(v, density=0.4)
+        assert np.count_nonzero(out) == 2
+        assert out[1] == -5.0 and out[3] == 3.0
+
+    def test_trim_full_density_identity(self):
+        v = np.random.default_rng(0).normal(size=10)
+        assert np.array_equal(_trim_by_magnitude(v, 1.0), v)
+
+    def test_trim_density_validation(self):
+        with pytest.raises(ValueError):
+            _trim_by_magnitude(np.ones(3), 0.0)
+
+    def test_elect_sign_majority_by_magnitude(self):
+        vectors = [np.array([1.0, -3.0]), np.array([2.0, 1.0])]
+        sign = _elect_sign(vectors)
+        assert sign[0] == 1.0  # both positive
+        assert sign[1] == -1.0  # |-3| beats |1|
+
+
+class TestTies:
+    def test_identical_tasks_preserved_at_kept_entries(self):
+        base = sd(0)
+        tuned = sd(1)
+        out = ties_merge(base, [tuned, tuned], density=1.0)
+        for key in base:
+            assert np.allclose(out[key], tuned[key])
+
+    def test_opposite_tasks_cancel_to_dominant(self):
+        base = OrderedDict(w=np.zeros(2))
+        t1 = OrderedDict(w=np.array([2.0, 1.0]))
+        t2 = OrderedDict(w=np.array([-1.0, 1.0]))
+        out = ties_merge(base, [t1, t2], density=1.0)
+        # Entry 0: signs disagree, positive mass 2 > 1 -> keep only +2.
+        assert out["w"][0] == pytest.approx(2.0)
+        # Entry 1: agreement -> mean of 1,1.
+        assert out["w"][1] == pytest.approx(1.0)
+
+    def test_sparsity_applied(self):
+        base = sd(3)
+        tuned = sd(4)
+        out = ties_merge(base, [tuned], density=0.1)
+        changed = sum(np.count_nonzero(~np.isclose(out[k], base[k])) for k in base)
+        total = sum(v.size for v in base.values())
+        assert changed <= 0.2 * total
+
+
+class TestDella:
+    def test_magprune_unbiased_in_expectation(self):
+        rng = np.random.default_rng(0)
+        v = rng.normal(size=2000)
+        pruned = np.mean([_magprune(v, 0.5, 0.2, np.random.default_rng(i))
+                          for i in range(60)], axis=0)
+        assert np.allclose(pruned.mean(), v.mean(), atol=0.05)
+
+    def test_magprune_larger_magnitude_kept_more(self):
+        v = np.linspace(-1, 1, 1000)
+        keep_counts = np.zeros(1000)
+        for i in range(40):
+            keep_counts += _magprune(v, 0.5, 0.5, np.random.default_rng(i)) != 0
+        big = keep_counts[np.abs(v) > 0.8].mean()
+        small = keep_counts[np.abs(v) < 0.2].mean()
+        assert big > small
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            _magprune(np.ones(4), 0.0, 0.1, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            _magprune(np.ones(4), 0.5, -0.1, np.random.default_rng(0))
+
+    def test_deterministic_given_seed(self):
+        base, t1, t2 = sd(0), sd(1), sd(2)
+        out1 = della_merge(base, [t1, t2], seed=5)
+        out2 = della_merge(base, [t1, t2], seed=5)
+        for key in base:
+            assert np.array_equal(out1[key], out2[key])
+
+
+class TestDare:
+    def test_linear_mode_unbiased(self):
+        base = OrderedDict(w=np.zeros(4000))
+        tuned = OrderedDict(w=np.ones(4000))
+        out = np.mean([dare_merge(base, [tuned], density=0.5, seed=i)["w"]
+                       for i in range(30)], axis=0)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_mode_validation(self):
+        base, tuned = sd(0), sd(1)
+        with pytest.raises(ValueError):
+            dare_merge(base, [tuned], mode="bogus")
+        with pytest.raises(ValueError):
+            dare_merge(base, [tuned], density=0.0)
+
+    def test_ties_mode_runs(self):
+        base, t1, t2 = sd(0), sd(1), sd(2)
+        out = dare_merge(base, [t1, t2], mode="ties", seed=1)
+        assert set(out) == set(base)

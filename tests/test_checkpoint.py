@@ -1,0 +1,54 @@
+"""Checkpoint persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.checkpoint import (checkpoint_exists, load_model,
+                                 load_state_dict, save_model, save_state_dict)
+from repro.nn.transformer import TransformerConfig, TransformerLM
+
+
+@pytest.fixture
+def model():
+    return TransformerLM(TransformerConfig(vocab_size=12, dim=8, n_layers=1,
+                                           n_heads=2, max_seq_len=8, seed=3))
+
+
+def test_state_dict_roundtrip(tmp_path, model):
+    path = tmp_path / "weights.npz"
+    save_state_dict(model.state_dict(), path)
+    loaded = load_state_dict(path)
+    for key, value in model.state_dict().items():
+        assert np.array_equal(loaded[key], value)
+
+
+def test_state_dict_preserves_order(tmp_path, model):
+    path = tmp_path / "weights.npz"
+    state = model.state_dict()
+    save_state_dict(state, path)
+    assert list(load_state_dict(path)) == list(state)
+
+
+def test_save_creates_parent_dirs(tmp_path, model):
+    path = tmp_path / "deep" / "nested" / "w.npz"
+    save_state_dict(model.state_dict(), path)
+    assert path.exists()
+
+
+def test_model_roundtrip(tmp_path, model):
+    path = tmp_path / "ckpt"
+    save_model(model, path, metadata={"note": "test"})
+    loaded, meta = load_model(path)
+    assert meta == {"note": "test"}
+    assert loaded.config == model.config
+    ids = np.array([[1, 2, 3]])
+    assert np.allclose(loaded(ids).data, model(ids).data, atol=1e-6)
+
+
+def test_checkpoint_exists(tmp_path, model):
+    path = tmp_path / "ckpt"
+    assert not checkpoint_exists(path)
+    save_model(model, path)
+    assert checkpoint_exists(path)
+    path.with_suffix(".json").unlink()
+    assert not checkpoint_exists(path)

@@ -1,0 +1,219 @@
+"""Dataset-generator tests: determinism, splits, structural invariants."""
+
+import pytest
+
+from repro.data import (GENERAL_FACTS, all_documentation, build_tokenizer,
+                        eval_items, eval_triplets, general_qa_pairs,
+                        mcq_items, multi_turn_items, pretraining_sentences,
+                        train_items, train_triplets)
+from repro.data.corpus import GROUNDING_TEMPLATES
+from repro.data.extraction import (extraction_eval_samples,
+                                   extraction_pretraining_samples)
+from repro.data.industrial_qa import REFUSAL, UNANSWERABLE_PER_CATEGORY
+from repro.data.industrial_qa import CATEGORIES as IND_CATEGORIES
+from repro.data.instruction_data import (counterfactual_grounded_samples,
+                                         grounded_general_samples,
+                                         instruction_sft_samples,
+                                         multi_turn_general_samples)
+from repro.data.mcq import DOMAINS, items_by_domain
+from repro.data.openroad_qa import CATEGORIES as OR_CATEGORIES
+from repro.data.openroad_qa import EVAL_QUOTA
+
+
+class TestGeneralWorld:
+    def test_facts_align_with_qa(self):
+        assert len(general_qa_pairs()) == len(GENERAL_FACTS)
+
+    def test_pretraining_deterministic(self):
+        assert pretraining_sentences(seed=3) == pretraining_sentences(seed=3)
+
+    def test_pretraining_repeats(self):
+        assert len(pretraining_sentences(repeats=2)) == 2 * len(GENERAL_FACTS)
+
+    def test_grounding_templates_fill(self):
+        for template in GROUNDING_TEMPLATES:
+            for fill in template.fills:
+                assert fill in template.fill(fill)
+
+
+class TestOpenRoadQA:
+    def test_eval_set_size_is_90(self):
+        evals = eval_triplets()
+        assert len(evals) == 90
+        counts = {c: sum(1 for t in evals if t.category == c) for c in OR_CATEGORIES}
+        assert counts == EVAL_QUOTA
+
+    def test_no_fact_leak_between_splits(self):
+        train_facts = {t.fact_key for t in train_triplets()}
+        eval_facts = {t.fact_key for t in eval_triplets()}
+        assert not train_facts & eval_facts
+
+    def test_answers_grounded_in_context(self):
+        # Answers are grounded in their golden context up to the documented
+        # answer conventions: procedure ordering markers and the long-form
+        # default phrasing ("the default VALUE of X FOR cmd is Y").
+        convention = {"first", "then", "next", "after", "that", "finally",
+                      "value", "for"}
+        for t in eval_triplets():
+            answer_words = set(t.answer.split())
+            context_words = set(t.context.split())
+            missing = answer_words - context_words - convention
+            assert not missing, (t.fact_key, missing)
+
+    def test_deterministic(self):
+        a = [t.question for t in eval_triplets()]
+        b = [t.question for t in eval_triplets()]
+        assert a == b
+
+    def test_docs_cover_every_context(self):
+        docs = set(all_documentation())
+        for t in eval_triplets():
+            assert t.context in docs
+
+
+class TestIndustrialQA:
+    def test_eval_set_size_is_39(self):
+        evals = eval_items()
+        assert len(evals) == 39
+        per_cat = {c: sum(1 for i in evals if i.category == c) for c in IND_CATEGORIES}
+        assert per_cat == {"arch": 10, "build": 10, "lsf": 10, "testgen": 9}
+
+    def test_refusal_items_present(self):
+        evals = eval_items()
+        refusals = [i for i in evals if i.answer == REFUSAL]
+        assert len(refusals) == UNANSWERABLE_PER_CATEGORY * len(IND_CATEGORIES)
+
+    def test_refusal_chunks_are_off_topic(self):
+        for item in eval_items():
+            if item.answer != REFUSAL:
+                continue
+            # None of the chunks should contain the golden fact's content.
+            for chunk in item.chunks:
+                assert chunk not in item.question
+
+    def test_answerable_items_grounded_in_chunks(self):
+        for item in eval_items():
+            if item.answer == REFUSAL:
+                continue
+            assert item.answer in item.chunks
+
+    def test_eval_phrasings_never_in_training(self):
+        train_questions = {i.question for i in train_items()}
+        for item in eval_items():
+            assert item.question not in train_questions
+
+    def test_context_renders_chunk_markers(self):
+        item = eval_items()[0]
+        assert item.context.startswith("chunk 0 :")
+
+    def test_multi_turn_structure(self):
+        items = multi_turn_items()
+        assert len(items) == 20
+        for item in items:
+            assert item.first_answer in item.chunks or item.answer in item.chunks
+            assert item.category in IND_CATEGORIES
+
+
+class TestMCQ:
+    def test_counts_and_domains(self):
+        items = mcq_items()
+        assert {i.domain for i in items} == set(DOMAINS)
+        assert len(items) == 40
+
+    def test_answer_index_valid_and_choices_unique(self):
+        for item in mcq_items():
+            assert 0 <= item.answer_idx < len(item.choices)
+            assert len(set(item.choices)) == len(item.choices)
+
+    def test_answer_positions_shuffled(self):
+        positions = {i.answer_idx for i in mcq_items()}
+        assert len(positions) > 1
+
+    def test_items_by_domain(self):
+        bugs = items_by_domain("bugs")
+        assert all(i.domain == "bugs" for i in bugs)
+        with pytest.raises(KeyError):
+            items_by_domain("nope")
+
+    def test_deterministic(self):
+        a = [i.question for i in mcq_items(seed=7)]
+        b = [i.question for i in mcq_items(seed=7)]
+        assert a == b
+
+
+class TestInstructionData:
+    def test_sft_samples_are_compliant(self):
+        for sample in instruction_sft_samples(pool="a", per_question=3, seed=1):
+            for ins in sample.instructions:
+                assert ins.check(sample.response), (ins, sample.response)
+
+    def test_pool_selection(self):
+        kinds_a = {i.kind for s in instruction_sft_samples(pool="a", seed=0)
+                   for i in s.instructions}
+        assert "quote_wrap" in kinds_a or "max_words" in kinds_a
+        assert "two_parts" not in kinds_a  # pool-B exclusive
+
+    def test_grounded_general_has_context(self):
+        for sample in grounded_general_samples(n_samples=20, seed=2):
+            assert sample.prompt.startswith("context :")
+
+    def test_counterfactual_refusals_present_and_compliant(self):
+        samples = counterfactual_grounded_samples(n_samples=60, seed=3,
+                                                  refusal_fraction=0.5)
+        refusals = [s for s in samples if "enough information" in s.response]
+        assert refusals
+        for s in samples:
+            for ins in s.instructions:
+                assert ins.check(s.response)
+
+    def test_counterfactual_answer_matches_context_not_world(self):
+        samples = counterfactual_grounded_samples(n_samples=40, seed=4,
+                                                  refusal_fraction=0.0,
+                                                  instruction_fraction=0.0)
+        # Each answered sample's response is literally a context statement.
+        for s in samples:
+            context = s.prompt.split("question :")[0]
+            assert s.response.replace("chunk", "") and s.response in context
+
+    def test_multi_turn_samples_include_history(self):
+        for s in multi_turn_general_samples(n_samples=10, seed=5):
+            assert s.prompt.count("question :") == 2
+            assert s.prompt.count("assistant :") == 2
+
+
+class TestExtraction:
+    def test_pretraining_sample_structure(self):
+        for text in extraction_pretraining_samples(n_samples=20, seed=6):
+            assert "context :" in text and "question :" in text
+            assert "assistant :" in text
+
+    def test_answer_is_verbatim_context_fact(self):
+        for prompt, answer in extraction_eval_samples(n_samples=20, seed=7):
+            context = prompt.split("question :")[0]
+            assert answer in context
+
+    def test_refusal_fraction(self):
+        texts = extraction_pretraining_samples(n_samples=60, seed=8,
+                                               refusal_fraction=1.0)
+        assert all("enough information" in t for t in texts)
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            extraction_pretraining_samples(n_context=1)
+        with pytest.raises(ValueError):
+            extraction_pretraining_samples(refusal_fraction=2.0)
+
+
+class TestVocabulary:
+    def test_tokenizer_covers_all_benchmarks(self):
+        tok = build_tokenizer()
+        texts = []
+        for t in eval_triplets():
+            texts += [t.context, t.question, t.answer]
+        for i in eval_items():
+            texts += [i.context, i.question, i.answer]
+        for m in mcq_items():
+            texts += [m.question, *m.choices]
+        for text in texts:
+            ids = tok.encode(text)
+            assert tok.unk_id not in ids, text

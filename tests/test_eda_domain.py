@@ -1,0 +1,91 @@
+"""EDA knowledge-base tests: structural integrity of the synthetic world."""
+
+import pytest
+
+from repro.data.eda_domain import (BUGS, CIRCUIT_FACTS, COMMAND_BY_NAME,
+                                   COMMANDS, FLOW_STAGES, GUI_PROCEDURES,
+                                   STAGE_ORDER, all_documentation,
+                                   bug_paragraph, command_paragraph,
+                                   gui_paragraph, install_paragraph,
+                                   stage_paragraph)
+from repro.data.eda_domain import test_paragraph as render_testing_docs
+
+
+def test_command_names_unique():
+    names = [c.name for c in COMMANDS]
+    assert len(names) == len(set(names))
+    assert COMMAND_BY_NAME["global_place"].stage == "placement"
+
+
+def test_every_command_stage_is_known():
+    known = set(STAGE_ORDER) | {"analysis"}
+    for cmd in COMMANDS:
+        assert cmd.stage in known, cmd.name
+
+
+def test_option_names_unique_within_command():
+    for cmd in COMMANDS:
+        opts = [o for o, _, _ in cmd.options]
+        assert len(opts) == len(set(opts)), cmd.name
+
+
+def test_command_paragraph_contains_all_facts():
+    cmd = COMMAND_BY_NAME["global_place"]
+    paragraph = command_paragraph(cmd)
+    assert cmd.purpose in paragraph
+    assert cmd.stage in paragraph
+    for opt, role, default in cmd.options:
+        assert role in paragraph
+        assert default in paragraph
+
+
+def test_stage_paragraph_orders_stages():
+    paragraph = stage_paragraph()
+    positions = [paragraph.index(f"the {name} stage") for name, _ in FLOW_STAGES]
+    assert positions == sorted(positions)
+
+
+def test_gui_paragraphs_enumerate_steps():
+    for name, (goal, steps) in GUI_PROCEDURES.items():
+        paragraph = gui_paragraph(name)
+        assert goal in paragraph
+        for step in steps:
+            assert step in paragraph
+
+
+def test_gui_paragraph_unknown_raises():
+    with pytest.raises(KeyError):
+        gui_paragraph("teleport the die")
+
+
+def test_install_and_test_paragraphs():
+    assert "clone the orflow repository" in install_paragraph()
+    assert "test suites" in render_testing_docs()
+
+
+def test_bug_paragraph_structure():
+    paragraph = bug_paragraph(BUGS[0])
+    assert BUGS[0].symptom in paragraph
+    assert BUGS[0].cause in paragraph
+    assert BUGS[0].fix in paragraph
+
+
+def test_bug_ids_and_causes_unique():
+    assert len({b.bug_id for b in BUGS}) == len(BUGS)
+    assert len({b.cause for b in BUGS}) == len(BUGS)
+
+
+def test_circuit_subjects_unique():
+    assert len({f.subject for f in CIRCUIT_FACTS}) == len(CIRCUIT_FACTS)
+
+
+def test_all_documentation_is_lowercase_closed_vocab():
+    for doc in all_documentation():
+        assert doc == doc.lower()
+        assert doc.strip()
+
+
+def test_all_documentation_covers_every_source():
+    docs = all_documentation()
+    assert len(docs) == (len(COMMANDS) + 1 + len(GUI_PROCEDURES) + 2
+                         + len(BUGS) + len(CIRCUIT_FACTS))

@@ -1,0 +1,70 @@
+"""Experiment-runner tests against the cached model zoo.
+
+These exercise the same code paths as the benchmarks on reduced item
+counts; the session-scoped zoo fixture loads cached checkpoints (or trains
+them on first run).
+"""
+
+import numpy as np
+import pytest
+
+from repro.pipelines.experiment import (run_complexity, run_fig7, run_fig8,
+                                        run_table1, run_table2, run_table3)
+
+
+def test_complexity_runner_no_zoo():
+    result = run_complexity(sizes=((16, 1), (32, 1), (48, 2)), repeats=2)
+    assert len(result.param_counts) == 3
+    assert result.param_counts == sorted(result.param_counts)
+    assert all(s > 0 for s in result.seconds)
+    assert 0.0 <= result.linear_fit_r2 <= 1.0
+    assert "params" in result.table
+
+
+def test_table1_runner(zoo):
+    results = run_table1(families=("nano",), zoo=zoo, max_items=12)
+    assert len(results) == 1
+    result = results[0]
+    assert result.family == "nano"
+    # All expected rows and columns present.
+    assert "nano-ChipAlign" in result.scores
+    assert "GPT-4-sim" in result.scores
+    for row in result.scores.values():
+        assert set(row) == {"golden", "rag"}
+        for cells in row.values():
+            assert set(cells) == {"functionality", "vlsi_flow",
+                                  "gui_install_test", "all"}
+            assert all(0.0 <= v <= 1.0 for v in cells.values())
+    assert "method" in result.table
+
+
+def test_table2_runner(zoo):
+    result = run_table2(zoo=zoo)
+    assert len(result.scores) == 4
+    for row in result.scores.values():
+        assert set(row) == {"single", "multi"}
+        assert 0.0 <= row["single"]["all"] <= 100.0
+
+
+def test_table3_runner(zoo):
+    result = run_table3(zoo=zoo, n_prompts=20)
+    assert len(result.scores) == 6
+    for row in result.scores.values():
+        assert row["prompt_strict"] <= row["instruction_strict"] + 1.0
+        assert 0.0 <= row["prompt_loose"] <= 1.0
+        assert row["prompt_strict"] <= row["prompt_loose"] + 1e-9
+
+
+def test_fig7_runner(zoo):
+    result = run_fig7(zoo=zoo)
+    assert set(result.scores) == {"Chat", "ChipNeMo", "ChipAlign"}
+    for row in result.scores.values():
+        assert set(row) == {"eda_scripts", "bugs", "circuits", "overall"}
+
+
+def test_fig8_runner(zoo):
+    result = run_fig8(families=("nano",), lams=(0.0, 0.5, 1.0), zoo=zoo,
+                      max_items=9)
+    assert result.lams == [0.0, 0.5, 1.0]
+    assert len(result.scores["nano"]) == 3
+    assert all(0.0 <= v <= 1.0 for v in result.scores["nano"])

@@ -1,0 +1,120 @@
+"""Tests for the fused functional ops (softmax, cross-entropy, GELU, ...)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from tests.conftest import numeric_grad
+
+
+def grad_check(build, shape, seed=0, tol=1e-5):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=shape)
+    t = Tensor(a, requires_grad=True)
+    build(t).backward()
+
+    def scalar():
+        return float(build(Tensor(a)).data)
+
+    num = numeric_grad(scalar, a)
+    assert np.allclose(t.grad, num, atol=tol), np.abs(t.grad - num).max()
+
+
+@pytest.mark.usefixtures("float64")
+class TestFunctionalGradients:
+    def test_softmax(self):
+        grad_check(lambda t: (F.softmax(t, axis=-1) ** 2.0).sum(), (3, 5))
+
+    def test_log_softmax(self):
+        grad_check(lambda t: (F.log_softmax(t, axis=-1) * 0.3).sum(), (3, 5))
+
+    def test_gelu(self):
+        grad_check(lambda t: F.gelu(t).sum(), (4, 4))
+
+    def test_silu(self):
+        grad_check(lambda t: F.silu(t).sum(), (4, 4))
+
+    def test_masked_fill(self):
+        mask = np.array([[True, False, False], [False, True, False]])
+        grad_check(lambda t: (F.masked_fill(t, mask, -5.0) ** 2.0).sum(), (2, 3))
+
+    def test_cross_entropy(self):
+        targets = np.array([[1, 2], [0, 3]])
+        grad_check(lambda t: F.cross_entropy(t, targets), (2, 2, 5))
+
+    def test_cross_entropy_ignore_index(self):
+        targets = np.array([1, -100, 2])
+        grad_check(lambda t: F.cross_entropy(t, targets, ignore_index=-100), (3, 5))
+
+    def test_embedding(self):
+        ids = np.array([[0, 2], [2, 1]])
+        grad_check(lambda t: (F.embedding(t, ids) ** 2.0).sum(), (4, 3))
+
+
+class TestFunctionalValues:
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = Tensor(rng.normal(size=(4, 7)) * 10)
+        probs = F.softmax(x, axis=-1).data
+        assert np.allclose(probs.sum(axis=-1), 1.0, atol=1e-6)
+        assert (probs >= 0).all()
+
+    def test_softmax_extreme_values_stable(self):
+        x = Tensor(np.array([[1e4, -1e4, 0.0]]))
+        probs = F.softmax(x).data
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = Tensor(rng.normal(size=(3, 6)))
+        assert np.allclose(F.log_softmax(x).data, np.log(F.softmax(x).data), atol=1e-6)
+
+    def test_cross_entropy_perfect_prediction_near_zero(self):
+        logits = Tensor(np.array([[100.0, 0.0, 0.0]]))
+        loss = F.cross_entropy(logits, np.array([0]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-5)
+
+    def test_cross_entropy_uniform_is_log_vocab(self):
+        logits = Tensor(np.zeros((2, 8)))
+        loss = F.cross_entropy(logits, np.array([3, 5]))
+        assert loss.item() == pytest.approx(np.log(8), abs=1e-5)
+
+    def test_cross_entropy_all_ignored_is_zero(self):
+        logits = Tensor(np.zeros((2, 4)), requires_grad=True)
+        loss = F.cross_entropy(logits, np.array([-100, -100]), ignore_index=-100)
+        assert loss.item() == pytest.approx(0.0)
+        loss.backward()
+        assert np.allclose(logits.grad, 0.0)
+
+    def test_embedding_values(self):
+        w = Tensor(np.arange(12.0).reshape(4, 3))
+        out = F.embedding(w, np.array([2, 0]))
+        assert np.allclose(out.data, [[6, 7, 8], [0, 1, 2]])
+
+    def test_gelu_zero_at_zero(self):
+        assert F.gelu(Tensor(np.zeros(3))).data == pytest.approx(0.0)
+
+    def test_silu_known_value(self):
+        assert F.silu(Tensor(np.array([0.0]))).data[0] == pytest.approx(0.0)
+
+    def test_dropout_eval_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(5, 5)))
+        out = F.dropout(x, 0.5, training=False)
+        assert out is x
+
+    def test_dropout_scales_kept_units(self, rng):
+        x = Tensor(np.ones((2000,)))
+        out = F.dropout(x, 0.5, training=True, rng=np.random.default_rng(0))
+        kept = out.data[out.data != 0]
+        assert np.allclose(kept, 2.0)
+        # Around half survive.
+        assert 0.4 < len(kept) / 2000 < 0.6
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.5, training=True)
+
+    def test_masked_fill_values(self):
+        x = Tensor(np.ones((2, 2)))
+        out = F.masked_fill(x, np.array([[True, False], [False, True]]), -9.0)
+        assert np.allclose(out.data, [[-9, 1], [1, -9]])

@@ -1,0 +1,190 @@
+"""Geodesic interpolation tests — the paper's Lemma III.2 and Section III-B.
+
+Includes hypothesis property tests of the mathematical invariants:
+endpoints, unit norm along the arc, geometric-mean norm restoration, and
+symmetry between the two inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.geodesic import (frobenius_norm, geodesic_distance,
+                                 geodesic_merge, project_to_sphere,
+                                 restore_norm, slerp, sphere_angle)
+
+finite = st.floats(-10, 10, allow_nan=False, allow_infinity=False)
+
+
+def random_pair(seed=0, shape=(4, 5)):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=shape), rng.normal(size=shape)
+
+
+class TestProjection:
+    def test_unit_norm(self):
+        w = np.random.default_rng(0).normal(size=(3, 7))
+        unit, norm = project_to_sphere(w)
+        assert frobenius_norm(unit) == pytest.approx(1.0)
+        assert norm == pytest.approx(np.linalg.norm(w))
+        assert np.allclose(unit * norm, w)
+
+    def test_zero_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            project_to_sphere(np.zeros((2, 2)))
+
+
+class TestAngle:
+    def test_identical_is_zero(self):
+        w, _ = random_pair()
+        unit, _ = project_to_sphere(w)
+        assert sphere_angle(unit, unit) == pytest.approx(0.0, abs=1e-6)
+
+    def test_orthogonal_is_half_pi(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        assert sphere_angle(a, b) == pytest.approx(np.pi / 2)
+
+    def test_antipodal_is_pi(self):
+        a = np.array([1.0, 0.0])
+        assert sphere_angle(a, -a) == pytest.approx(np.pi)
+
+
+class TestSlerp:
+    def test_endpoints(self):
+        a, b = random_pair(1)
+        ua, _ = project_to_sphere(a)
+        ub, _ = project_to_sphere(b)
+        assert np.allclose(slerp(ua, ub, 1.0), ua, atol=1e-10)
+        assert np.allclose(slerp(ua, ub, 0.0), ub, atol=1e-10)
+
+    def test_stays_on_sphere(self):
+        a, b = random_pair(2)
+        ua, _ = project_to_sphere(a)
+        ub, _ = project_to_sphere(b)
+        for lam in np.linspace(0, 1, 11):
+            assert frobenius_norm(slerp(ua, ub, float(lam))) == pytest.approx(1.0, abs=1e-9)
+
+    def test_midpoint_equidistant(self):
+        a, b = random_pair(3)
+        ua, _ = project_to_sphere(a)
+        ub, _ = project_to_sphere(b)
+        mid = slerp(ua, ub, 0.5)
+        assert sphere_angle(mid, ua) == pytest.approx(sphere_angle(mid, ub), abs=1e-8)
+
+    def test_arc_additivity(self):
+        """The angle from endpoint to slerp(λ) is proportional to λ."""
+        a, b = random_pair(4)
+        ua, _ = project_to_sphere(a)
+        ub, _ = project_to_sphere(b)
+        theta = sphere_angle(ua, ub)
+        for lam in (0.25, 0.5, 0.75):
+            point = slerp(ua, ub, lam)
+            assert sphere_angle(point, ub) == pytest.approx(lam * theta, abs=1e-7)
+
+    def test_near_parallel_falls_back_to_lerp(self):
+        a = np.array([1.0, 0.0, 0.0])
+        b = a + 1e-12
+        b /= np.linalg.norm(b)
+        out = slerp(a, b, 0.3)
+        assert np.isfinite(out).all()
+        assert frobenius_norm(out) == pytest.approx(1.0)
+
+    def test_antipodal_raises(self):
+        a = np.array([1.0, 0.0])
+        with pytest.raises(ValueError):
+            slerp(a, -a, 0.5)
+
+    def test_lambda_bounds(self):
+        a, b = random_pair(5)
+        ua, _ = project_to_sphere(a)
+        ub, _ = project_to_sphere(b)
+        for bad in (-0.1, 1.1):
+            with pytest.raises(ValueError):
+                slerp(ua, ub, bad)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            slerp(np.ones(3) / np.sqrt(3), np.ones(4) / 2.0, 0.5)
+
+
+class TestGeodesicMerge:
+    def test_norm_is_geometric_mean(self):
+        a, b = random_pair(6)
+        for lam in (0.0, 0.3, 0.6, 1.0):
+            merged = geodesic_merge(a, b, lam)
+            expected = np.linalg.norm(a) ** lam * np.linalg.norm(b) ** (1 - lam)
+            assert frobenius_norm(merged) == pytest.approx(expected, rel=1e-8)
+
+    def test_endpoints_recover_inputs(self):
+        a, b = random_pair(7)
+        assert np.allclose(geodesic_merge(a, b, 1.0), a, atol=1e-8)
+        assert np.allclose(geodesic_merge(a, b, 0.0), b, atol=1e-8)
+
+    def test_both_zero(self):
+        out = geodesic_merge(np.zeros((2, 2)), np.zeros((2, 2)), 0.6)
+        assert np.array_equal(out, np.zeros((2, 2)))
+
+    def test_one_zero_falls_back_to_linear(self):
+        b = np.ones((2, 2))
+        out = geodesic_merge(np.zeros((2, 2)), b, 0.6)
+        assert np.allclose(out, 0.4 * b)
+
+    def test_scale_invariance_of_direction(self):
+        """Scaling an input changes the merged norm but not its direction."""
+        a, b = random_pair(8)
+        m1 = geodesic_merge(a, b, 0.6)
+        m2 = geodesic_merge(3.0 * a, b, 0.6)
+        u1, _ = project_to_sphere(m1)
+        u2, _ = project_to_sphere(m2)
+        assert np.allclose(u1, u2, atol=1e-8)
+
+    def test_works_on_1d_and_3d(self):
+        rng = np.random.default_rng(9)
+        for shape in ((7,), (2, 3, 4)):
+            a, b = rng.normal(size=shape), rng.normal(size=shape)
+            assert geodesic_merge(a, b, 0.6).shape == shape
+
+
+class TestRestoreNorm:
+    def test_basic(self):
+        unit = np.array([1.0, 0.0])
+        out = restore_norm(unit, 2.0, 8.0, 0.5)
+        assert frobenius_norm(out) == pytest.approx(4.0)  # sqrt(2*8)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            restore_norm(np.ones(2), 0.0, 1.0, 0.5)
+
+
+def test_geodesic_distance_symmetry_and_range():
+    a, b = random_pair(10)
+    d = geodesic_distance(a, b)
+    assert 0 <= d <= np.pi
+    assert d == pytest.approx(geodesic_distance(b, a))
+
+
+@given(arrays(np.float64, (3, 4), elements=finite),
+       arrays(np.float64, (3, 4), elements=finite),
+       st.floats(0, 1))
+@settings(max_examples=60, deadline=None)
+def test_merge_norm_property(a, b, lam):
+    na, nb = np.linalg.norm(a), np.linalg.norm(b)
+    if na < 1e-6 or nb < 1e-6:
+        return  # degenerate cases covered by explicit tests
+    if np.pi - sphere_angle(a / na, b / nb) < 1e-5:
+        return  # antipodal: undefined geodesic
+    merged = geodesic_merge(a, b, lam)
+    expected = na ** lam * nb ** (1 - lam)
+    assert frobenius_norm(merged) == pytest.approx(expected, rel=1e-6)
+
+
+@given(arrays(np.float64, (6,), elements=finite), st.floats(0, 1))
+@settings(max_examples=40, deadline=None)
+def test_self_merge_is_identity_property(a, lam):
+    if np.linalg.norm(a) < 1e-6:
+        return
+    merged = geodesic_merge(a, a, lam)
+    assert np.allclose(merged, a, rtol=1e-6, atol=1e-9)

@@ -1,0 +1,122 @@
+"""Benchmark-driver tests with deterministic stub answerers."""
+
+import pytest
+
+from repro.data.industrial_qa import REFUSAL, eval_items, multi_turn_items
+from repro.data.openroad_qa import eval_triplets
+from repro.eval.harness import (COMPLIANCE_CAP, INDUSTRIAL_INSTRUCTIONS,
+                                OPENROAD_INSTRUCTIONS, OPENROAD_PREFIX,
+                                Answerer, golden_reference, run_industrial,
+                                run_industrial_multiturn, run_openroad)
+from repro.eval.ifeval.instructions import StartWith
+
+
+class EchoGolden(Answerer):
+    """Cheating answerer: returns the compliant golden answer (upper bound)."""
+
+    def __init__(self, mapping, instructions):
+        self.mapping = mapping
+        self.instructions = instructions
+
+    def answer(self, question, context=None, instructions=(), history=()):
+        return golden_reference(self.mapping[question], self.instructions)
+
+
+class SaysNothing(Answerer):
+    def answer(self, question, context=None, instructions=(), history=()):
+        return "hmm"
+
+
+def test_golden_reference_applies_instructions():
+    ref = golden_reference("blue", (StartWith("answer :"), "a plain directive"))
+    assert ref == "answer : blue"
+
+
+class TestOpenRoad:
+    def test_perfect_answerer_scores_one(self):
+        triplets = eval_triplets()[:10]
+        mapping = {t.question: t.answer for t in triplets}
+        answerer = EchoGolden(mapping, OPENROAD_INSTRUCTIONS)
+        report = run_openroad(answerer, triplets)
+        assert report.overall == pytest.approx(1.0)
+
+    def test_bad_answerer_scores_low(self):
+        triplets = eval_triplets()[:10]
+        report = run_openroad(SaysNothing(), triplets)
+        assert report.overall < 0.1
+
+    def test_categories_reported(self):
+        triplets = eval_triplets()[:30]
+        report = run_openroad(SaysNothing(), triplets)
+        assert set(report.by_category) == {"functionality", "vlsi_flow",
+                                           "gui_install_test"}
+
+    def test_rag_mode_requires_pipeline(self):
+        with pytest.raises(ValueError):
+            run_openroad(SaysNothing(), eval_triplets()[:2], context_mode="rag")
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            run_openroad(SaysNothing(), eval_triplets()[:2], context_mode="oracle")
+
+    def test_empty_set(self):
+        with pytest.raises(ValueError):
+            run_openroad(SaysNothing(), [])
+
+    def test_rag_mode_runs(self):
+        from repro.data.openroad_qa import documentation_corpus
+        from repro.rag import RagPipeline
+
+        triplets = eval_triplets()[:5]
+        pipeline = RagPipeline(documentation_corpus())
+        report = run_openroad(SaysNothing(), triplets, context_mode="rag",
+                              rag_pipeline=pipeline)
+        assert len(report.responses) == 5
+
+
+class TestIndustrial:
+    def test_perfect_answerer_scores_100(self):
+        items = eval_items()
+        mapping = {i.question: i.answer for i in items}
+        answerer = EchoGolden(mapping, INDUSTRIAL_INSTRUCTIONS)
+        report = run_industrial(answerer, items)
+        assert report.overall == pytest.approx(100.0)
+
+    def test_refusal_on_everything_scores_only_refusal_items(self):
+        class AlwaysRefuse(Answerer):
+            def answer(self, question, context=None, instructions=(), history=()):
+                return golden_reference(REFUSAL, INDUSTRIAL_INSTRUCTIONS)
+
+        items = eval_items()
+        report = run_industrial(AlwaysRefuse(), items)
+        n_refusal = sum(1 for i in items if i.answer == REFUSAL)
+        expected = 100.0 * n_refusal / len(items)
+        assert report.overall == pytest.approx(expected, abs=1.0)
+
+    def test_compliance_cap_applied(self):
+        """A correct but format-violating answer is capped."""
+        items = [i for i in eval_items() if i.answer != REFUSAL][:5]
+
+        class CorrectButNonCompliant(Answerer):
+            def answer(self, question, context=None, instructions=(), history=()):
+                mapping = {i.question: i.answer for i in items}
+                return mapping[question]  # no "based on the context" prefix
+
+        report = run_industrial(CorrectButNonCompliant(), items)
+        assert all(v.score <= COMPLIANCE_CAP for v in report.verdicts)
+
+    def test_prefix_instruction_is_part_of_protocol(self):
+        assert OPENROAD_PREFIX in INDUSTRIAL_INSTRUCTIONS
+
+    def test_multiturn_perfect(self):
+        items = multi_turn_items()
+        mapping = {i.question: i.answer for i in items}
+        answerer = EchoGolden(mapping, INDUSTRIAL_INSTRUCTIONS)
+        report = run_industrial_multiturn(answerer, items)
+        assert report.overall == pytest.approx(100.0)
+
+    def test_empty_sets(self):
+        with pytest.raises(ValueError):
+            run_industrial(SaysNothing(), [])
+        with pytest.raises(ValueError):
+            run_industrial_multiturn(SaysNothing(), [])

@@ -1,0 +1,80 @@
+"""IFEval evaluator tests: the four accuracy numbers."""
+
+import pytest
+
+from repro.data.ifeval_data import IFEvalPrompt, ifeval_prompts
+from repro.eval.ifeval.evaluator import IFEvalResult, evaluate_responses
+from repro.eval.ifeval.instructions import EndWith, StartWith
+
+
+def make_prompt(*instructions, question="q"):
+    return IFEvalPrompt(prompt="question : q assistant :", question=question,
+                        instructions=tuple(instructions))
+
+
+def test_perfect_compliance():
+    prompts = [make_prompt(EndWith("done")), make_prompt(StartWith("answer :"))]
+    responses = ["ok done", "answer : ok"]
+    result = evaluate_responses(prompts, responses)
+    assert result.prompt_strict == result.prompt_loose == 1.0
+    assert result.instruction_strict == result.instruction_loose == 1.0
+
+
+def test_zero_compliance():
+    prompts = [make_prompt(EndWith("done"))]
+    result = evaluate_responses(prompts, ["nope"])
+    assert result.prompt_strict == 0.0
+    assert result.instruction_strict == 0.0
+
+
+def test_prompt_level_requires_all_instructions():
+    prompts = [make_prompt(EndWith("done"), StartWith("answer :"))]
+    # Only one of the two instructions followed.
+    result = evaluate_responses(prompts, ["blue done"])
+    assert result.prompt_strict == 0.0
+    assert result.instruction_strict == 0.5
+
+
+def test_loose_geq_strict():
+    prompts = [make_prompt(StartWith("answer :"))]
+    # Strict fails (quote before prefix) but loose transform strips quotes.
+    result = evaluate_responses(prompts, ['" answer : blue "'])
+    assert result.prompt_strict == 0.0
+    assert result.prompt_loose == 1.0
+
+
+def test_alignment_validation():
+    prompts = [make_prompt(EndWith("done"))]
+    with pytest.raises(ValueError):
+        evaluate_responses(prompts, [])
+    with pytest.raises(ValueError):
+        evaluate_responses([], [])
+
+
+def test_instruction_free_prompt_counts_as_pass():
+    result = evaluate_responses([make_prompt()], ["anything"])
+    assert result.prompt_strict == 1.0
+
+
+def test_as_dict_keys():
+    result = IFEvalResult(0.1, 0.2, 0.3, 0.4)
+    assert set(result.as_dict()) == {"prompt_strict", "prompt_loose",
+                                     "instruction_strict", "instruction_loose"}
+
+
+class TestPromptSet:
+    def test_size_and_determinism(self):
+        a = ifeval_prompts(n_prompts=30, seed=5)
+        b = ifeval_prompts(n_prompts=30, seed=5)
+        assert len(a) == 30
+        assert [p.prompt for p in a] == [p.prompt for p in b]
+
+    def test_every_prompt_has_instructions(self):
+        for p in ifeval_prompts(n_prompts=40):
+            assert 1 <= len(p.instructions) <= 2
+            for ins in p.instructions:
+                assert ins.render() in p.prompt
+
+    def test_prompts_end_with_assistant_cue(self):
+        for p in ifeval_prompts(n_prompts=10):
+            assert p.prompt.endswith("assistant :")

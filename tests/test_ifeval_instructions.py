@@ -1,0 +1,128 @@
+"""Verifiable-instruction tests: every checker, compliant-rewrite property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.ifeval.instructions import (ALL_KINDS, AvoidWord, EndWith,
+                                            IncludeWord, MaxWords, MinWords,
+                                            QuoteWrap, RepeatQuestion,
+                                            StartWith, TwoParts,
+                                            build_instruction, check_loose)
+
+ANSWERS = st.lists(st.sampled_from("the sky is blue and grass is green now".split()),
+                   min_size=1, max_size=12).map(" ".join)
+
+
+class TestCheckers:
+    def test_start_with(self):
+        ins = StartWith("answer :")
+        assert ins.check("answer : the sky is blue")
+        assert not ins.check("the answer : is blue")
+        assert not ins.check("answer")
+
+    def test_end_with(self):
+        ins = EndWith("done")
+        assert ins.check("all good done")
+        assert not ins.check("done early")
+        assert not ins.check("")
+
+    def test_include_word(self):
+        ins = IncludeWord("clearly")
+        assert ins.check("this is clearly true")
+        assert not ins.check("this is clear")  # substring is not a word
+
+    def test_avoid_word(self):
+        ins = AvoidWord("maybe")
+        assert ins.check("definitely yes")
+        assert not ins.check("well maybe not")
+
+    def test_max_words(self):
+        ins = MaxWords(3)
+        assert ins.check("one two three")
+        assert not ins.check("one two three four")
+        assert not ins.check("")  # empty response never complies
+
+    def test_min_words(self):
+        ins = MinWords(3)
+        assert ins.check("a b c d")
+        assert not ins.check("a b")
+
+    def test_quote_wrap(self):
+        ins = QuoteWrap()
+        assert ins.check('" hello there "')
+        assert not ins.check('hello "')
+        assert not ins.check('" "')  # needs content between the quotes
+
+    def test_two_parts(self):
+        ins = TwoParts()
+        assert ins.check("part one next part two")
+        assert not ins.check("next at the start")
+        assert not ins.check("ends with next")
+
+    def test_repeat_question(self):
+        ins = RepeatQuestion("what is the color of the sky")
+        assert ins.check("what is the color of the sky it is blue")
+        assert not ins.check("the sky is blue")
+        assert not ins.check("what is the color of the sky")  # no answer after
+
+
+class TestMakeCompliant:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    @pytest.mark.parametrize("answer", ["the sky is blue",
+                                        "a very long answer with many words in it indeed",
+                                        "maybe"])
+    def test_rewrite_passes_own_check(self, kind, answer):
+        rng = np.random.default_rng(0)
+        ins = build_instruction(kind, rng, question="what is the color of the sky")
+        rewritten = ins.make_compliant(answer)
+        assert ins.check(rewritten), (kind, rewritten)
+
+    @given(ANSWERS, st.sampled_from(ALL_KINDS), st.integers(0, 100))
+    @settings(max_examples=80, deadline=None)
+    def test_rewrite_property(self, answer, kind, seed):
+        rng = np.random.default_rng(seed)
+        ins = build_instruction(kind, rng, question="how many days are in a week")
+        assert ins.check(ins.make_compliant(answer))
+
+
+class TestLoose:
+    def test_strict_pass_implies_loose_pass(self):
+        ins = EndWith("done")
+        response = "fine done"
+        assert ins.check(response) and check_loose(ins, response)
+
+    def test_loose_forgives_trailing_decoration(self):
+        ins = StartWith("answer :")
+        response = '" answer : blue "'
+        assert not ins.check(response)
+        assert check_loose(ins, response)
+
+    def test_loose_forgives_prefix(self):
+        ins = EndWith("done")
+        response = "note : it is blue done"
+        assert ins.check(response)
+        # Removing first word still passes.
+        assert check_loose(ins, response)
+
+    def test_loose_still_fails_genuine_violation(self):
+        ins = EndWith("done")
+        assert not check_loose(ins, "never finished properly")
+
+
+def test_build_instruction_unknown_kind():
+    with pytest.raises(KeyError):
+        build_instruction("bogus", np.random.default_rng(0))
+
+
+def test_repeat_question_requires_question():
+    with pytest.raises(ValueError):
+        build_instruction("repeat_question", np.random.default_rng(0))
+
+
+def test_render_is_nonempty_for_all_kinds():
+    rng = np.random.default_rng(0)
+    for kind in ALL_KINDS:
+        ins = build_instruction(kind, rng, question="q")
+        assert ins.render().strip()

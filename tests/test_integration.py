@@ -1,0 +1,112 @@
+"""End-to-end integration tests of the paper's core claims, at tiny scale.
+
+These tests build a self-contained two-skill world (independent of the model
+zoo): a base model, an "instruct" fine-tune that learns skill A, a "chip"
+fine-tune that learns skill B while forgetting A, and verify that the
+ChipAlign merge recovers both — the qualitative content of Tables 1-3.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ChipAlignMerger, merge
+from repro.nn.generation import generate_text
+from repro.nn.tokenizer import WordTokenizer
+from repro.nn.trainer import TrainConfig, Trainer
+from repro.nn.transformer import TransformerConfig, TransformerLM
+from repro.pipelines.daft import pretrain, sft
+
+WORDS = ("question : assistant instruction the color of sky sea grass is blue "
+         "green red begin your response with answer end word done chip has "
+         "four cores two caches runs fast").split()
+
+
+@pytest.fixture(scope="module")
+def tiny_world():
+    tok = WordTokenizer(WORDS)
+    config = TransformerConfig(vocab_size=tok.vocab_size, dim=32, n_layers=2,
+                               n_heads=4, max_seq_len=48, seed=0)
+    base = TransformerLM(config)
+    sentences = ["the color of the sky is blue", "the color of grass is green",
+                 "the chip has four cores", "the chip has two caches"] * 4
+    pretrain(base, tok, sentences, TrainConfig(lr=3e-3, epochs=15, batch_size=8))
+
+    # Skill A (alignment): obey "end your response with the word done".
+    instruct = base.clone()
+    align_pairs = []
+    for q, a in [("the color of the sky", "the color of the sky is blue"),
+                 ("the color of grass", "the color of grass is green")]:
+        align_pairs.append((f"question : {q} instruction : end your response "
+                            f"with the word done assistant :", a + " done"))
+        align_pairs.append((f"question : {q} assistant :", a))
+    sft(instruct, tok, align_pairs * 6, TrainConfig(lr=2e-3, epochs=25, batch_size=8))
+
+    # Skill B (domain): answer chip questions; trained WITHOUT instructions.
+    chip = instruct.clone()
+    chip_pairs = [("question : the chip cores assistant :", "the chip has four cores"),
+                  ("question : the chip caches assistant :", "the chip has two caches")]
+    sft(chip, tok, chip_pairs * 8, TrainConfig(lr=1.5e-3, epochs=20, batch_size=8))
+
+    return tok, base, instruct, chip
+
+
+def ends_with_done(model, tok):
+    out = generate_text(model, tok,
+                        "question : the color of the sky instruction : end your "
+                        "response with the word done assistant :", max_new_tokens=10)
+    return out.split()[-1:] == ["done"]
+
+
+def knows_chip(model, tok):
+    out = generate_text(model, tok, "question : the chip cores assistant :",
+                        max_new_tokens=8)
+    return "four cores" in out
+
+
+def test_instruct_is_aligned_but_domain_weak(tiny_world):
+    tok, _, instruct, _ = tiny_world
+    assert ends_with_done(instruct, tok)
+    assert not knows_chip(instruct, tok)
+
+
+def test_chip_knows_domain(tiny_world):
+    tok, _, _, chip = tiny_world
+    assert knows_chip(chip, tok)
+
+
+def test_chipalign_merge_recovers_both_skills(tiny_world):
+    """The paper's headline claim at miniature scale: the geodesic merge
+    carries the chip model's domain skill AND the instruct model's alignment."""
+    tok, _, instruct, chip = tiny_world
+    merged = ChipAlignMerger(lam=0.6).merge_models(chip, instruct)
+    assert knows_chip(merged, tok)
+    assert ends_with_done(merged, tok)
+
+
+def test_all_merge_methods_produce_working_models(tiny_world):
+    tok, base, instruct, chip = tiny_world
+    for method in ("chipalign", "modelsoup", "ta", "ties", "della", "dare"):
+        merged_sd = merge(method, chip=chip.state_dict(),
+                          instruct=instruct.state_dict(),
+                          base=base.state_dict())
+        model = TransformerLM(chip.config)
+        model.load_state_dict(dict(merged_sd))
+        out = generate_text(model, tok, "question : the chip cores assistant :",
+                            max_new_tokens=6)
+        assert out.strip(), method  # generates something non-empty
+
+
+def test_lambda_endpoints_behave_like_sources(tiny_world):
+    tok, _, instruct, chip = tiny_world
+    at_one = ChipAlignMerger(lam=1.0).merge_models(chip, instruct)
+    at_zero = ChipAlignMerger(lam=0.0).merge_models(chip, instruct)
+    assert knows_chip(at_one, tok)
+    assert ends_with_done(at_zero, tok)
+
+
+def test_merged_model_stays_finite_over_full_sweep(tiny_world):
+    tok, _, instruct, chip = tiny_world
+    ids = np.array([[1, 4, 5]])
+    for lam in np.linspace(0, 1, 6):
+        merged = ChipAlignMerger(lam=float(lam)).merge_models(chip, instruct)
+        assert np.isfinite(merged(ids).data).all()

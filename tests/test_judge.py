@@ -1,0 +1,94 @@
+"""Reference-judge tests: the 5-point rubric of Table 2's grader."""
+
+import pytest
+
+from repro.data.prompting import REFUSAL
+from repro.eval.judge import (JudgeVerdict, ReferenceJudge, content_words,
+                              mean_score)
+
+CONTEXT = ("chunk 0 : the memory controller of orion supports two ddr channels "
+           "chunk 1 : the dma engine of orion moves data between memory and devices")
+QUESTION = "how many ddr channels does the orion memory controller support"
+GOLDEN = "the memory controller of orion supports two ddr channels"
+
+
+@pytest.fixture
+def judge():
+    return ReferenceJudge()
+
+
+def test_perfect_answer_scores_100(judge):
+    verdict = judge.grade(GOLDEN, GOLDEN, CONTEXT, QUESTION)
+    assert verdict.score == 100
+    assert verdict.coverage == pytest.approx(1.0)
+
+
+def test_empty_answer_scores_0(judge):
+    assert judge.grade("", GOLDEN, CONTEXT, QUESTION).score == 0
+
+
+def test_unrelated_answer_scores_0(judge):
+    verdict = judge.grade("bees make honey in the garden", GOLDEN, CONTEXT, QUESTION)
+    assert verdict.score == 0
+
+
+def test_partial_answer_scores_between(judge):
+    verdict = judge.grade("the memory controller supports channels",
+                          GOLDEN, CONTEXT, QUESTION)
+    assert 25 <= verdict.score <= 75
+
+
+def test_ungrounded_answer_capped(judge):
+    # Correct content words but padded with out-of-context material.
+    response = (GOLDEN + " also the sky is blue and bees make honey and"
+                " a garden grows many plants with fresh bread")
+    verdict = judge.grade(response, GOLDEN, CONTEXT, QUESTION)
+    assert verdict.grounding < 0.7
+    assert verdict.score <= 50
+
+
+def test_refusal_counts_as_grounded(judge):
+    verdict = judge.grade(REFUSAL, REFUSAL, CONTEXT, QUESTION)
+    assert verdict.score == 100
+
+
+def test_hallucination_on_refusal_item_scores_0(judge):
+    verdict = judge.grade("the orion chip has four cpu clusters", REFUSAL,
+                          "chunk 0 : something unrelated", QUESTION)
+    assert verdict.score == 0
+
+
+def test_decoration_ignored_by_coverage(judge):
+    decorated = "based on the context " + GOLDEN + " done"
+    verdict = judge.grade(decorated, GOLDEN, CONTEXT, QUESTION)
+    assert verdict.score == 100
+
+
+def test_verdict_score_validation():
+    with pytest.raises(ValueError):
+        JudgeVerdict(score=42, coverage=0.5, grounding=0.5)
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        ReferenceJudge(coverage_thresholds=(0.1, 0.5, 0.7, 0.9))
+
+
+def test_grade_batch_alignment(judge):
+    with pytest.raises(ValueError):
+        judge.grade_batch(["a"], ["a", "b"], ["c"], ["d"])
+    verdicts = judge.grade_batch([GOLDEN], [GOLDEN], [CONTEXT], [QUESTION])
+    assert len(verdicts) == 1 and verdicts[0].score == 100
+
+
+def test_mean_score(judge):
+    verdicts = [JudgeVerdict(100, 1, 1), JudgeVerdict(50, 0.5, 1)]
+    assert mean_score(verdicts) == 75.0
+    with pytest.raises(ValueError):
+        mean_score([])
+
+
+def test_content_words_strips_stopwords():
+    words = content_words("the memory controller of orion is based on the context")
+    assert "memory" in words and "controller" in words and "orion" in words
+    assert "the" not in words and "based" not in words and "context" not in words

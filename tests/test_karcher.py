@@ -1,0 +1,168 @@
+"""Karcher-mean (N-model geodesic merging) tests."""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geodesic import (frobenius_norm, geodesic_merge,
+                                 project_to_sphere, sphere_angle)
+from repro.core.karcher import (exp_map, karcher_mean,
+                                karcher_merge_state_dicts,
+                                karcher_merge_tensors, log_map)
+
+
+def unit(seed, shape=(6,)):
+    v = np.random.default_rng(seed).normal(size=shape)
+    return v / np.linalg.norm(v)
+
+
+class TestLogExpMaps:
+    def test_roundtrip(self):
+        base, point = unit(0), unit(1)
+        recovered = exp_map(base, log_map(base, point))
+        assert np.allclose(recovered, point, atol=1e-10)
+
+    def test_log_length_is_geodesic_distance(self):
+        base, point = unit(2), unit(3)
+        tangent = log_map(base, point)
+        assert frobenius_norm(tangent) == pytest.approx(sphere_angle(base, point))
+
+    def test_log_tangent_is_orthogonal_to_base(self):
+        base, point = unit(4), unit(5)
+        tangent = log_map(base, point)
+        assert float(np.sum(tangent * base)) == pytest.approx(0.0, abs=1e-10)
+
+    def test_log_of_self_is_zero(self):
+        base = unit(6)
+        assert np.allclose(log_map(base, base), 0.0)
+
+    def test_exp_of_zero_is_base(self):
+        base = unit(7)
+        assert np.allclose(exp_map(base, np.zeros_like(base)), base)
+
+    def test_exp_stays_on_sphere(self):
+        base, point = unit(8), unit(9)
+        out = exp_map(base, 0.5 * log_map(base, point))
+        assert frobenius_norm(out) == pytest.approx(1.0)
+
+    def test_antipodal_log_raises(self):
+        base = unit(10)
+        with pytest.raises(ValueError):
+            log_map(base, -base)
+
+
+class TestKarcherMean:
+    def test_single_point(self):
+        p = unit(0)
+        assert np.allclose(karcher_mean([p]), p, atol=1e-10)
+
+    def test_two_points_equal_slerp_midpoint(self):
+        from repro.core.geodesic import slerp
+
+        a, b = unit(1), unit(2)
+        mean = karcher_mean([a, b])
+        mid = slerp(a, b, 0.5)
+        assert np.allclose(mean, mid, atol=1e-8)
+
+    def test_weighted_two_points_equal_slerp(self):
+        from repro.core.geodesic import slerp
+
+        a, b = unit(3), unit(4)
+        mean = karcher_mean([a, b], weights=[0.7, 0.3])
+        # Karcher with weights (wa, wb) = slerp at lambda=wa toward a.
+        assert np.allclose(mean, slerp(a, b, 0.7), atol=1e-7)
+
+    def test_mean_on_sphere(self):
+        points = [unit(i) for i in range(5)]
+        mean = karcher_mean(points)
+        assert frobenius_norm(mean) == pytest.approx(1.0)
+
+    def test_mean_of_identical_points(self):
+        p = unit(11)
+        assert np.allclose(karcher_mean([p, p, p]), p, atol=1e-10)
+
+    def test_symmetric_configuration(self):
+        """Three points symmetric about an axis have their mean on it."""
+        axis = np.array([0.0, 0.0, 1.0])
+        tilt = 0.4
+        points = []
+        for angle in (0, 2 * np.pi / 3, 4 * np.pi / 3):
+            points.append(np.array([np.sin(tilt) * np.cos(angle),
+                                    np.sin(tilt) * np.sin(angle),
+                                    np.cos(tilt)]))
+        mean = karcher_mean(points)
+        assert np.allclose(mean, axis, atol=1e-6)
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            karcher_mean([])
+        with pytest.raises(ValueError):
+            karcher_mean([unit(0)], weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            karcher_mean([unit(0)], weights=[0.0])
+
+    @given(st.integers(0, 50), st.integers(51, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_mean_within_hull_property(self, s1, s2):
+        a, b = unit(s1), unit(s2)
+        mean = karcher_mean([a, b])
+        # The mean lies between the two points: angles to each are half of total.
+        total = sphere_angle(a, b)
+        assert sphere_angle(mean, a) + sphere_angle(mean, b) == pytest.approx(
+            total, abs=1e-5)
+
+
+class TestKarcherMerge:
+    def test_two_tensor_merge_matches_geodesic_merge(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(4, 4)), rng.normal(size=(4, 4))
+        karcher = karcher_merge_tensors([a, b], weights=[0.6, 0.4])
+        classic = geodesic_merge(a, b, lam=0.6)
+        assert np.allclose(karcher, classic, atol=1e-6)
+
+    def test_norm_is_weighted_geometric_mean(self):
+        rng = np.random.default_rng(1)
+        tensors = [rng.normal(size=(3, 3)) * s for s in (1.0, 2.0, 4.0)]
+        merged = karcher_merge_tensors(tensors)
+        norms = [np.linalg.norm(t) for t in tensors]
+        expected = np.exp(np.mean(np.log(norms)))
+        assert frobenius_norm(merged) == pytest.approx(expected, rel=1e-6)
+
+    def test_all_zero_tensors(self):
+        out = karcher_merge_tensors([np.zeros((2, 2)), np.zeros((2, 2))])
+        assert np.array_equal(out, np.zeros((2, 2)))
+
+    def test_state_dict_merge(self):
+        rng = np.random.default_rng(2)
+        dicts = [OrderedDict(w=rng.normal(size=(3, 3)), b=rng.normal(size=4))
+                 for _ in range(3)]
+        merged = karcher_merge_state_dicts(dicts)
+        assert set(merged) == {"w", "b"}
+        with pytest.raises(ValueError):
+            bad = [dicts[0], OrderedDict(w=np.zeros((9, 9)), b=np.zeros(4))]
+            karcher_merge_state_dicts(bad)
+        with pytest.raises(ValueError):
+            karcher_merge_state_dicts([])
+
+    def test_three_model_merge_produces_working_model(self):
+        """Merging three fine-tunes yields a functioning model (the paper's
+        'other domains' extension)."""
+        from repro.nn.transformer import TransformerConfig, TransformerLM
+
+        config = TransformerConfig(vocab_size=16, dim=8, n_layers=1,
+                                   n_heads=2, max_seq_len=8, seed=0)
+        base = TransformerLM(config)
+        variants = []
+        for i in range(3):
+            m = base.clone()
+            m.tok_emb.weight.data = m.tok_emb.weight.data + \
+                np.random.default_rng(i).normal(0, 0.01, m.tok_emb.weight.data.shape).astype(m.tok_emb.weight.data.dtype)
+            variants.append(m.state_dict())
+        merged = karcher_merge_state_dicts(variants)
+        model = TransformerLM(config)
+        model.load_state_dict(dict(merged))
+        out = model(np.array([[1, 2, 3]]))
+        assert np.isfinite(out.data).all()

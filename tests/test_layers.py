@@ -1,0 +1,102 @@
+"""Layer tests: linear, embedding, normalisation, feed-forward."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (Dropout, Embedding, FeedForward, LayerNorm,
+                             Linear, RMSNorm)
+from repro.nn.tensor import Tensor
+
+
+def test_linear_shapes_and_bias():
+    layer = Linear(4, 6, seed=0)
+    out = layer(Tensor(np.ones((3, 4))))
+    assert out.shape == (3, 6)
+    expected = np.ones((3, 4)) @ layer.weight.data.T + layer.bias.data
+    assert np.allclose(out.data, expected, atol=1e-6)
+
+
+def test_linear_no_bias():
+    layer = Linear(4, 6, bias=False, seed=0)
+    assert layer.bias is None
+    assert len(list(layer.named_parameters())) == 1
+
+
+def test_linear_batched_input():
+    layer = Linear(4, 2, seed=0)
+    out = layer(Tensor(np.ones((2, 5, 4))))
+    assert out.shape == (2, 5, 2)
+
+
+def test_linear_deterministic_init():
+    a, b = Linear(4, 4, seed=7), Linear(4, 4, seed=7)
+    assert np.array_equal(a.weight.data, b.weight.data)
+    c = Linear(4, 4, seed=8)
+    assert not np.array_equal(a.weight.data, c.weight.data)
+
+
+def test_embedding_lookup_and_bounds():
+    emb = Embedding(10, 4, seed=0)
+    out = emb(np.array([[0, 9], [3, 3]]))
+    assert out.shape == (2, 2, 4)
+    with pytest.raises(IndexError):
+        emb(np.array([10]))
+    with pytest.raises(IndexError):
+        emb(np.array([-1]))
+
+
+def test_layernorm_normalises():
+    ln = LayerNorm(8)
+    x = Tensor(np.random.default_rng(0).normal(3.0, 5.0, size=(4, 8)))
+    out = ln(x).data
+    assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+    assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+
+def test_layernorm_affine_applied():
+    ln = LayerNorm(4)
+    ln.weight.data = np.full(4, 2.0, dtype=ln.weight.data.dtype)
+    ln.bias.data = np.full(4, 1.0, dtype=ln.bias.data.dtype)
+    x = Tensor(np.random.default_rng(1).normal(size=(3, 4)))
+    out = ln(x).data
+    assert np.allclose(out.mean(axis=-1), 1.0, atol=1e-4)
+
+
+def test_rmsnorm_unit_rms():
+    rn = RMSNorm(16)
+    x = Tensor(np.random.default_rng(0).normal(0, 10.0, size=(5, 16)))
+    out = rn(x).data
+    rms = np.sqrt((out ** 2).mean(axis=-1))
+    assert np.allclose(rms, 1.0, atol=1e-3)
+
+
+def test_rmsnorm_no_mean_subtraction():
+    rn = RMSNorm(4)
+    x = Tensor(np.full((1, 4), 3.0))
+    out = rn(x).data
+    # All-equal inputs stay all-equal (RMSNorm preserves direction).
+    assert np.allclose(out, out[0, 0])
+    assert out[0, 0] > 0
+
+
+def test_feedforward_shapes():
+    ff = FeedForward(8, 32, seed=0)
+    out = ff(Tensor(np.ones((2, 3, 8))))
+    assert out.shape == (2, 3, 8)
+
+
+def test_feedforward_is_gated():
+    ff = FeedForward(4, 8, seed=0)
+    # Zero gate projection => silu(0) = 0 => output must be zero.
+    ff.gate_proj.weight.data = np.zeros_like(ff.gate_proj.weight.data)
+    out = ff(Tensor(np.ones((1, 4))))
+    assert np.allclose(out.data, 0.0)
+
+
+def test_dropout_layer_respects_mode():
+    layer = Dropout(0.9, seed=0)
+    x = Tensor(np.ones((100,)))
+    layer.eval()
+    assert np.array_equal(layer(x).data, x.data)
+    layer.train()
+    assert (layer(x).data == 0).sum() > 50

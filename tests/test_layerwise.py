@@ -1,0 +1,68 @@
+"""Layer-wise λ schedule tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.geodesic import geodesic_merge
+from repro.core.layerwise import (LambdaSchedule, layer_index,
+                                  merge_state_dicts_layerwise)
+from repro.core.merge import merge_state_dicts
+from repro.nn.transformer import TransformerConfig, TransformerLM
+
+
+def test_layer_index_parsing():
+    assert layer_index("blocks.0.attn.q_proj.weight") == 0
+    assert layer_index("blocks.12.mlp.down_proj.weight") == 12
+    assert layer_index("tok_emb.weight") is None
+    assert layer_index("final_norm.weight") is None
+
+
+def test_constant_schedule_matches_global_merge():
+    config = TransformerConfig(vocab_size=16, dim=8, n_layers=2, n_heads=2,
+                               max_seq_len=8, seed=0)
+    chip = TransformerLM(config).state_dict()
+    instruct = TransformerLM(TransformerConfig(**{**config.to_dict(), "seed": 1})).state_dict()
+    schedule = LambdaSchedule.constant(0.6, n_layers=2)
+    layered = merge_state_dicts_layerwise(chip, instruct, schedule)
+    global_merge = merge_state_dicts(chip, instruct, lam=0.6)
+    for key in chip:
+        assert np.allclose(layered[key], global_merge[key]), key
+
+
+def test_linear_schedule_endpoints():
+    schedule = LambdaSchedule.linear(0.2, 0.8, n_layers=4)
+    assert schedule.lam_for("blocks.0.attn.q_proj.weight") == pytest.approx(0.2)
+    assert schedule.lam_for("blocks.3.attn.q_proj.weight") == pytest.approx(0.8)
+    assert schedule.lam_for("tok_emb.weight") == pytest.approx(0.6)
+
+
+def test_single_layer_model_uses_start():
+    schedule = LambdaSchedule.linear(0.1, 0.9, n_layers=1)
+    assert schedule.lam_for("blocks.0.mlp.up_proj.weight") == pytest.approx(0.1)
+
+
+def test_layerwise_merge_applies_per_layer_lambda():
+    config = TransformerConfig(vocab_size=16, dim=8, n_layers=2, n_heads=2,
+                               max_seq_len=8, seed=0)
+    chip = TransformerLM(config).state_dict()
+    instruct = TransformerLM(TransformerConfig(**{**config.to_dict(), "seed": 1})).state_dict()
+    schedule = LambdaSchedule.linear(0.0, 1.0, n_layers=2, default=0.5)
+    layered = merge_state_dicts_layerwise(chip, instruct, schedule)
+    # Block 0 at lambda=0 -> instruct weights; block 1 at lambda=1 -> chip.
+    key0 = "blocks.0.attn.q_proj.weight"
+    key1 = "blocks.1.attn.q_proj.weight"
+    assert np.allclose(layered[key0], instruct[key0], atol=1e-7)
+    assert np.allclose(layered[key1], chip[key1], atol=1e-7)
+    # Non-block tensor merged at the default.
+    emb = geodesic_merge(chip["tok_emb.weight"], instruct["tok_emb.weight"], 0.5)
+    assert np.allclose(layered["tok_emb.weight"], emb)
+
+
+def test_schedule_validations():
+    with pytest.raises(ValueError):
+        LambdaSchedule.constant(0.5, n_layers=0)
+    with pytest.raises(ValueError):
+        LambdaSchedule(lambda d: 0.5, n_layers=2, default=1.5)
+    schedule = LambdaSchedule(lambda d: 2.0, n_layers=2)
+    with pytest.raises(ValueError):
+        schedule.lam_for("blocks.0.attn.q_proj.weight")

@@ -1,0 +1,99 @@
+"""LoRA tests: adapter wrapping, freezing, merge-back equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.nn.lora import LoRALinear, apply_lora, lora_parameters, merge_lora
+from repro.nn.layers import Linear
+from repro.nn.tensor import Tensor
+from repro.nn.trainer import TrainConfig, Trainer
+from repro.nn.transformer import TransformerConfig, TransformerLM
+
+
+@pytest.fixture
+def model():
+    return TransformerLM(TransformerConfig(vocab_size=20, dim=16, n_layers=1,
+                                           n_heads=2, max_seq_len=16, seed=0))
+
+
+def test_lora_initially_identity():
+    base = Linear(6, 4, seed=0)
+    wrapped = LoRALinear(base, rank=2, alpha=4.0, seed=1)
+    x = Tensor(np.random.default_rng(0).normal(size=(3, 6)))
+    assert np.allclose(wrapped(x).data, base(x).data, atol=1e-6)
+
+
+def test_lora_freezes_base():
+    base = Linear(6, 4, seed=0)
+    wrapped = LoRALinear(base, rank=2, alpha=4.0)
+    assert not base.weight.requires_grad
+    assert wrapped.lora_a.requires_grad and wrapped.lora_b.requires_grad
+
+
+def test_lora_rank_validation():
+    with pytest.raises(ValueError):
+        LoRALinear(Linear(4, 4, seed=0), rank=0, alpha=1.0)
+
+
+def test_apply_lora_wraps_all_targets(model):
+    adapters = apply_lora(model, rank=2, alpha=4.0)
+    # 1 layer: q,k,v,o + gate,up,down = 7 adapters.
+    assert len(adapters) == 7
+    trainable = [n for n, p in model.named_parameters() if p.requires_grad]
+    assert trainable and all("lora_" in n for n in trainable)
+
+
+def test_apply_lora_bad_targets(model):
+    with pytest.raises(ValueError):
+        apply_lora(model, targets=("nonexistent_proj",))
+
+
+def test_lora_parameters_requires_adapters(model):
+    with pytest.raises(ValueError):
+        lora_parameters(model)
+
+
+def test_forward_unchanged_right_after_apply(model):
+    ids = np.array([[1, 2, 3]])
+    before = model(ids).data.copy()
+    apply_lora(model, rank=2, alpha=4.0)
+    after = model(ids).data
+    assert np.allclose(before, after, atol=1e-5)
+
+
+def test_merge_lora_preserves_function(model):
+    ids = np.array([[1, 2, 3, 4]])
+    apply_lora(model, rank=2, alpha=4.0, seed=3)
+    Trainer(model, pad_id=0, config=TrainConfig(epochs=10, batch_size=4, lr=5e-3),
+            parameters=lora_parameters(model)).fit([[1, 5, 6, 7, 2]] * 4)
+    with_adapters = model(ids).data.copy()
+    merge_lora(model)
+    merged = model(ids).data
+    assert np.allclose(with_adapters, merged, atol=1e-4)
+    # After merging there are no LoRA parameters left and all are trainable.
+    names = [n for n, _ in model.named_parameters()]
+    assert not any("lora_" in n for n in names)
+    assert all(p.requires_grad for p in model.parameters())
+
+
+def test_merged_state_dict_matches_plain_architecture(model):
+    plain_keys = set(model.state_dict())
+    apply_lora(model, rank=2, alpha=4.0)
+    merge_lora(model)
+    assert set(model.state_dict()) == plain_keys
+
+
+def test_lora_training_changes_only_adapters(model):
+    apply_lora(model, rank=2, alpha=4.0)
+    emb_before = model.tok_emb.weight.data.copy()
+    base_before = model.blocks[0].attn.q_proj.base.weight.data.copy()
+    Trainer(model, pad_id=0, config=TrainConfig(epochs=5, batch_size=4),
+            parameters=lora_parameters(model)).fit([[1, 5, 6, 2]] * 4)
+    assert np.array_equal(model.tok_emb.weight.data, emb_before)
+    assert np.array_equal(model.blocks[0].attn.q_proj.base.weight.data, base_before)
+
+
+def test_delta_weight_shape():
+    base = Linear(6, 4, seed=0)
+    wrapped = LoRALinear(base, rank=2, alpha=4.0)
+    assert wrapped.delta_weight().shape == (4, 6)

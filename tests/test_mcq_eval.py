@@ -1,0 +1,64 @@
+"""MCQ evaluator tests with a rigged model."""
+
+import numpy as np
+import pytest
+
+from repro.data.mcq import MCQItem
+from repro.eval.mcq_eval import MCQResult, choose, evaluate_mcq
+from repro.nn.tokenizer import WordTokenizer
+from repro.nn.trainer import TrainConfig, Trainer
+from repro.nn.transformer import TransformerConfig, TransformerLM
+
+
+@pytest.fixture(scope="module")
+def rigged():
+    """A tokenizer + model trained to strongly prefer one sentence."""
+    tok = WordTokenizer("question : assistant the answer is alpha beta gamma delta which word wins".split())
+    config = TransformerConfig(vocab_size=tok.vocab_size, dim=16, n_layers=1,
+                               n_heads=2, max_seq_len=24, seed=0)
+    model = TransformerLM(config)
+    text = "question : which word wins assistant : the answer is alpha"
+    seq = tok.encode(text, add_bos=True, add_eos=True)
+    Trainer(model, pad_id=tok.pad_id,
+            config=TrainConfig(epochs=40, batch_size=4, lr=3e-3)).fit([seq] * 6)
+    return tok, model
+
+
+def test_choose_prefers_trained_choice(rigged):
+    tok, model = rigged
+    item = MCQItem("which word wins",
+                   ("the answer is beta", "the answer is alpha", "the answer is gamma"),
+                   answer_idx=1, domain="eda_scripts")
+    assert choose(model, tok, item) == 1
+
+
+def test_evaluate_reports_by_domain(rigged):
+    tok, model = rigged
+    items = [
+        MCQItem("which word wins", ("the answer is alpha", "the answer is beta"),
+                0, "eda_scripts"),
+        MCQItem("which word wins", ("the answer is delta", "the answer is alpha"),
+                1, "bugs"),
+    ]
+    result = evaluate_mcq(model, tok, items)
+    assert set(result.by_domain) == {"eda_scripts", "bugs"}
+    assert result.overall == pytest.approx(1.0)
+
+
+def test_empty_items_rejected(rigged):
+    tok, model = rigged
+    with pytest.raises(ValueError):
+        evaluate_mcq(model, tok, [])
+
+
+def test_length_normalisation_prevents_short_bias(rigged):
+    """A longer correct continuation can beat a shorter wrong one."""
+    tok, model = rigged
+    item = MCQItem("which word wins",
+                   ("beta", "the answer is alpha"), 1, "circuits")
+    assert choose(model, tok, item) == 1
+
+
+def test_mcq_result_overall():
+    result = MCQResult({"a": 1.0, "b": 0.0})
+    assert result.overall == pytest.approx(0.5)

@@ -1,0 +1,104 @@
+"""Model-level ChipAlign merge tests."""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.core.geodesic import geodesic_merge
+from repro.core.merge import (ChipAlignMerger, merge_state_dicts,
+                              validate_conformable)
+from repro.nn.transformer import TransformerConfig, TransformerLM
+
+
+def make_pair(seed_a=0, seed_b=1, shapes=((3, 4), (5,))):
+    rng_a, rng_b = np.random.default_rng(seed_a), np.random.default_rng(seed_b)
+    a = OrderedDict((f"w{i}", rng_a.normal(size=s)) for i, s in enumerate(shapes))
+    b = OrderedDict((f"w{i}", rng_b.normal(size=s)) for i, s in enumerate(shapes))
+    return a, b
+
+
+def test_merge_applies_geodesic_per_tensor():
+    a, b = make_pair()
+    merged = merge_state_dicts(a, b, lam=0.6)
+    for key in a:
+        assert np.allclose(merged[key], geodesic_merge(a[key], b[key], 0.6))
+
+
+def test_merge_preserves_key_order():
+    a, b = make_pair()
+    assert list(merge_state_dicts(a, b)) == list(a)
+
+
+def test_merge_endpoints():
+    a, b = make_pair()
+    m1 = merge_state_dicts(a, b, lam=1.0)
+    m0 = merge_state_dicts(a, b, lam=0.0)
+    for key in a:
+        assert np.allclose(m1[key], a[key], atol=1e-8)
+        assert np.allclose(m0[key], b[key], atol=1e-8)
+
+
+def test_exclude_patterns_copy_chip_weights():
+    a, b = make_pair()
+    merged = merge_state_dicts(a, b, lam=0.5, exclude=("w0",))
+    assert np.array_equal(merged["w0"], a["w0"])
+    assert not np.allclose(merged["w1"], a["w1"])
+
+
+def test_exclude_glob():
+    a, b = make_pair(shapes=((2, 2), (2, 2)))
+    merged = merge_state_dicts(a, b, lam=0.5, exclude=("w*",))
+    for key in a:
+        assert np.array_equal(merged[key], a[key])
+
+
+def test_validate_conformable_key_mismatch():
+    a, b = make_pair()
+    del b["w1"]
+    with pytest.raises(KeyError):
+        validate_conformable(a, b)
+
+
+def test_validate_conformable_shape_mismatch():
+    a, b = make_pair()
+    b["w0"] = np.zeros((9, 9))
+    with pytest.raises(ValueError):
+        validate_conformable(a, b)
+
+
+def test_merger_lambda_validation():
+    with pytest.raises(ValueError):
+        ChipAlignMerger(lam=1.5)
+
+
+def test_merge_models_end_to_end():
+    config = TransformerConfig(vocab_size=16, dim=8, n_layers=1, n_heads=2,
+                               max_seq_len=8, seed=0)
+    chip = TransformerLM(config)
+    instruct = TransformerLM(config)
+    instruct.tok_emb.weight.data = instruct.tok_emb.weight.data + 0.1
+    merged = ChipAlignMerger(lam=0.6).merge_models(chip, instruct)
+    assert merged is not chip and merged is not instruct
+    assert not merged.training  # served in eval mode
+    ids = np.array([[1, 2, 3]])
+    out = merged(ids).data
+    assert np.isfinite(out).all()
+
+
+def test_merge_models_architecture_mismatch():
+    a = TransformerLM(TransformerConfig(vocab_size=16, dim=8, n_layers=1,
+                                        n_heads=2, max_seq_len=8, seed=0))
+    b = TransformerLM(TransformerConfig(vocab_size=16, dim=16, n_layers=1,
+                                        n_heads=2, max_seq_len=8, seed=0))
+    with pytest.raises(ValueError):
+        ChipAlignMerger().merge_models(a, b)
+
+
+def test_merging_identical_models_is_identity():
+    config = TransformerConfig(vocab_size=16, dim=8, n_layers=1, n_heads=2,
+                               max_seq_len=8, seed=0)
+    model = TransformerLM(config)
+    merged = ChipAlignMerger(lam=0.37).merge_models(model, model.clone())
+    for key, value in model.state_dict().items():
+        assert np.allclose(merged.state_dict()[key], value, atol=1e-6), key

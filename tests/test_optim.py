@@ -1,0 +1,120 @@
+"""Optimizer and schedule tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam, AdamW, CosineSchedule, clip_grad_norm
+from repro.nn.tensor import Tensor
+
+
+def quadratic_param(start=5.0):
+    return Parameter(np.array([start]))
+
+
+def step_quadratic(opt, p, n=100):
+    for _ in range(n):
+        opt.zero_grad()
+        loss = (p * p).sum()
+        loss.backward()
+        opt.step()
+    return float(p.data[0])
+
+
+def test_sgd_converges_on_quadratic():
+    p = quadratic_param()
+    assert abs(step_quadratic(SGD([p], lr=0.1), p)) < 1e-3
+
+
+def test_sgd_momentum_converges():
+    p = quadratic_param()
+    assert abs(step_quadratic(SGD([p], lr=0.05, momentum=0.9), p, n=300)) < 1e-2
+
+
+def test_adam_converges():
+    p = quadratic_param()
+    assert abs(step_quadratic(Adam([p], lr=0.3), p, n=200)) < 1e-2
+
+
+def test_adamw_decays_weights():
+    # With zero gradient signal, AdamW's decoupled decay shrinks weights; Adam doesn't.
+    p1, p2 = quadratic_param(1.0), quadratic_param(1.0)
+    adamw = AdamW([p1], lr=0.01, weight_decay=0.5)
+    adam = Adam([p2], lr=0.01)
+    for _ in range(10):
+        p1.grad = np.zeros_like(p1.data)
+        p2.grad = np.zeros_like(p2.data)
+        adamw.step()
+        adam.step()
+    assert p1.data[0] < 1.0
+    assert p2.data[0] == pytest.approx(1.0)
+
+
+def test_optimizer_skips_params_without_grad():
+    p = quadratic_param(2.0)
+    opt = SGD([p], lr=0.1)
+    opt.step()  # no grad set
+    assert p.data[0] == 2.0
+
+
+def test_optimizer_validations():
+    with pytest.raises(ValueError):
+        SGD([], lr=0.1)
+    with pytest.raises(ValueError):
+        SGD([quadratic_param()], lr=-1.0)
+
+
+def test_adam_bias_correction_first_step():
+    # After one step with constant gradient g, Adam moves by ~lr regardless of g scale.
+    for g in (0.001, 1000.0):
+        p = quadratic_param(0.0)
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([g], dtype=p.data.dtype)
+        opt.step()
+        assert p.data[0] == pytest.approx(-0.1, rel=1e-3)
+
+
+class TestCosineSchedule:
+    def test_warmup_then_decay(self):
+        sched = CosineSchedule(1.0, total_steps=100, warmup_steps=10, min_lr=0.1)
+        assert sched.lr_at(0) == pytest.approx(0.1)  # first warmup step
+        assert sched.lr_at(9) == pytest.approx(1.0)
+        assert sched.lr_at(99) == pytest.approx(0.1, abs=1e-2)
+        mid = sched.lr_at(55)
+        assert 0.1 < mid < 1.0
+
+    def test_monotone_decay_after_warmup(self):
+        sched = CosineSchedule(1.0, total_steps=50, warmup_steps=5)
+        lrs = [sched.lr_at(s) for s in range(5, 50)]
+        assert all(a >= b - 1e-12 for a, b in zip(lrs, lrs[1:]))
+
+    def test_apply_sets_optimizer_lr(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=1.0)
+        sched = CosineSchedule(0.5, total_steps=10, warmup_steps=0)
+        lr = sched.apply(opt, 0)
+        assert opt.lr == lr == pytest.approx(0.5)
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            CosineSchedule(1.0, total_steps=0)
+        with pytest.raises(ValueError):
+            CosineSchedule(1.0, total_steps=5, warmup_steps=5)
+
+
+def test_clip_grad_norm():
+    p1 = Parameter(np.zeros(3))
+    p2 = Parameter(np.zeros(4))
+    p1.grad = np.full(3, 3.0, dtype=p1.data.dtype)
+    p2.grad = np.full(4, 4.0, dtype=p2.data.dtype)
+    total = clip_grad_norm([p1, p2], max_norm=1.0)
+    assert total == pytest.approx(np.sqrt(9 * 3 + 16 * 4))
+    new_norm = np.sqrt((p1.grad ** 2).sum() + (p2.grad ** 2).sum())
+    assert new_norm == pytest.approx(1.0, rel=1e-5)
+
+
+def test_clip_grad_norm_noop_below_threshold():
+    p = Parameter(np.zeros(2))
+    p.grad = np.array([0.3, 0.4], dtype=p.data.dtype)
+    clip_grad_norm([p], max_norm=10.0)
+    assert np.allclose(p.grad, [0.3, 0.4])

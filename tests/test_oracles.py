@@ -1,0 +1,65 @@
+"""Oracle baseline tests (GPT-4-sim and RAG-EDA-sim rows of Table 1)."""
+
+import pytest
+
+from repro.data.openroad_qa import documentation_corpus, eval_triplets
+from repro.eval.harness import OPENROAD_INSTRUCTIONS, run_openroad
+from repro.eval.ifeval.instructions import EndWith, StartWith
+from repro.eval.oracles import GeneralOracle, RagEdaOracle, split_sentences
+
+
+def test_split_sentences():
+    text = "first sentence . second one . third"
+    assert split_sentences(text) == ["first sentence", "second one", "third"]
+
+
+def test_split_sentences_empty():
+    assert split_sentences("") == []
+
+
+class TestGeneralOracle:
+    def test_extracts_relevant_sentence(self):
+        oracle = GeneralOracle()
+        context = ("the command global_place performs global placement . "
+                   "the option density of global_place sets the target placement density")
+        answer = oracle.answer("which option of global_place sets the target placement density",
+                               context=context)
+        assert "density" in answer
+
+    def test_no_context_refuses(self):
+        oracle = GeneralOracle()
+        answer = oracle.answer("anything")
+        assert "enough information" in answer
+
+    def test_applies_instructions(self):
+        oracle = GeneralOracle()
+        answer = oracle.answer("q", context="a fact here",
+                               instructions=(StartWith("answer :"), EndWith("done")))
+        assert answer.startswith("answer :") and answer.endswith("done")
+
+    def test_scores_reasonably_on_benchmark(self):
+        report = run_openroad(GeneralOracle(), eval_triplets()[:30])
+        # Strong extractive baseline: clearly above zero, below perfect.
+        assert 0.2 < report.overall < 0.95
+
+
+class TestRagEdaOracle:
+    def test_retrieves_and_answers(self):
+        oracle = RagEdaOracle(documentation_corpus())
+        answer = oracle.answer("what is the default value of density for global_place")
+        assert answer
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RagEdaOracle(documentation_corpus(), top_sentences=0)
+
+    def test_ignores_supplied_context(self):
+        oracle = RagEdaOracle(documentation_corpus())
+        a = oracle.answer("what does the command global_place do", context="irrelevant text")
+        b = oracle.answer("what does the command global_place do", context=None)
+        assert a == b
+
+    def test_scores_reasonably_on_benchmark(self):
+        oracle = RagEdaOracle(documentation_corpus())
+        report = run_openroad(oracle, eval_triplets()[:30])
+        assert 0.15 < report.overall < 0.95

@@ -1,0 +1,129 @@
+"""Pipeline tests: pretrain/sft/daft recipes and the model zoo (tiny scale)."""
+
+import numpy as np
+import pytest
+
+from repro.data.prompting import format_prompt
+from repro.nn.tokenizer import WordTokenizer
+from repro.nn.trainer import TrainConfig
+from repro.nn.transformer import TransformerConfig, TransformerLM
+from repro.pipelines.daft import daft_lora, pretrain, sft, sft_lora, triplet_pairs
+
+
+@pytest.fixture
+def world():
+    tok = WordTokenizer("context : question assistant the cat dog says woof meow answer".split())
+    config = TransformerConfig(vocab_size=tok.vocab_size, dim=16, n_layers=1,
+                               n_heads=2, max_seq_len=32, seed=0)
+    return tok, TransformerLM(config)
+
+
+def test_pretrain_reduces_loss(world):
+    tok, model = world
+    sentences = ["the cat says meow", "the dog says woof"] * 6
+    result = pretrain(model, tok, sentences,
+                      TrainConfig(lr=3e-3, epochs=10, batch_size=8))
+    assert result.final_loss < result.losses[0]
+
+
+def test_pretrain_empty_rejected(world):
+    tok, model = world
+    with pytest.raises(ValueError):
+        pretrain(model, tok, [])
+
+
+def test_sft_trains_response_behaviour(world):
+    tok, model = world
+    pairs = [(format_prompt("the cat says"), "meow"),
+             (format_prompt("the dog says"), "woof")] * 6
+    sft(model, tok, pairs, TrainConfig(lr=3e-3, epochs=25, batch_size=8))
+    from repro.nn.generation import generate_text
+
+    assert generate_text(model, tok, format_prompt("the cat says"),
+                         max_new_tokens=2).startswith("meow")
+
+
+def test_sft_skips_overflowing_pairs(world):
+    tok, model = world
+    long_prompt = " ".join(["question"] * 100)
+    pairs = [(long_prompt, "meow"), (format_prompt("the cat says"), "meow")]
+    result = sft(model, tok, pairs, TrainConfig(lr=1e-3, epochs=1, batch_size=2))
+    assert result.steps >= 1
+
+
+def test_sft_all_overflow_rejected(world):
+    tok, model = world
+    long_prompt = " ".join(["question"] * 100)
+    with pytest.raises(ValueError):
+        sft(model, tok, [(long_prompt, "meow")])
+
+
+def test_sft_empty_rejected(world):
+    tok, model = world
+    with pytest.raises(ValueError):
+        sft(model, tok, [])
+
+
+def test_triplet_pairs_have_no_instruction_block(world):
+    class T:
+        context = "the cat says meow"
+        question = "what does the cat say"
+        answer = "meow"
+
+    pairs = triplet_pairs([T()])
+    assert len(pairs) == 1
+    assert "instruction :" not in pairs[0][0]
+    assert pairs[0][0].startswith("context :")
+
+
+def test_sft_lora_folds_back_to_plain_model(world):
+    tok, model = world
+    keys_before = set(model.state_dict())
+    pairs = [(format_prompt("the cat says"), "meow")] * 4
+    sft_lora(model, tok, pairs, rank=2, alpha=4.0,
+             config=TrainConfig(lr=3e-3, epochs=2, batch_size=4))
+    assert set(model.state_dict()) == keys_before
+
+
+def test_daft_lora_changes_projections_not_embeddings(world):
+    tok, model = world
+
+    class T:
+        context = "the cat says meow"
+        question = "what does the cat say"
+        answer = "meow"
+
+    emb_before = model.tok_emb.weight.data.copy()
+    q_before = model.blocks[0].attn.q_proj.weight.data.copy()
+    daft_lora(model, tok, [T()] * 4, rank=2, alpha=4.0,
+              config=TrainConfig(lr=5e-3, epochs=3, batch_size=4))
+    assert np.array_equal(model.tok_emb.weight.data, emb_before)
+    assert not np.array_equal(model.blocks[0].attn.q_proj.weight.data, q_before)
+
+
+class TestModelZoo:
+    def test_zoo_validations(self, tmp_path):
+        from repro.pipelines.model_zoo import ModelZoo
+
+        zoo = ModelZoo(cache_dir=tmp_path)
+        with pytest.raises(KeyError):
+            zoo.get("mega", "base")
+        with pytest.raises(KeyError):
+            zoo.get("nano", "bogus")
+        with pytest.raises(KeyError):
+            zoo.get("nano", "chipnemo")
+        with pytest.raises(KeyError):
+            zoo.get("grande", "eda")
+
+    def test_tokenizer_cached_to_disk(self, tmp_path):
+        from repro.pipelines.model_zoo import ModelZoo
+
+        zoo = ModelZoo(cache_dir=tmp_path)
+        tok1 = zoo.tokenizer
+        zoo2 = ModelZoo(cache_dir=tmp_path)
+        assert zoo2.tokenizer.id_to_token == tok1.id_to_token
+
+    def test_chip_variant_mapping(self):
+        from repro.pipelines.model_zoo import CHIP_VARIANT
+
+        assert CHIP_VARIANT == {"nano": "eda", "micro": "eda", "grande": "chipnemo"}

@@ -1,0 +1,60 @@
+"""Prompt-grammar tests."""
+
+import pytest
+
+from repro.data.prompting import (ASSISTANT_CUE, REFUSAL, fits_context,
+                                  format_prompt, format_training_sequence)
+from repro.nn.tokenizer import WordTokenizer
+
+
+@pytest.fixture
+def tok():
+    return WordTokenizer("context : question instruction assistant q a c i h1 h2 r".split())
+
+
+def test_minimal_prompt():
+    assert format_prompt("q") == "question : q assistant :"
+
+
+def test_context_prepended():
+    prompt = format_prompt("q", context="c")
+    assert prompt == "context : c question : q assistant :"
+
+
+def test_instructions_joined_with_and():
+    prompt = format_prompt("q", instructions=["i1", "i2"])
+    assert "instruction : i1 and i2" in prompt
+
+
+def test_history_renders_in_order():
+    prompt = format_prompt("q2", history=[("q1", "a1")])
+    assert prompt.index("q1") < prompt.index("a1") < prompt.index("q2")
+    assert prompt.count(ASSISTANT_CUE) == 2
+
+
+def test_full_prompt_section_order():
+    prompt = format_prompt("q", context="c", instructions=["i"],
+                           history=[("h1", "h2")])
+    assert prompt.index("context :") < prompt.index("h1")
+    assert prompt.index("h1") < prompt.index("question : q")
+    assert prompt.index("instruction :") < prompt.rindex(ASSISTANT_CUE)
+
+
+def test_training_sequence_masks_prompt(tok):
+    ids, mask = format_training_sequence(tok, "question : q assistant :", "a")
+    assert len(ids) == len(mask)
+    # bos + prompt masked, response + eos trained.
+    n_prompt = len(tok.encode("question : q assistant :", add_bos=True))
+    assert mask[:n_prompt] == [0] * n_prompt
+    assert mask[n_prompt:] == [1] * (len(ids) - n_prompt)
+    assert ids[-1] == tok.eos_id
+
+
+def test_fits_context(tok):
+    assert fits_context(tok, "question : q assistant :", "a", max_seq_len=50)
+    assert not fits_context(tok, "question : q assistant :", "a", max_seq_len=3)
+
+
+def test_refusal_constant_is_lowercase_words():
+    assert REFUSAL == REFUSAL.lower()
+    assert all(w.isalpha() for w in REFUSAL.split())

@@ -1,0 +1,207 @@
+"""Retrieval substrate tests: BM25, embeddings, reranking, chunking, pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rag.bm25 import BM25Index
+from repro.rag.chunker import chunk_corpus, chunk_document
+from repro.rag.embedder import DenseRetriever, HashedEmbedder
+from repro.rag.pipeline import RagPipeline, reciprocal_rank_fusion
+from repro.rag.reranker import OverlapReranker
+
+CORPUS = [
+    "the command global_place performs global placement of cells",
+    "the command detail_route performs final track assignment and routing",
+    "the clock tree synthesis builds the clock distribution tree",
+    "to install orflow clone the repository and run cmake",
+    "the timing report prints the worst timing paths of the design",
+]
+
+
+class TestBM25:
+    def test_relevant_document_ranks_first(self):
+        index = BM25Index(CORPUS)
+        top = index.search("global placement of cells", top_k=1)
+        assert top[0][0] == 0
+
+    def test_scores_sorted_descending(self):
+        index = BM25Index(CORPUS)
+        results = index.search("clock tree", top_k=5)
+        scores = [s for _, s in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_unseen_terms_score_zero(self):
+        index = BM25Index(CORPUS)
+        assert index.score("zzz qqq", 0) == 0.0
+
+    def test_term_frequency_saturates(self):
+        index = BM25Index(["cat", "cat cat cat cat cat cat"])
+        single = index.score("cat", 0)
+        many = index.score("cat", 1)
+        assert many < 6 * single  # sublinear in tf
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            BM25Index([])
+        index = BM25Index(CORPUS)
+        with pytest.raises(IndexError):
+            index.score("cat", 99)
+        with pytest.raises(ValueError):
+            index.search("cat", top_k=0)
+
+    def test_idf_nonnegative(self):
+        index = BM25Index(["the a", "the b", "the c"])
+        assert index.score("the", 0) >= 0.0
+
+
+class TestEmbedder:
+    def test_unit_norm(self):
+        emb = HashedEmbedder(dim=64)
+        vec = emb.embed("the cat sat on the mat")
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_empty_text_zero_vector(self):
+        emb = HashedEmbedder(dim=64)
+        assert np.allclose(emb.embed(""), 0.0)
+
+    def test_deterministic(self):
+        emb = HashedEmbedder(dim=64)
+        assert np.array_equal(emb.embed("hello world"), emb.embed("hello world"))
+
+    def test_similar_texts_closer_than_dissimilar(self):
+        emb = HashedEmbedder(dim=256)
+        a = emb.embed("the clock tree synthesis builds the tree")
+        b = emb.embed("the clock tree synthesis builds the clock tree")
+        c = emb.embed("install the repository with cmake")
+        assert a @ b > a @ c
+
+    def test_batch_shape(self):
+        emb = HashedEmbedder(dim=32)
+        assert emb.embed_batch(CORPUS).shape == (5, 32)
+
+    def test_dim_validation(self):
+        with pytest.raises(ValueError):
+            HashedEmbedder(dim=0)
+
+    def test_dense_retriever_finds_paraphrase(self):
+        retriever = DenseRetriever(CORPUS)
+        top = retriever.search("how to install orflow from source", top_k=1)
+        assert top[0][0] == 3
+
+
+class TestReranker:
+    def test_exact_topic_wins(self):
+        reranker = OverlapReranker(CORPUS)
+        ranked = reranker.rerank("worst timing paths report",
+                                 list(enumerate(CORPUS)), top_k=1)
+        assert ranked[0][0] == 4
+
+    def test_rare_terms_weighted_higher(self):
+        pool = ["the common words", "the global_place command", "the other doc"]
+        reranker = OverlapReranker(pool)
+        # "the" appears in every document (low idf); "global_place" in one.
+        assert reranker.score("global_place", pool[1]) > reranker.score("the", pool[1])
+
+    def test_bigram_bonus(self):
+        reranker = OverlapReranker(["clock tree", "tree clock"])
+        assert reranker.score("clock tree", "clock tree") > \
+            reranker.score("clock tree", "tree clock")
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            OverlapReranker([])
+        reranker = OverlapReranker(CORPUS)
+        with pytest.raises(ValueError):
+            reranker.rerank("q", [(0, "d")], top_k=0)
+
+
+class TestChunker:
+    def test_chunks_cover_all_words(self):
+        text = " ".join(f"w{i}" for i in range(100))
+        chunks = chunk_document(text, doc_id=0, window=30, overlap=5)
+        seen = set()
+        for chunk in chunks:
+            seen.update(chunk.text.split())
+        assert len(seen) == 100
+
+    def test_overlap_between_consecutive_chunks(self):
+        text = " ".join(f"w{i}" for i in range(50))
+        chunks = chunk_document(text, doc_id=0, window=20, overlap=10)
+        first = set(chunks[0].text.split())
+        second = set(chunks[1].text.split())
+        assert len(first & second) == 10
+
+    def test_short_document_single_chunk(self):
+        chunks = chunk_document("a b c", doc_id=7, window=40, overlap=10)
+        assert len(chunks) == 1 and chunks[0].doc_id == 7
+
+    def test_empty_document(self):
+        assert chunk_document("", doc_id=0) == []
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            chunk_document("a", 0, window=0)
+        with pytest.raises(ValueError):
+            chunk_document("a", 0, window=5, overlap=5)
+
+    def test_corpus_provenance(self):
+        chunks = chunk_corpus(["a b", "c d"], window=10, overlap=0)
+        assert {c.doc_id for c in chunks} == {0, 1}
+
+
+class TestRRF:
+    def test_consensus_wins(self):
+        fused = reciprocal_rank_fusion([[1, 2, 3], [1, 3, 2]])
+        assert fused[0] == 1
+
+    def test_single_ranking_preserved(self):
+        assert reciprocal_rank_fusion([[5, 3, 9]]) == [5, 3, 9]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            reciprocal_rank_fusion([])
+
+    @given(st.permutations(list(range(6))))
+    @settings(max_examples=30, deadline=None)
+    def test_fusing_identical_rankings_is_identity(self, ranking):
+        assert reciprocal_rank_fusion([ranking, ranking]) == list(ranking)
+
+
+class TestPipeline:
+    def test_retrieves_relevant_context(self):
+        pipeline = RagPipeline(CORPUS)
+        result = pipeline.retrieve("how do i view the worst timing paths")
+        assert CORPUS[4] in result.context
+
+    def test_final_k_controls_context_size(self):
+        pipeline = RagPipeline(CORPUS, final_k=2)
+        result = pipeline.retrieve("clock tree")
+        assert len(result.doc_ids) == 2
+
+    def test_final_k_validation(self):
+        with pytest.raises(ValueError):
+            RagPipeline(CORPUS, candidate_k=2, final_k=3)
+
+    def test_recall_at_k(self):
+        pipeline = RagPipeline(CORPUS)
+        queries = ["global placement of cells", "install orflow clone cmake"]
+        recall = pipeline.recall_at_k(queries, [0, 3])
+        assert recall == 1.0
+        with pytest.raises(ValueError):
+            pipeline.recall_at_k(["q"], [0, 1])
+        with pytest.raises(ValueError):
+            pipeline.recall_at_k([], [])
+
+    def test_real_documentation_recall(self):
+        """On the actual OpenROAD-like corpus, eval questions retrieve their
+        golden paragraph most of the time (the paper's RAG regime works)."""
+        from repro.data.openroad_qa import documentation_corpus, eval_triplets
+
+        corpus = documentation_corpus()
+        pipeline = RagPipeline(corpus)
+        triplets = eval_triplets()[:20]
+        golden_ids = [corpus.index(t.context) for t in triplets]
+        recall = pipeline.recall_at_k([t.question for t in triplets], golden_ids)
+        assert recall >= 0.6

@@ -1,0 +1,115 @@
+"""Metric tests: ROUGE-L and BLEU."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.bleu import corpus_bleu, modified_precision, sentence_bleu
+from repro.eval.rouge import lcs_length, mean_rouge_l, rouge_l
+
+SENTENCES = st.lists(st.sampled_from("a b c d e f g".split()), min_size=1, max_size=10)
+
+
+class TestLCS:
+    def test_known_value(self):
+        assert lcs_length("a b c d".split(), "a c e d".split()) == 3
+
+    def test_empty(self):
+        assert lcs_length([], ["a"]) == 0
+        assert lcs_length(["a"], []) == 0
+
+    def test_identical(self):
+        seq = "x y z".split()
+        assert lcs_length(seq, seq) == 3
+
+    def test_disjoint(self):
+        assert lcs_length("a b".split(), "c d".split()) == 0
+
+    @given(SENTENCES, SENTENCES)
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry_and_bounds(self, a, b):
+        lcs = lcs_length(a, b)
+        assert lcs == lcs_length(b, a)
+        assert 0 <= lcs <= min(len(a), len(b))
+
+
+class TestRougeL:
+    def test_identical_is_one(self):
+        score = rouge_l("the cat sat", "the cat sat")
+        assert score.fmeasure == pytest.approx(1.0)
+        assert score.precision == score.recall == pytest.approx(1.0)
+
+    def test_disjoint_is_zero(self):
+        assert rouge_l("a b c", "x y z").fmeasure == 0.0
+
+    def test_empty_strings(self):
+        assert rouge_l("", "a b").fmeasure == 0.0
+        assert rouge_l("a b", "").fmeasure == 0.0
+
+    def test_precision_recall_definition(self):
+        score = rouge_l("a b x", "a b c d")
+        assert score.precision == pytest.approx(2 / 3)
+        assert score.recall == pytest.approx(2 / 4)
+
+    def test_beta_weights_recall(self):
+        # Higher beta -> score closer to recall.
+        low = rouge_l("a b x x x x", "a b", beta=0.5)
+        high = rouge_l("a b x x x x", "a b", beta=3.0)
+        assert high.fmeasure > low.fmeasure  # recall=1 here, precision=1/3
+
+    def test_subsequence_not_substring(self):
+        # LCS allows gaps: "a c" is a subsequence of "a b c".
+        assert rouge_l("a c", "a b c").recall == pytest.approx(2 / 3)
+
+    def test_mean_rouge(self):
+        value = mean_rouge_l(["a b", "x"], ["a b", "x"])
+        assert value == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            mean_rouge_l(["a"], ["a", "b"])
+        with pytest.raises(ValueError):
+            mean_rouge_l([], [])
+
+    @given(SENTENCES)
+    @settings(max_examples=40, deadline=None)
+    def test_self_similarity_property(self, words):
+        text = " ".join(words)
+        assert rouge_l(text, text).fmeasure == pytest.approx(1.0)
+
+
+class TestBleu:
+    def test_identical_sentence(self):
+        assert sentence_bleu("the cat sat on the mat", "the cat sat on the mat") \
+            == pytest.approx(1.0, abs=0.05)
+
+    def test_disjoint_scores_below_partial_match(self):
+        # Smoothing keeps the score positive, but disjoint < partial < exact.
+        disjoint = sentence_bleu("a b c d", "w x y z")
+        partial = sentence_bleu("a b c d", "a b y z")
+        exact = sentence_bleu("a b c d", "a b c d")
+        assert disjoint < partial < exact
+
+    def test_modified_precision_clipping(self):
+        matches, total = modified_precision("the the the".split(), "the cat".split(), 1)
+        assert matches == 1 and total == 3
+
+    def test_brevity_penalty(self):
+        long_ref = "a b c d e f g h"
+        short_cand = "a b c"
+        full_cand = "a b c d e f g h"
+        assert sentence_bleu(short_cand, long_ref) < sentence_bleu(full_cand, long_ref)
+
+    def test_corpus_bleu_identical(self):
+        cands = ["a b c d", "e f g h"]
+        assert corpus_bleu(cands, cands) == pytest.approx(1.0)
+
+    def test_corpus_bleu_zero_when_no_fourgram(self):
+        assert corpus_bleu(["a b"], ["a b"]) == 0.0  # no 4-grams exist
+
+    def test_corpus_bleu_validation(self):
+        with pytest.raises(ValueError):
+            corpus_bleu(["a"], ["a", "b"])
+        with pytest.raises(ValueError):
+            corpus_bleu([], [])
+
+    def test_empty_candidate(self):
+        assert sentence_bleu("", "a b") == 0.0

@@ -1,0 +1,183 @@
+"""Autograd engine tests: op correctness and gradient checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tensor import Tensor, cat, no_grad, stack, where
+from tests.conftest import numeric_grad
+
+
+def check_grad(build, *shapes, seed=0, tol=1e-5):
+    """Compare autograd gradients to central differences for each input."""
+    rng = np.random.default_rng(seed)
+    arrays = [rng.normal(size=s) for s in shapes]
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    out = build(*tensors)
+    out.backward()
+    for t, a in zip(tensors, arrays):
+        def scalar():
+            fixed = [Tensor(x) for x in arrays]
+            return float(build(*fixed).data)
+        # numeric grad perturbs the shared array `a` in place
+        num = numeric_grad(scalar, a)
+        assert np.allclose(t.grad, num, atol=tol), (
+            f"max err {np.abs(t.grad - num).max()}")
+
+
+@pytest.mark.usefixtures("float64")
+class TestGradients:
+    def test_add(self):
+        check_grad(lambda a, b: (a + b).sum(), (3, 4), (3, 4))
+
+    def test_add_broadcast(self):
+        check_grad(lambda a, b: (a + b).sum(), (3, 4), (4,))
+
+    def test_mul(self):
+        check_grad(lambda a, b: (a * b).sum(), (2, 5), (2, 5))
+
+    def test_mul_broadcast_scalar_axis(self):
+        check_grad(lambda a, b: (a * b).sum(), (3, 4), (3, 1))
+
+    def test_sub_div(self):
+        check_grad(lambda a, b: (a / (b + 3.0) - a).sum(), (2, 3), (2, 3))
+
+    def test_pow(self):
+        check_grad(lambda a: (a ** 3.0).sum(), (4,))
+
+    def test_matmul_2d(self):
+        check_grad(lambda a, b: (a @ b).sum(), (3, 4), (4, 5))
+
+    def test_matmul_batched(self):
+        check_grad(lambda a, b: (a @ b).sum(), (2, 3, 4), (2, 4, 5))
+
+    def test_matmul_broadcast_batch(self):
+        check_grad(lambda a, b: (a @ b).sum(), (2, 3, 4), (4, 5))
+
+    def test_sum_axis(self):
+        check_grad(lambda a: a.sum(axis=1).sum(), (3, 4))
+
+    def test_sum_keepdims(self):
+        check_grad(lambda a: (a * a.sum(axis=-1, keepdims=True)).sum(), (3, 4))
+
+    def test_mean(self):
+        check_grad(lambda a: a.mean(axis=0).sum(), (3, 4))
+
+    def test_max(self):
+        check_grad(lambda a: a.max(axis=1).sum(), (3, 4))
+
+    def test_reshape_transpose(self):
+        check_grad(lambda a: a.reshape(4, 3).transpose(1, 0).sum(), (3, 4))
+
+    def test_getitem_slice(self):
+        check_grad(lambda a: a[1:, :2].sum(), (3, 4))
+
+    def test_getitem_ellipsis(self):
+        check_grad(lambda a: a[..., :2].sum(), (2, 3, 4))
+
+    def test_exp_log(self):
+        check_grad(lambda a: ((a * 0.1).exp().log()).sum(), (3, 3))
+
+    def test_tanh(self):
+        check_grad(lambda a: a.tanh().sum(), (3, 3))
+
+    def test_sigmoid(self):
+        check_grad(lambda a: a.sigmoid().sum(), (3, 3))
+
+    def test_relu(self):
+        check_grad(lambda a: (a + 0.3).relu().sum(), (5,), seed=3)
+
+    def test_cat(self):
+        check_grad(lambda a, b: cat([a, b], axis=1).sum(), (2, 3), (2, 2))
+
+    def test_stack(self):
+        check_grad(lambda a, b: (stack([a, b], axis=0) ** 2.0).sum(), (2, 3), (2, 3))
+
+    def test_where(self):
+        mask = np.array([[True, False, True]])
+        check_grad(lambda a, b: where(mask, a, b).sum(), (2, 3), (2, 3))
+
+    def test_var(self):
+        check_grad(lambda a: a.var(axis=-1).sum(), (3, 5))
+
+    def test_chained_graph_reuse(self):
+        # A tensor used twice must accumulate both gradient contributions.
+        check_grad(lambda a: (a * a + a).sum(), (3, 3))
+
+
+class TestBasics:
+    def test_requires_grad_propagates(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3))
+        assert (a + b).requires_grad
+        assert not (b + b).requires_grad
+
+    def test_backward_nonscalar_raises(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            (a * 2).backward()
+
+    def test_no_grad_blocks_graph(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = a * 2 + 1
+        assert not out.requires_grad
+        assert out._prev == ()
+
+    def test_detach(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        d = a.detach()
+        assert not d.requires_grad
+        assert np.shares_memory(d.data, a.data)
+
+    def test_zero_grad(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        (a.sum()).backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_grad_accumulates_across_backwards(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        a.sum().backward()
+        a.sum().backward()
+        assert np.allclose(a.grad, 2.0)
+
+    def test_item(self):
+        assert Tensor(np.array([3.5])).item() == pytest.approx(3.5)
+
+    def test_pow_non_scalar_raises(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(TypeError):
+            a ** np.ones(3)
+
+    def test_deep_graph_iterative_backward(self):
+        # The topological sort is iterative, so deep chains must not hit the
+        # Python recursion limit.
+        a = Tensor(np.ones(2), requires_grad=True)
+        x = a
+        for _ in range(3000):
+            x = x + 0.001
+        x.sum().backward()
+        assert np.allclose(a.grad, 1.0)
+
+
+@given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5))
+@settings(max_examples=25, deadline=None)
+def test_matmul_shapes_property(m, k, n):
+    a = Tensor(np.ones((m, k)), requires_grad=True)
+    b = Tensor(np.ones((k, n)), requires_grad=True)
+    out = a @ b
+    assert out.shape == (m, n)
+    out.sum().backward()
+    assert a.grad.shape == (m, k)
+    assert b.grad.shape == (k, n)
+
+
+@given(st.lists(st.floats(-5, 5), min_size=1, max_size=16))
+@settings(max_examples=50, deadline=None)
+def test_sum_matches_numpy_property(values):
+    t = Tensor(np.array(values))
+    assert np.isclose(t.sum().item(), np.float32(sum(np.float32(v) for v in values)),
+                      rtol=1e-4, atol=1e-4)

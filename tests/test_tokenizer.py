@@ -1,0 +1,109 @@
+"""Tokenizer tests: word-level and BPE."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tokenizer import BPETokenizer, WordTokenizer
+
+WORDS = st.lists(st.sampled_from("the cat sat on a mat dog ran far".split()),
+                 min_size=1, max_size=12)
+
+
+@pytest.fixture
+def word_tok():
+    return WordTokenizer("the cat sat on a mat".split())
+
+
+class TestWordTokenizer:
+    def test_specials_first(self, word_tok):
+        assert word_tok.id_to_token[:4] == ["<pad>", "<bos>", "<eos>", "<unk>"]
+        assert word_tok.pad_id == 0
+
+    def test_roundtrip(self, word_tok):
+        text = "the cat sat"
+        assert word_tok.decode(word_tok.encode(text)) == text
+
+    def test_unknown_maps_to_unk(self, word_tok):
+        ids = word_tok.encode("the zebra")
+        assert ids[1] == word_tok.unk_id
+
+    def test_bos_eos(self, word_tok):
+        ids = word_tok.encode("cat", add_bos=True, add_eos=True)
+        assert ids[0] == word_tok.bos_id and ids[-1] == word_tok.eos_id
+
+    def test_decode_skips_special(self, word_tok):
+        ids = word_tok.encode("cat", add_bos=True, add_eos=True)
+        assert word_tok.decode(ids) == "cat"
+        assert "<bos>" in word_tok.decode(ids, skip_special=False)
+
+    def test_from_corpus_frequency_order(self):
+        tok = WordTokenizer.from_corpus(["b b b a a c"])
+        # After specials: b (3), a (2), c (1).
+        assert tok.id_to_token[4:] == ["b", "a", "c"]
+
+    def test_from_corpus_min_count(self):
+        tok = WordTokenizer.from_corpus(["a a b"], min_count=2)
+        assert "b" not in tok.token_to_id
+
+    def test_from_corpus_max_vocab(self):
+        tok = WordTokenizer.from_corpus(["a a b b c"], max_vocab=2)
+        assert tok.vocab_size == 4 + 2
+
+    def test_duplicate_vocab_entries_deduped(self):
+        tok = WordTokenizer(["a", "a", "b"])
+        assert tok.vocab_size == 4 + 2
+
+    def test_save_load(self, tmp_path, word_tok):
+        path = tmp_path / "tok.json"
+        word_tok.save(path)
+        loaded = WordTokenizer.load(path)
+        assert loaded.id_to_token == word_tok.id_to_token
+
+    @given(WORDS)
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, words):
+        tok = WordTokenizer("the cat sat on a mat dog ran far".split())
+        text = " ".join(words)
+        assert tok.decode(tok.encode(text)) == text
+
+
+class TestBPETokenizer:
+    CORPUS = ["the cat sat on the mat", "the cat ran", "a mat on the floor"] * 5
+
+    def test_train_and_roundtrip(self):
+        tok = BPETokenizer.train(self.CORPUS, num_merges=50)
+        text = "the cat sat"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_unseen_word_falls_back_to_chars(self):
+        tok = BPETokenizer.train(self.CORPUS, num_merges=50)
+        # 'taco' shares characters with the corpus; decoding restores it.
+        assert tok.decode(tok.encode("cat taco")) == "cat taco"
+
+    def test_merges_reduce_token_count(self):
+        tok0 = BPETokenizer.train(self.CORPUS, num_merges=0)
+        tok50 = BPETokenizer.train(self.CORPUS, num_merges=50)
+        text = "the cat sat on the mat"
+        assert len(tok50.encode(text)) < len(tok0.encode(text))
+
+    def test_bos_eos(self):
+        tok = BPETokenizer.train(self.CORPUS, num_merges=10)
+        ids = tok.encode("cat", add_bos=True, add_eos=True)
+        assert ids[0] == tok.bos_id and ids[-1] == tok.eos_id
+
+    def test_save_load(self, tmp_path):
+        tok = BPETokenizer.train(self.CORPUS, num_merges=20)
+        path = tmp_path / "bpe.json"
+        tok.save(path)
+        loaded = BPETokenizer.load(path)
+        text = "the cat sat"
+        assert loaded.encode(text) == tok.encode(text)
+
+    def test_load_rejects_wrong_type(self, tmp_path):
+        word = WordTokenizer(["a"])
+        path = tmp_path / "tok.json"
+        word.save(path)
+        with pytest.raises(ValueError):
+            BPETokenizer.load(path)

@@ -1,0 +1,113 @@
+"""Trainer tests: batching, masking, loss descent."""
+
+import numpy as np
+import pytest
+
+from repro.nn.trainer import IGNORE_INDEX, TrainConfig, Trainer, pad_batch
+from repro.nn.transformer import TransformerConfig, TransformerLM
+
+
+@pytest.fixture
+def model():
+    config = TransformerConfig(vocab_size=20, dim=16, n_layers=1, n_heads=2,
+                               max_seq_len=16, seed=0)
+    return TransformerLM(config)
+
+
+class TestPadBatch:
+    def test_shapes_and_shift(self):
+        inputs, targets = pad_batch([[1, 2, 3, 4], [5, 6]], pad_id=0)
+        assert inputs.shape == (2, 3) and targets.shape == (2, 3)
+        assert list(inputs[0]) == [1, 2, 3]
+        assert list(targets[0]) == [2, 3, 4]
+
+    def test_padding_ignored_in_targets(self):
+        _, targets = pad_batch([[1, 2, 3, 4], [5, 6]], pad_id=0)
+        assert list(targets[1]) == [6, IGNORE_INDEX, IGNORE_INDEX]
+
+    def test_mask_application(self):
+        _, targets = pad_batch([[1, 2, 3]], pad_id=0, masks=[[0, 0, 1]])
+        assert list(targets[0]) == [IGNORE_INDEX, 3]
+
+    def test_mask_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pad_batch([[1, 2, 3]], pad_id=0, masks=[[1, 1]])
+
+    def test_empty_batch(self):
+        with pytest.raises(ValueError):
+            pad_batch([], pad_id=0)
+
+    def test_too_short_sequence(self):
+        with pytest.raises(ValueError):
+            pad_batch([[1]], pad_id=0)
+
+
+class TestTrainer:
+    def test_loss_decreases(self, model):
+        seqs = [[1, 2, 3, 4, 5, 6]] * 8
+        trainer = Trainer(model, pad_id=0, config=TrainConfig(epochs=20, batch_size=4))
+        result = trainer.fit(seqs)
+        assert result.final_loss < result.losses[0] * 0.5
+        assert result.steps == 20 * 2
+
+    def test_memorises_pattern(self, model):
+        seqs = [[1, 7, 8, 9, 2]] * 8
+        Trainer(model, pad_id=0, config=TrainConfig(epochs=30, batch_size=8, lr=3e-3)).fit(seqs)
+        from repro.nn.generation import generate
+
+        assert generate(model, [1, 7], max_new_tokens=3) == [8, 9, 2]
+
+    def test_masked_positions_excluded(self, model):
+        # Mask out everything -> batch skipped -> zero steps recorded.
+        seqs = [[1, 2, 3]] * 4
+        masks = [[0, 0, 0]] * 4
+        trainer = Trainer(model, pad_id=0, config=TrainConfig(epochs=2, batch_size=4))
+        result = trainer.fit(seqs, masks)
+        assert result.steps == 0
+
+    def test_mask_alignment_validated(self, model):
+        trainer = Trainer(model, pad_id=0, config=TrainConfig(epochs=1))
+        with pytest.raises(ValueError):
+            trainer.fit([[1, 2, 3]], masks=[[1, 1, 1], [1, 1, 1]])
+
+    def test_empty_dataset(self, model):
+        trainer = Trainer(model, pad_id=0)
+        with pytest.raises(ValueError):
+            trainer.fit([])
+
+    def test_deterministic_given_seed(self):
+        def train_once():
+            config = TransformerConfig(vocab_size=20, dim=16, n_layers=1,
+                                       n_heads=2, max_seq_len=16, seed=0)
+            m = TransformerLM(config)
+            res = Trainer(m, pad_id=0,
+                          config=TrainConfig(epochs=3, batch_size=4, seed=7)
+                          ).fit([[1, 2, 3, 4], [5, 6, 7], [2, 4, 6], [1, 3, 5]])
+            return res.losses
+
+        assert train_once() == train_once()
+
+    def test_evaluate_loss(self, model):
+        seqs = [[1, 2, 3, 4]] * 4
+        trainer = Trainer(model, pad_id=0, config=TrainConfig(epochs=10, batch_size=4))
+        before = trainer.evaluate_loss(seqs)
+        trainer.fit(seqs)
+        after = trainer.evaluate_loss(seqs)
+        assert after < before
+
+    def test_parameter_subset_training(self, model):
+        # Training only the lm_head must leave the embeddings untouched.
+        emb_before = model.tok_emb.weight.data.copy()
+        trainer = Trainer(model, pad_id=0,
+                          config=TrainConfig(epochs=3, batch_size=4),
+                          parameters=[model.lm_head.weight])
+        trainer.fit([[1, 2, 3, 4]] * 4)
+        assert np.array_equal(model.tok_emb.weight.data, emb_before)
+
+    def test_bucket_by_length_covers_all(self, model):
+        seqs = [[1, 2], [1, 2, 3, 4, 5, 6], [1, 2, 3], [1, 2, 3, 4]] * 2
+        trainer = Trainer(model, pad_id=0,
+                          config=TrainConfig(epochs=1, batch_size=3,
+                                             bucket_by_length=True))
+        result = trainer.fit(seqs)
+        assert result.steps == 3  # ceil(8 / 3)

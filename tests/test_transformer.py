@@ -1,0 +1,96 @@
+"""Transformer LM tests: config, forward, cloning, presets."""
+
+import numpy as np
+import pytest
+
+from repro.nn.transformer import TransformerConfig, TransformerLM, preset_config
+
+
+@pytest.fixture
+def tiny():
+    return TransformerConfig(vocab_size=20, dim=16, n_layers=2, n_heads=2,
+                             max_seq_len=12, seed=0)
+
+
+def test_forward_shape(tiny):
+    model = TransformerLM(tiny)
+    out = model(np.array([[1, 2, 3], [4, 5, 6]]))
+    assert out.shape == (2, 3, 20)
+
+
+def test_forward_1d_input_promoted(tiny):
+    model = TransformerLM(tiny)
+    assert model(np.array([1, 2, 3])).shape == (1, 3, 20)
+
+
+def test_sequence_too_long_raises(tiny):
+    model = TransformerLM(tiny)
+    with pytest.raises(ValueError):
+        model(np.zeros((1, 13), dtype=np.int64))
+
+
+def test_clone_is_independent(tiny):
+    model = TransformerLM(tiny)
+    copy = model.clone()
+    out1 = model(np.array([[1, 2]])).data
+    assert np.allclose(out1, copy(np.array([[1, 2]])).data)
+    copy.tok_emb.weight.data += 1.0
+    assert not np.allclose(out1, copy(np.array([[1, 2]])).data)
+
+
+def test_deterministic_init(tiny):
+    a, b = TransformerLM(tiny), TransformerLM(tiny)
+    for (na, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+        assert np.array_equal(pa.data, pb.data), na
+
+
+def test_different_seed_different_weights(tiny):
+    a = TransformerLM(tiny)
+    b = TransformerLM(TransformerConfig(**{**tiny.to_dict(), "seed": 1}))
+    assert not np.array_equal(a.tok_emb.weight.data, b.tok_emb.weight.data)
+
+
+def test_config_roundtrip(tiny):
+    assert TransformerConfig.from_dict(tiny.to_dict()) == tiny
+
+
+def test_invalid_pos_encoding():
+    with pytest.raises(ValueError):
+        TransformerLM(TransformerConfig(vocab_size=10, pos_encoding="bogus"))
+
+
+def test_learned_positions_variant():
+    config = TransformerConfig(vocab_size=10, dim=8, n_layers=1, n_heads=2,
+                               max_seq_len=8, pos_encoding="learned", seed=0)
+    model = TransformerLM(config)
+    names = [n for n, _ in model.named_parameters()]
+    assert "pos_emb.weight" in names
+    assert model(np.array([[1, 2, 3]])).shape == (1, 3, 10)
+
+
+def test_rope_variant_has_no_pos_embedding(tiny):
+    model = TransformerLM(tiny)
+    names = [n for n, _ in model.named_parameters()]
+    assert "pos_emb.weight" not in names
+
+
+def test_presets_exist_and_scale():
+    nano = preset_config("nano", vocab_size=100)
+    micro = preset_config("micro", vocab_size=100)
+    grande = preset_config("grande", vocab_size=100)
+    assert nano.dim < micro.dim < grande.dim
+    assert TransformerLM(nano).num_parameters() < TransformerLM(grande).num_parameters()
+    with pytest.raises(KeyError):
+        preset_config("giga", vocab_size=100)
+
+
+def test_gradients_reach_all_parameters(tiny):
+    from repro.nn import functional as F
+
+    model = TransformerLM(tiny)
+    logits = model(np.array([[1, 2, 3, 4]]))
+    loss = F.cross_entropy(logits, np.array([[2, 3, 4, 5]]))
+    loss.backward()
+    for name, p in model.named_parameters():
+        assert p.grad is not None, name
+        assert np.isfinite(p.grad).all(), name

@@ -1,0 +1,97 @@
+"""Tests for the UniEval-style evaluator and perplexity tools."""
+
+import numpy as np
+import pytest
+
+from repro.eval.perplexity import compare_perplexity, corpus_perplexity
+from repro.eval.unieval import UniEvaluator
+from repro.nn.tokenizer import WordTokenizer
+from repro.nn.trainer import TrainConfig, Trainer
+from repro.nn.transformer import TransformerConfig, TransformerLM
+
+GOLDEN = "the memory controller supports two ddr channels"
+CONTEXT = "the memory controller supports two ddr channels . the dma engine moves data"
+QUESTION = "how many ddr channels does the memory controller support"
+
+
+@pytest.fixture
+def ev():
+    return UniEvaluator()
+
+
+class TestUniEval:
+    def test_perfect_response(self, ev):
+        score = ev.score(GOLDEN, GOLDEN, CONTEXT, QUESTION)
+        assert score.relevance == pytest.approx(1.0)
+        assert score.consistency == pytest.approx(1.0)
+        assert score.fluency > 0.9
+        assert score.overall > 0.8
+
+    def test_empty_response(self, ev):
+        score = ev.score("", GOLDEN, CONTEXT, QUESTION)
+        assert score.overall == 0.0
+
+    def test_degenerate_repetition_penalised(self, ev):
+        loop = "the the the the the the the the the the"
+        assert ev.fluency(loop) < 0.3
+
+    def test_overlong_response_penalised(self, ev):
+        long_text = " ".join(f"w{i}" for i in range(200))
+        short_text = " ".join(f"w{i}" for i in range(20))
+        assert ev.fluency(long_text) < ev.fluency(short_text)
+
+    def test_off_context_response_low_consistency(self, ev):
+        score = ev.score("bees make honey in the garden", GOLDEN, CONTEXT, QUESTION)
+        assert score.consistency < 0.3
+
+    def test_off_topic_response_low_coherence(self, ev):
+        assert ev.coherence("bees make honey", QUESTION) < 0.2
+        assert ev.coherence(GOLDEN, QUESTION) > 0.5
+
+    def test_as_dict(self, ev):
+        d = ev.score(GOLDEN, GOLDEN, CONTEXT, QUESTION).as_dict()
+        assert set(d) == {"relevance", "consistency", "fluency", "coherence",
+                          "overall"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniEvaluator(min_length=0)
+        with pytest.raises(ValueError):
+            UniEvaluator(min_length=10, max_length=5)
+
+
+class TestPerplexity:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        tok = WordTokenizer("the cat sat on a mat dog ran".split())
+        config = TransformerConfig(vocab_size=tok.vocab_size, dim=16,
+                                   n_layers=1, n_heads=2, max_seq_len=12, seed=0)
+        model = TransformerLM(config)
+        corpus = ["the cat sat on a mat", "the dog ran"]
+        Trainer(model, pad_id=tok.pad_id,
+                config=TrainConfig(epochs=30, batch_size=4, lr=3e-3)
+                ).fit([tok.encode(s, add_bos=True, add_eos=True) for s in corpus])
+        return tok, model, corpus
+
+    def test_trained_corpus_low_perplexity(self, setup):
+        tok, model, corpus = setup
+        result = corpus_perplexity(model, tok, corpus)
+        assert result.perplexity < 3.0
+        assert result.n_tokens > 0
+
+    def test_shuffled_corpus_higher_perplexity(self, setup):
+        tok, model, corpus = setup
+        trained = corpus_perplexity(model, tok, corpus).perplexity
+        shuffled = corpus_perplexity(model, tok, ["mat a on sat cat the"]).perplexity
+        assert shuffled > trained
+
+    def test_empty_corpus_rejected(self, setup):
+        tok, model, _ = setup
+        with pytest.raises(ValueError):
+            corpus_perplexity(model, tok, [])
+
+    def test_compare_returns_per_model(self, setup):
+        tok, model, corpus = setup
+        fresh = TransformerLM(model.config)
+        out = compare_perplexity({"trained": model, "fresh": fresh}, tok, corpus)
+        assert out["trained"] < out["fresh"]

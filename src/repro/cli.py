@@ -6,7 +6,8 @@ Subcommands mirror how an adopter would actually use the release:
 * ``sweep``   — evaluate a λ sweep of the geodesic merge on OpenROAD QA;
 * ``zoo``     — build / list the model-zoo checkpoints;
 * ``chat``    — one-shot grounded question answering with a zoo model;
-* ``table``   — regenerate one of the paper's tables or figures.
+* ``table``   — regenerate one of the paper's tables or figures;
+* ``serve-bench`` — serial vs. batched+prefix-cached serving throughput.
 """
 
 from __future__ import annotations
@@ -137,6 +138,39 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from .nn.transformer import preset_config
+    from .serve import (ServeConfig, WorkloadSpec, format_benchmark_report,
+                        run_serve_benchmark)
+
+    config = preset_config(args.backbone, vocab_size=args.vocab, seed=args.seed)
+    model = TransformerLM(config)
+    max_prompt = args.prefix_tokens + args.unique_tokens
+    if max_prompt + args.decode_tokens > config.max_seq_len:
+        print(f"error: prompt ({max_prompt}) + decode ({args.decode_tokens}) "
+              f"tokens exceed the {args.backbone} context window "
+              f"({config.max_seq_len})", file=sys.stderr)
+        return 2
+    try:
+        spec = WorkloadSpec(n_requests=args.requests,
+                            shared_prefix_tokens=args.prefix_tokens,
+                            unique_tokens=args.unique_tokens,
+                            max_new_tokens=args.decode_tokens,
+                            vocab_size=min(args.vocab, config.vocab_size),
+                            seed=args.seed)
+        serve_config = ServeConfig(max_batch_size=args.max_batch,
+                                   decode_mode=args.decode_mode)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = run_serve_benchmark(model, spec, config=serve_config)
+    print(f"backbone: {args.backbone} (dim={config.dim}, "
+          f"layers={config.n_layers}, ctx={config.max_seq_len}), "
+          f"max batch {args.max_batch}, decode mode {args.decode_mode}")
+    print(format_benchmark_report(result, spec))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ChipAlign reproduction command-line tools")
@@ -184,6 +218,28 @@ def build_parser() -> argparse.ArgumentParser:
                                               "complexity"))
     p_table.add_argument("--items", type=int, default=None)
     p_table.set_defaults(fn=_cmd_table)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="benchmark batched serving against the serial engine")
+    p_serve.add_argument("--backbone", default="nano",
+                         choices=("nano", "micro", "grande"))
+    p_serve.add_argument("--requests", type=int, default=16,
+                         help="requests in the synthetic burst")
+    p_serve.add_argument("--prefix-tokens", type=int, default=120,
+                         help="shared instruction/context prefix length")
+    p_serve.add_argument("--unique-tokens", type=int, default=12,
+                         help="per-request unique prompt tail length")
+    p_serve.add_argument("--decode-tokens", type=int, default=24,
+                         help="decode budget per request")
+    p_serve.add_argument("--max-batch", type=int, default=16,
+                         help="continuous-batching slot count")
+    p_serve.add_argument("--decode-mode", default="fused",
+                         choices=("fused", "exact"))
+    p_serve.add_argument("--vocab", type=int, default=128,
+                         help="model vocabulary size (random weights)")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.set_defaults(fn=_cmd_serve_bench)
     return parser
 
 

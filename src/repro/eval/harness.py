@@ -83,17 +83,35 @@ class Answerer:
 
 
 class LMAnswerer(Answerer):
-    """Wrap a substrate language model + tokenizer as an answerer."""
+    """Wrap a substrate language model + tokenizer as an answerer.
+
+    By default each completion runs through a private single-sequence
+    :class:`~repro.nn.infer.InferenceEngine`.  Pass ``server=True`` (or an
+    existing :class:`~repro.serve.InProcessServer`) to route completions
+    through the serving subsystem instead — ``True`` builds a server in
+    exact decode mode with the prefix cache off, which replays the
+    single-sequence math shape-for-shape and therefore produces identical
+    evaluation scores.  A caller-supplied fused server trades that bitwise
+    guarantee for batched throughput.
+    """
 
     def __init__(self, model, tokenizer, max_new_tokens: int = 56,
-                 name: str = "lm") -> None:
-        from ..nn.infer import InferenceEngine
-
+                 name: str = "lm", server=None) -> None:
         self.model = model
         self.tokenizer = tokenizer
         self.max_new_tokens = max_new_tokens
         self.name = name
-        self._engine = InferenceEngine(model)
+        self._engine = None
+        if server is True:
+            from ..serve import InProcessServer, ServeConfig
+
+            server = InProcessServer(model, tokenizer, config=ServeConfig(
+                decode_mode="exact", prefix_cache=False, max_batch_size=1))
+        self.server = server
+        if server is None:
+            from ..nn.infer import InferenceEngine
+
+            self._engine = InferenceEngine(model)
 
     def answer(self, question: str, context: Optional[str] = None,
                instructions: Sequence[InstructionLike] = (),
@@ -105,6 +123,11 @@ class LMAnswerer(Answerer):
 
     def complete(self, prompt: str) -> str:
         """Raw-prompt completion (used by the IFEval driver)."""
+        if self.server is not None:
+            from ..serve import SamplingParams
+
+            return self.server.complete_text(prompt, params=SamplingParams(
+                max_new_tokens=self.max_new_tokens))
         from ..nn.infer import generate_text_fast
 
         return generate_text_fast(self._engine, self.tokenizer, prompt,

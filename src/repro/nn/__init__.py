@@ -13,6 +13,7 @@ from .tokenizer import BPETokenizer, WordTokenizer
 from .optim import SGD, Adam, AdamW, CosineSchedule, clip_grad_norm
 from .trainer import IGNORE_INDEX, TrainConfig, Trainer, TrainResult, pad_batch
 from .generation import continuation_logprob, generate, generate_text, sequence_logprob
+from .sampling import filter_top_k, filter_top_p, sample_next, softmax
 from .lora import LoRALinear, apply_lora, lora_parameters, merge_lora
 from .checkpoint import (checkpoint_exists, load_model, load_state_dict,
                          save_model, save_state_dict)
@@ -28,6 +29,7 @@ __all__ = [
     "SGD", "Adam", "AdamW", "CosineSchedule", "clip_grad_norm",
     "IGNORE_INDEX", "TrainConfig", "Trainer", "TrainResult", "pad_batch",
     "continuation_logprob", "generate", "generate_text", "sequence_logprob",
+    "filter_top_k", "filter_top_p", "sample_next", "softmax",
     "LoRALinear", "apply_lora", "lora_parameters", "merge_lora",
     "checkpoint_exists", "load_model", "load_state_dict", "save_model", "save_state_dict",
     "InferenceEngine", "generate_text_fast",

@@ -11,6 +11,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .sampling import sample_next
 from .tensor import no_grad
 from .transformer import TransformerLM
 
@@ -22,6 +23,8 @@ def generate(
     temperature: float = 0.0,
     eos_id: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
+    top_k: Optional[int] = None,
+    top_p: Optional[float] = None,
 ) -> List[int]:
     """Generate a continuation of ``prompt_ids``.
 
@@ -34,7 +37,9 @@ def generate(
     max_new_tokens:
         Upper bound on generated tokens.
     temperature:
-        0.0 → greedy argmax; >0 → softmax sampling at that temperature.
+        0.0 → greedy argmax; >0 → softmax sampling at that temperature
+        (optionally filtered with ``top_k`` / nucleus ``top_p``, see
+        :func:`repro.nn.sampling.sample_next`).
     eos_id:
         If given, generation stops after this token is emitted (the eos token
         itself is not included in the returned continuation).
@@ -59,14 +64,8 @@ def generate(
             for _ in range(max_new_tokens):
                 window = ids[-max_ctx:]
                 logits = model(np.asarray(window, dtype=np.int64)[None, :]).data[0, -1]
-                if temperature == 0.0:
-                    next_id = int(np.argmax(logits))
-                else:
-                    scaled = logits / temperature
-                    scaled -= scaled.max()
-                    probs = np.exp(scaled)
-                    probs /= probs.sum()
-                    next_id = int(rng.choice(len(probs), p=probs))
+                next_id = sample_next(logits, temperature=temperature, rng=rng,
+                                      top_k=top_k, top_p=top_p)
                 if eos_id is not None and next_id == eos_id:
                     break
                 generated.append(next_id)

@@ -17,13 +17,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from .attention import rope_cache
+from .sampling import sample_next, softmax as _softmax
 from .transformer import TransformerLM
-
-
-def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
-    shifted = x - x.max(axis=axis, keepdims=True)
-    e = np.exp(shifted)
-    return e / e.sum(axis=axis, keepdims=True)
 
 
 def _rms_norm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-6) -> np.ndarray:
@@ -36,21 +31,73 @@ def _silu(x: np.ndarray) -> np.ndarray:
 
 
 class _LayerCache:
-    """Accumulated keys/values for one attention layer: ``(H, T, Dh)``."""
+    """Accumulated keys/values for one attention layer: ``(H, T, Dh)``.
 
-    __slots__ = ("k", "v")
+    Storage is a preallocated buffer grown by amortised doubling, so
+    appending one decoded token is an O(1) copy of that token's K/V rather
+    than an O(T) re-concatenation of the whole history.  ``.k`` / ``.v``
+    stay views of shape ``(H, T, Dh)``, as the old concatenating cache
+    exposed.
+    """
+
+    __slots__ = ("_k", "_v", "_len")
+
+    #: Initial buffer capacity (tokens); doubled whenever it runs out.
+    INITIAL_CAPACITY = 64
 
     def __init__(self) -> None:
-        self.k: Optional[np.ndarray] = None
-        self.v: Optional[np.ndarray] = None
+        self._k: Optional[np.ndarray] = None
+        self._v: Optional[np.ndarray] = None
+        self._len = 0
+
+    def _ensure_capacity(self, extra: int, like: np.ndarray) -> None:
+        needed = self._len + extra
+        if self._k is None:
+            cap = max(self.INITIAL_CAPACITY, needed)
+            heads, _, head_dim = like.shape
+            self._k = np.empty((heads, cap, head_dim), dtype=like.dtype)
+            self._v = np.empty_like(self._k)
+            return
+        cap = self._k.shape[1]
+        if needed <= cap:
+            return
+        while cap < needed:
+            cap *= 2
+        grown_k = np.empty((self._k.shape[0], cap, self._k.shape[2]), dtype=self._k.dtype)
+        grown_v = np.empty_like(grown_k)
+        grown_k[:, : self._len] = self._k[:, : self._len]
+        grown_v[:, : self._len] = self._v[:, : self._len]
+        self._k, self._v = grown_k, grown_v
 
     def append(self, k_new: np.ndarray, v_new: np.ndarray) -> None:
-        self.k = k_new if self.k is None else np.concatenate([self.k, k_new], axis=1)
-        self.v = v_new if self.v is None else np.concatenate([self.v, v_new], axis=1)
+        t = k_new.shape[1]
+        self._ensure_capacity(t, k_new)
+        self._k[:, self._len: self._len + t] = k_new
+        self._v[:, self._len: self._len + t] = v_new
+        self._len += t
+
+    def preload(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Seed an *empty* cache with precomputed K/V (prefix reuse)."""
+        if self._len:
+            raise ValueError("preload requires an empty cache")
+        self.append(k, v)
+
+    def snapshot(self, upto: Optional[int] = None):
+        """Copies of the first ``upto`` cached positions (default: all)."""
+        upto = self._len if upto is None else min(upto, self._len)
+        return self._k[:, :upto].copy(), self._v[:, :upto].copy()
+
+    @property
+    def k(self) -> Optional[np.ndarray]:
+        return None if self._k is None else self._k[:, : self._len]
+
+    @property
+    def v(self) -> Optional[np.ndarray]:
+        return None if self._v is None else self._v[:, : self._len]
 
     @property
     def length(self) -> int:
-        return 0 if self.k is None else self.k.shape[1]
+        return self._len
 
 
 class InferenceEngine:
@@ -140,7 +187,9 @@ class InferenceEngine:
 
     def generate(self, prompt_ids: Sequence[int], max_new_tokens: int = 48,
                  temperature: float = 0.0, eos_id: Optional[int] = None,
-                 rng: Optional[np.random.Generator] = None) -> List[int]:
+                 rng: Optional[np.random.Generator] = None,
+                 top_k: Optional[int] = None,
+                 top_p: Optional[float] = None) -> List[int]:
         """Greedy / sampled continuation of ``prompt_ids`` (KV-cached)."""
         if not prompt_ids:
             raise ValueError("prompt_ids must be non-empty")
@@ -153,11 +202,8 @@ class InferenceEngine:
         logits = self._forward(ids, caches)
         out: List[int] = []
         for _ in range(max_new_tokens):
-            if temperature == 0.0:
-                next_id = int(np.argmax(logits))
-            else:
-                probs = _softmax(logits / temperature)
-                next_id = int(rng.choice(len(probs), p=probs))
+            next_id = sample_next(logits, temperature=temperature, rng=rng,
+                                  top_k=top_k, top_p=top_p)
             if eos_id is not None and next_id == eos_id:
                 break
             out.append(next_id)

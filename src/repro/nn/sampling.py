@@ -1,0 +1,80 @@
+"""Token sampling shared by every decoding path.
+
+Both the autograd decoder (:mod:`repro.nn.generation`) and the KV-cached
+engines (:mod:`repro.nn.infer`, :mod:`repro.serve`) pick the next token with
+:func:`sample_next`, so greedy/temperature behaviour — and the exact RNG
+consumption pattern — is identical everywhere.  The serving subsystem also
+exposes the optional top-k / nucleus (top-p) filters as per-request knobs.
+
+``temperature == 0.0`` is argmax (the paper's evaluation setting); positive
+temperatures soften the distribution before sampling.  Filters are applied to
+the temperature-scaled distribution: top-k keeps the ``k`` most likely
+tokens, top-p keeps the smallest set whose cumulative probability reaches
+``p`` (always at least the mode), and both renormalise before drawing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax (max-subtraction, matching the engines)."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def filter_top_k(probs: np.ndarray, top_k: int) -> np.ndarray:
+    """Zero out everything but the ``top_k`` most probable tokens."""
+    if top_k <= 0:
+        raise ValueError(f"top_k must be positive, got {top_k}")
+    if top_k >= probs.size:
+        return probs
+    cutoff = np.partition(probs, -top_k)[-top_k]
+    filtered = np.where(probs >= cutoff, probs, 0.0)
+    return filtered / filtered.sum()
+
+
+def filter_top_p(probs: np.ndarray, top_p: float) -> np.ndarray:
+    """Nucleus filter: keep the smallest head of the sorted distribution whose
+    mass reaches ``top_p`` (the mode always survives)."""
+    if not 0.0 < top_p <= 1.0:
+        raise ValueError(f"top_p must be in (0, 1], got {top_p}")
+    if top_p == 1.0:
+        return probs
+    order = np.argsort(-probs, kind="stable")
+    sorted_probs = probs[order]
+    cum = np.cumsum(sorted_probs)
+    # Index of the first token where cumulative mass reaches top_p; keep it.
+    last = int(np.searchsorted(cum, top_p, side="left"))
+    keep = order[: last + 1]
+    filtered = np.zeros_like(probs)
+    filtered[keep] = probs[keep]
+    return filtered / filtered.sum()
+
+
+def sample_next(logits: np.ndarray, temperature: float = 0.0,
+                rng: Optional[np.random.Generator] = None,
+                top_k: Optional[int] = None,
+                top_p: Optional[float] = None) -> int:
+    """Pick the next token id from unnormalised ``logits``.
+
+    ``temperature=0.0`` returns the argmax (filters are irrelevant there).
+    Positive temperatures draw from ``softmax(logits / temperature)`` after
+    the optional top-k then top-p filters; the draw consumes exactly one
+    ``rng.choice`` call so seeded streams stay reproducible.
+    """
+    if temperature < 0:
+        raise ValueError(f"temperature must be >= 0, got {temperature}")
+    if temperature == 0.0:
+        return int(np.argmax(logits))
+    probs = softmax(logits / temperature)
+    if top_k is not None:
+        probs = filter_top_k(probs, top_k)
+    if top_p is not None:
+        probs = filter_top_p(probs, top_p)
+    rng = rng or np.random.default_rng(0)
+    return int(rng.choice(len(probs), p=probs))

@@ -4,10 +4,12 @@ from .bm25 import BM25Index
 from .embedder import DenseRetriever, HashedEmbedder
 from .reranker import OverlapReranker
 from .chunker import Chunk, chunk_corpus, chunk_document
-from .pipeline import RagPipeline, RetrievalResult, reciprocal_rank_fusion
+from .pipeline import (RagAnswerService, RagPipeline, RetrievalResult,
+                       reciprocal_rank_fusion)
 
 __all__ = [
     "BM25Index", "DenseRetriever", "HashedEmbedder", "OverlapReranker",
     "Chunk", "chunk_corpus", "chunk_document",
-    "RagPipeline", "RetrievalResult", "reciprocal_rank_fusion",
+    "RagAnswerService", "RagPipeline", "RetrievalResult",
+    "reciprocal_rank_fusion",
 ]

@@ -1,0 +1,46 @@
+"""Batched, prefix-caching inference serving.
+
+The deployment layer the ROADMAP's "serves heavy traffic" goal asks for:
+instead of one :class:`~repro.nn.infer.InferenceEngine` call per prompt with
+a fresh KV cache each time, an :class:`InProcessServer` admits typed
+:class:`Request` objects through a continuous micro-batching
+:class:`Scheduler`, decodes many sequences per step through a
+:class:`BatchedEngine`, reuses shared prompt prefixes from a
+:class:`PrefixCachePool`, carries chat state in a :class:`SessionStore`,
+and exposes throughput/latency instrumentation via
+:meth:`InProcessServer.metrics_snapshot`.
+
+Quickstart::
+
+    from repro.serve import InProcessServer, SamplingParams, ServeConfig
+
+    server = InProcessServer(model, tokenizer)
+    for prompt in prompts:                       # shared-prefix traffic
+        server.submit_text(prompt, SamplingParams(max_new_tokens=32))
+    completions = server.run_until_idle()
+    print(server.metrics_snapshot()["tokens_per_second"])
+
+See DESIGN.md §6 and ``repro serve-bench`` for the benchmark workflow.
+"""
+
+from .cache import PrefixCachePool, common_prefix_length
+from .engine import BatchedEngine, DECODE_MODES
+from .loadgen import (WorkloadSpec, format_benchmark_report, run_serial_baseline,
+                      run_serve_benchmark, run_served, synthetic_prompts)
+from .metrics import ServerMetrics
+from .request import (Completion, FinishReason, Request, RequestStatus,
+                      SamplingParams)
+from .scheduler import Scheduler, ServeConfig
+from .server import InProcessServer
+from .sessions import SessionState, SessionStore
+
+__all__ = [
+    "BatchedEngine", "DECODE_MODES",
+    "Completion", "FinishReason", "Request", "RequestStatus", "SamplingParams",
+    "PrefixCachePool", "common_prefix_length",
+    "Scheduler", "ServeConfig", "ServerMetrics",
+    "SessionState", "SessionStore",
+    "InProcessServer",
+    "WorkloadSpec", "format_benchmark_report", "run_serial_baseline",
+    "run_serve_benchmark", "run_served", "synthetic_prompts",
+]

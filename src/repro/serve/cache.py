@@ -1,0 +1,137 @@
+"""Prefix KV-cache pool: reuse attention state across requests that share a
+prompt prefix.
+
+ChipAlign-style deployments have *highly* shareable prefixes: every OpenROAD
+QA prompt opens with the same grounding-instruction block, and RAG prompts
+share the retrieved-context template.  Because a token's K/V state depends
+only on the tokens before it, the cached KV of any stored prompt is valid
+for **every** prefix of that prompt — so a lookup returns the longest stored
+entry that prefixes the new prompt, truncated to the match length, and
+prefill only has to process the unseen suffix.
+
+Entries are bounded and evicted LRU.  Reused KV is copied into the new
+sequence's growable caches, so pool entries are immutable and shared safely
+between concurrent sequences.
+
+Note on exactness: prefill of a suffix runs matmuls with different shapes
+than a full-prompt prefill, so reused-prefix logits agree with the
+from-scratch path to float tolerance (~1e-6), not bit-for-bit — the same
+caveat batched serving systems such as vLLM document.  Run the server with
+``prefix_cache=False`` when bitwise reproducibility matters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: One layer's cached state: ``(k, v)`` arrays of shape ``(H, T, Dh)``.
+LayerKV = Tuple[np.ndarray, np.ndarray]
+
+
+def common_prefix_length(a: Sequence[int], b: Sequence[int]) -> int:
+    """Length of the longest common prefix of two token sequences."""
+    n = min(len(a), len(b))
+    for i in range(n):
+        if a[i] != b[i]:
+            return i
+    return n
+
+
+class PrefixCachePool:
+    """LRU pool of prompt KV states keyed by their token ids.
+
+    Parameters
+    ----------
+    max_entries:
+        Entry cap; least-recently-used entries are evicted beyond it.
+    min_match_tokens:
+        Shortest reusable prefix.  Very short matches (a shared BOS token)
+        are not worth the copy, so they count as misses.
+    """
+
+    def __init__(self, max_entries: int = 32, min_match_tokens: int = 8) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.min_match_tokens = min_match_tokens
+        self._entries: Dict[Tuple[int, ...], List[LayerKV]] = {}
+        self._clock = 0
+        self._last_used: Dict[Tuple[int, ...], int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.tokens_reused = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def lookup(self, prompt_ids: Sequence[int]) -> Tuple[int, Optional[List[LayerKV]]]:
+        """Longest reusable prefix of ``prompt_ids``.
+
+        Returns ``(match_len, kv)`` where ``kv`` is a list of per-layer
+        ``(k, v)`` copies truncated to ``match_len`` positions, or
+        ``(0, None)`` on a miss.  The match is capped at
+        ``len(prompt_ids) - 1`` so at least one prompt token always runs
+        through prefill (the model needs a forward pass to produce logits).
+        """
+        prompt = tuple(int(i) for i in prompt_ids)
+        limit = len(prompt) - 1
+        best_key: Optional[Tuple[int, ...]] = None
+        best_len = 0
+        for key in self._entries:
+            match = min(common_prefix_length(key, prompt), limit)
+            if match > best_len:
+                best_key, best_len = key, match
+        if best_key is None or best_len < self.min_match_tokens:
+            self.misses += 1
+            return 0, None
+        self.hits += 1
+        self.tokens_reused += best_len
+        self._clock += 1
+        self._last_used[best_key] = self._clock
+        kv = [(k[:, :best_len].copy(), v[:, :best_len].copy())
+              for k, v in self._entries[best_key]]
+        return best_len, kv
+
+    def insert(self, prompt_ids: Sequence[int], layer_kv: List[LayerKV]) -> None:
+        """Store the KV state of a fully prefilled prompt.
+
+        ``layer_kv`` arrays are copied, so callers may keep appending to the
+        live sequence caches they exported from.
+        """
+        key = tuple(int(i) for i in prompt_ids)
+        if len(key) < self.min_match_tokens:
+            return
+        if key in self._entries:
+            self._clock += 1
+            self._last_used[key] = self._clock
+            return
+        # A new entry that is a prefix of a stored one adds no information.
+        for stored in self._entries:
+            if len(stored) >= len(key) and stored[: len(key)] == key:
+                return
+        self._entries[key] = [(k[:, : len(key)].copy(), v[:, : len(key)].copy())
+                              for k, v in layer_kv]
+        self._clock += 1
+        self._last_used[key] = self._clock
+        while len(self._entries) > self.max_entries:
+            oldest = min(self._last_used, key=self._last_used.get)
+            del self._entries[oldest]
+            del self._last_used[oldest]
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "tokens_reused": self.tokens_reused,
+        }

@@ -1,0 +1,254 @@
+"""Batched decoding engine: step N independent sequences at once.
+
+:class:`BatchedEngine` extends the single-sequence
+:class:`~repro.nn.infer.InferenceEngine` with what the scheduler needs:
+
+* **prefill with KV reuse** — a new sequence's caches can be preloaded with
+  KV state from the prefix pool or a chat session, so prefill only runs the
+  unseen suffix of the prompt;
+* **batched decode** — one call advances every running sequence by a token;
+* **KV export** — a sequence's accumulated KV state can be snapshotted for
+  the prefix pool or the session store.
+
+Two decode modes, selected at construction:
+
+``"fused"`` (default)
+    Sequences live in engine-owned *slots*: per layer, one ragged batch
+    buffer of shape ``(max_batch, heads, capacity, head_dim)`` plus a
+    length vector, grown by amortised doubling.  A decode step runs the
+    embeddings, attention projections, and SwiGLU MLP as single ``(B, ·)``
+    matmuls, writes each sequence's new K/V into its slot row with one
+    fancy-indexed store per layer, and attends over a plain slice view of
+    the batch buffer with out-of-range positions masked to ``-1e30`` —
+    no per-step reassembly of the KV history.  BLAS matmuls are not
+    bitwise row-stable across batch shapes, so fused logits match the
+    single-sequence engine to ~1e-6 float tolerance; near-degenerate
+    logit ties could in principle resolve differently.
+``"exact"``
+    Sequences keep per-sequence :class:`~repro.nn.infer._LayerCache` state
+    and decode loops them through ``InferenceEngine._forward`` with the
+    exact array shapes of single-sequence decoding — guaranteeing
+    token-for-token parity with :meth:`InferenceEngine.generate`.  Use for
+    regression comparisons and determinism-critical evaluation.
+
+Sequences are handed to callers as opaque :class:`SequenceHandle` objects;
+the scheduler never touches the storage representation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.infer import InferenceEngine, _LayerCache, _rms_norm, _silu, _softmax
+from .cache import LayerKV
+
+DECODE_MODES = ("fused", "exact")
+
+#: Initial per-slot token capacity of the fused batch buffers.
+_INITIAL_SLOT_CAPACITY = 64
+
+
+class SequenceHandle:
+    """Opaque reference to one live sequence inside the engine."""
+
+    __slots__ = ("slot", "caches", "_engine")
+
+    def __init__(self, engine: "BatchedEngine", slot: Optional[int],
+                 caches: Optional[List[_LayerCache]]) -> None:
+        self._engine = engine
+        self.slot = slot
+        self.caches = caches
+
+    @property
+    def length(self) -> int:
+        """Number of tokens whose KV state the sequence holds."""
+        if self.caches is not None:
+            return self.caches[0].length
+        return int(self._engine._slot_lens[self.slot])
+
+
+class BatchedEngine(InferenceEngine):
+    """Multi-sequence extension of the KV-cached inference engine."""
+
+    def __init__(self, model, decode_mode: str = "fused",
+                 max_batch_size: int = 8) -> None:
+        super().__init__(model)
+        if decode_mode not in DECODE_MODES:
+            raise ValueError(f"decode_mode must be one of {DECODE_MODES}, "
+                             f"got {decode_mode!r}")
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self.decode_mode = decode_mode
+        self.max_batch_size = max_batch_size
+        # Fused-mode slot storage, allocated lazily on first bind.
+        self._slot_k: List[np.ndarray] = []
+        self._slot_v: List[np.ndarray] = []
+        self._slot_lens = np.zeros(max_batch_size, dtype=np.int64)
+        self._free_slots = list(range(max_batch_size - 1, -1, -1))
+        # Concatenated projection weights: one gemm for Q|K|V and gate|up
+        # per layer instead of five (fused decode only; the exact path keeps
+        # the single-sequence shapes).
+        self._fused_w = [{
+            "qkv": np.concatenate([layer["q"], layer["k"], layer["v"]], axis=0),
+            "gate_up": np.concatenate([layer["gate"], layer["up"]], axis=0),
+        } for layer in self.layers]
+
+    # ------------------------------------------------------------------
+    # prefill
+    # ------------------------------------------------------------------
+    def new_caches(self) -> List[_LayerCache]:
+        """Fresh, empty per-layer caches for one sequence."""
+        return [_LayerCache() for _ in self.layers]
+
+    def prefill(self, prompt_ids: Sequence[int], caches: List[_LayerCache],
+                reused_kv: Optional[List[LayerKV]] = None) -> np.ndarray:
+        """Run a prompt through the model, seeding ``caches``.
+
+        ``reused_kv`` (from :class:`~repro.serve.cache.PrefixCachePool` or a
+        session) preloads the caches with the KV state of the first
+        ``reused`` prompt tokens; only the remaining suffix is computed.
+        Returns the next-token logits of the final prompt position.
+        """
+        if not prompt_ids:
+            raise ValueError("prompt_ids must be non-empty")
+        if caches[0].length:
+            raise ValueError("prefill requires fresh caches")
+        reused = 0
+        if reused_kv is not None:
+            reused = reused_kv[0][0].shape[1]
+            if reused >= len(prompt_ids):
+                raise ValueError("reused prefix must be shorter than the prompt")
+            for cache, (k, v) in zip(caches, reused_kv):
+                cache.preload(k, v)
+        suffix = [int(i) for i in prompt_ids[reused:]]
+        return self._forward(suffix, caches)
+
+    # ------------------------------------------------------------------
+    # sequence lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, caches: List[_LayerCache]) -> SequenceHandle:
+        """Adopt a prefilled sequence into the engine's decode storage.
+
+        In exact mode the handle keeps the per-sequence caches; in fused
+        mode their KV state is copied into a free batch slot (a one-time
+        cost per request) and the caches are dropped.
+        """
+        if self.decode_mode == "exact":
+            return SequenceHandle(self, None, caches)
+        if not self._free_slots:
+            raise RuntimeError(f"all {self.max_batch_size} slots in use")
+        slot = self._free_slots.pop()
+        length = caches[0].length
+        self._ensure_slot_storage(length)
+        for li, cache in enumerate(caches):
+            self._slot_k[li][slot, :, :length] = cache.k
+            self._slot_v[li][slot, :, :length] = cache.v
+        self._slot_lens[slot] = length
+        return SequenceHandle(self, slot, None)
+
+    def release(self, handle: SequenceHandle) -> None:
+        """Return a sequence's resources to the engine."""
+        if handle.slot is not None:
+            self._slot_lens[handle.slot] = 0
+            self._free_slots.append(handle.slot)
+            handle.slot = None
+        handle.caches = None
+
+    def export_kv(self, handle: SequenceHandle,
+                  upto: Optional[int] = None) -> List[LayerKV]:
+        """Copy the first ``upto`` cached positions of every layer."""
+        if handle.caches is not None:
+            return [cache.snapshot(upto) for cache in handle.caches]
+        slot = handle.slot
+        length = int(self._slot_lens[slot]) if upto is None else \
+            min(upto, int(self._slot_lens[slot]))
+        return [(self._slot_k[li][slot, :, :length].copy(),
+                 self._slot_v[li][slot, :, :length].copy())
+                for li in range(len(self.layers))]
+
+    def _ensure_slot_storage(self, needed: int) -> None:
+        """Grow the shared slot buffers to hold ``needed`` tokens per slot."""
+        old_cap = self._slot_k[0].shape[2] if self._slot_k else 0
+        if needed <= old_cap:
+            return
+        cap = max(old_cap, _INITIAL_SLOT_CAPACITY)
+        while cap < needed:
+            cap *= 2
+        cap = min(cap, max(self.config.max_seq_len, needed))
+        dtype = self.tok_emb.dtype
+        shape = (self.max_batch_size, self.n_heads, cap, self.head_dim)
+        if not self._slot_k:
+            self._slot_k = [np.zeros(shape, dtype=dtype) for _ in self.layers]
+            self._slot_v = [np.zeros(shape, dtype=dtype) for _ in self.layers]
+            return
+        for li in range(len(self.layers)):
+            for bufs in (self._slot_k, self._slot_v):
+                grown = np.zeros(shape, dtype=dtype)
+                grown[:, :, :old_cap] = bufs[li]
+                bufs[li] = grown
+
+    # ------------------------------------------------------------------
+    # batched decode
+    # ------------------------------------------------------------------
+    def decode(self, tokens: Sequence[int],
+               handles: Sequence[SequenceHandle]) -> np.ndarray:
+        """Advance every sequence by one token; returns ``(B, vocab)`` logits.
+
+        ``tokens[b]`` is sequence *b*'s most recently sampled token; its K/V
+        is appended to sequence *b*'s cached state as a side effect, exactly
+        like a single-sequence ``_forward([token], caches)`` call.
+        """
+        if len(tokens) != len(handles):
+            raise ValueError("tokens and handles must align")
+        if not tokens:
+            raise ValueError("empty decode batch")
+        if self.decode_mode == "exact":
+            return np.stack([self._forward([int(t)], handle.caches)
+                             for t, handle in zip(tokens, handles)])
+        return self._decode_fused(tokens, handles)
+
+    def _decode_fused(self, tokens: Sequence[int],
+                      handles: Sequence[SequenceHandle]) -> np.ndarray:
+        batch = len(tokens)
+        heads, head_dim = self.n_heads, self.head_dim
+        slots = np.asarray([handle.slot for handle in handles])
+        positions = self._slot_lens[slots].copy()  # (B,) pre-append lengths
+        if int(positions.max()) >= self.config.max_seq_len:
+            raise ValueError("a sequence exceeds the model context window")
+        self._ensure_slot_storage(int(positions.max()) + 1)
+        x = self.tok_emb[np.asarray(tokens, dtype=np.int64)]  # (B, D)
+        cos = self._cos[positions][:, None, :]  # (B, 1, Dh)
+        sin = self._sin[positions][:, None, :]
+        half = head_dim // 2
+        lengths = positions + 1  # per-sequence lengths after the append
+        t_max = int(lengths.max())
+        invalid = np.arange(t_max)[None, :] >= lengths[:, None]  # (B, Tmax)
+        scale = 1.0 / np.sqrt(head_dim)
+        dim = heads * head_dim
+        for li, layer in enumerate(self.layers):
+            h = _rms_norm(x, layer["attn_norm"])
+            qkv = h @ self._fused_w[li]["qkv"].T  # (B, 3*D)
+            q = qkv[:, :dim].reshape(batch, heads, head_dim)
+            k = qkv[:, dim: 2 * dim].reshape(batch, heads, head_dim)
+            v = qkv[:, 2 * dim:].reshape(batch, heads, head_dim)
+            q = q * cos + np.concatenate([-q[..., half:], q[..., :half]], -1) * sin
+            k = k * cos + np.concatenate([-k[..., half:], k[..., :half]], -1) * sin
+            self._slot_k[li][slots, :, positions] = k
+            self._slot_v[li][slots, :, positions] = v
+            # One vectorised gather per buffer (ragged rows padded to Tmax).
+            k_all = self._slot_k[li][slots, :, :t_max]  # (B, H, Tmax, Dh)
+            v_all = self._slot_v[li][slots, :, :t_max]
+            scores = np.matmul(q[:, :, None, :], k_all.transpose(0, 1, 3, 2)) * scale
+            scores = np.where(invalid[:, None, None, :], -1e30, scores)
+            attn = _softmax(scores, axis=-1)
+            ctx = np.matmul(attn, v_all)[:, :, 0, :].reshape(batch, -1)
+            x = x + ctx @ layer["o"].T
+            h = _rms_norm(x, layer["mlp_norm"])
+            gate_up = h @ self._fused_w[li]["gate_up"].T  # (B, 2*ffn)
+            ffn = gate_up.shape[1] // 2
+            x = x + (_silu(gate_up[:, :ffn]) * gate_up[:, ffn:]) @ layer["down"].T
+        self._slot_lens[slots] = lengths
+        x = _rms_norm(x, self.final_norm)
+        return x @ self.lm_head.T  # (B, vocab)

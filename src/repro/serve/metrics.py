@@ -1,0 +1,96 @@
+"""Serving instrumentation: counters every scheduler step feeds.
+
+The numbers a capacity planner actually wants from an in-process server:
+throughput (generated tokens/sec), time-to-first-token, queue depth, batch
+occupancy (how full each decode step's batch was), and prefix-cache
+efficiency.  :meth:`ServerMetrics.snapshot` renders everything as a plain
+dict so benchmarks and the CLI can print or serialise it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class ServerMetrics:
+    """Mutable counters owned by one server instance."""
+
+    def __init__(self, max_batch_size: int) -> None:
+        self.max_batch_size = max_batch_size
+        self.requests_submitted = 0
+        self.requests_finished = 0
+        self.requests_expired = 0
+        self.requests_cancelled = 0
+        self.tokens_generated = 0
+        self.prefill_tokens = 0
+        self.cached_prefix_tokens = 0
+        self.decode_steps = 0
+        self.ttfts: List[float] = []
+        self.queue_waits: List[float] = []
+        self._queue_depth_sum = 0
+        self._occupancy_sum = 0
+        self._busy_started: Optional[float] = None
+        self.busy_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def record_step(self, queue_depth: int, running: int) -> None:
+        """Account one scheduler step's queue depth and batch occupancy."""
+        self.decode_steps += 1
+        self._queue_depth_sum += queue_depth
+        self._occupancy_sum += running
+
+    def mark_busy(self, now: float) -> None:
+        """Clock the span between the first and last moment work existed."""
+        if self._busy_started is None:
+            self._busy_started = now
+
+    def mark_idle(self, now: float) -> None:
+        if self._busy_started is not None:
+            self.busy_seconds += now - self._busy_started
+            self._busy_started = None
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_ttft(self) -> float:
+        return sum(self.ttfts) / len(self.ttfts) if self.ttfts else 0.0
+
+    @property
+    def mean_queue_depth(self) -> float:
+        steps = self.decode_steps
+        return self._queue_depth_sum / steps if steps else 0.0
+
+    @property
+    def mean_batch_occupancy(self) -> float:
+        steps = self.decode_steps
+        return self._occupancy_sum / steps if steps else 0.0
+
+    @property
+    def tokens_per_second(self) -> float:
+        if self.busy_seconds <= 0:
+            return 0.0
+        return self.tokens_generated / self.busy_seconds
+
+    def snapshot(self, prefix_stats: Optional[Dict[str, float]] = None) -> Dict[str, float]:
+        """Point-in-time metrics dict (JSON-serialisable)."""
+        snap: Dict[str, float] = {
+            "requests_submitted": self.requests_submitted,
+            "requests_finished": self.requests_finished,
+            "requests_expired": self.requests_expired,
+            "requests_cancelled": self.requests_cancelled,
+            "tokens_generated": self.tokens_generated,
+            "prefill_tokens": self.prefill_tokens,
+            "cached_prefix_tokens": self.cached_prefix_tokens,
+            "decode_steps": self.decode_steps,
+            "tokens_per_second": self.tokens_per_second,
+            "mean_ttft_s": self.mean_ttft,
+            "mean_queue_wait_s": (sum(self.queue_waits) / len(self.queue_waits)
+                                  if self.queue_waits else 0.0),
+            "mean_queue_depth": self.mean_queue_depth,
+            "mean_batch_occupancy": self.mean_batch_occupancy,
+            "max_batch_size": self.max_batch_size,
+            "busy_seconds": self.busy_seconds,
+        }
+        if prefix_stats is not None:
+            snap.update({f"prefix_{key}": value
+                         for key, value in prefix_stats.items()})
+        return snap

@@ -1,0 +1,101 @@
+"""Typed request/response surface of the serving subsystem.
+
+A :class:`Request` carries everything the scheduler needs to admit, order,
+and expire one generation job: the prompt, per-request :class:`SamplingParams`,
+a priority (higher runs first), an optional absolute deadline, and an
+optional session id for multi-turn KV reuse.  A :class:`Completion` is the
+terminal record handed back to the caller, including per-request latency and
+cache diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class RequestStatus:
+    """Terminal / lifecycle states of a request."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    FINISHED = "finished"
+    EXPIRED = "expired"
+    CANCELLED = "cancelled"
+
+
+class FinishReason:
+    """Why a finished sequence stopped decoding."""
+
+    EOS = "eos"              # the model emitted the end-of-sequence token
+    LENGTH = "length"        # max_new_tokens budget exhausted
+    CONTEXT = "context"      # model context window exhausted
+    DEADLINE = "deadline"    # evicted past its deadline
+    CANCELLED = "cancelled"  # explicitly cancelled by the caller
+
+
+@dataclass(frozen=True)
+class SamplingParams:
+    """Per-request decoding knobs (the serve analog of ``generate``'s args)."""
+
+    max_new_tokens: int = 48
+    temperature: float = 0.0
+    top_k: Optional[int] = None
+    top_p: Optional[float] = None
+    seed: int = 0
+    stop_on_eos: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_new_tokens < 1:
+            raise ValueError(f"max_new_tokens must be >= 1, got {self.max_new_tokens}")
+        if self.temperature < 0:
+            raise ValueError(f"temperature must be >= 0, got {self.temperature}")
+        if self.top_k is not None and self.top_k <= 0:
+            raise ValueError(f"top_k must be positive, got {self.top_k}")
+        if self.top_p is not None and not 0.0 < self.top_p <= 1.0:
+            raise ValueError(f"top_p must be in (0, 1], got {self.top_p}")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One generation job submitted to the server."""
+
+    request_id: str
+    prompt_ids: Tuple[int, ...]
+    params: SamplingParams = field(default_factory=SamplingParams)
+    #: Higher priorities are admitted first; ties keep submission order.
+    priority: int = 0
+    #: Absolute deadline on the server's clock; ``None`` = no deadline.
+    deadline: Optional[float] = None
+    #: Multi-turn session whose cached KV state this request continues.
+    session_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.prompt_ids:
+            raise ValueError("prompt_ids must be non-empty")
+        object.__setattr__(self, "prompt_ids",
+                           tuple(int(i) for i in self.prompt_ids))
+
+
+@dataclass(frozen=True)
+class Completion:
+    """Terminal record of one request."""
+
+    request_id: str
+    status: str
+    token_ids: Tuple[int, ...] = ()
+    finish_reason: Optional[str] = None
+    #: Wall-clock (server clock) seconds from submit to first generated token.
+    ttft: Optional[float] = None
+    #: Server-clock seconds spent waiting in the queue before prefill.
+    queue_wait: Optional[float] = None
+    #: Prompt tokens actually run through prefill (after cache reuse).
+    prefill_tokens: int = 0
+    #: Prompt tokens whose KV state came from the prefix cache / session.
+    cached_prefix_tokens: int = 0
+    #: Decoded text, filled in only when the server has a tokenizer.
+    text: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == RequestStatus.FINISHED

@@ -1,0 +1,302 @@
+"""Continuous micro-batching scheduler.
+
+The scheduler owns the request queue and the set of running sequences and
+advances the whole system one *step* at a time.  Each step:
+
+1. **expire** — queued or running requests past their deadline are evicted
+   with :data:`~repro.serve.request.FinishReason.DEADLINE`;
+2. **admit** — while the batch has free slots, the highest-priority queued
+   request (FIFO within a priority) is prefilled: the session store and
+   prefix pool are consulted for reusable KV state, only the unseen prompt
+   suffix runs through the model, and the first token is sampled from the
+   prefill logits (time-to-first-token is measured here);
+3. **decode** — one batched engine step advances every running sequence by
+   one token; finished sequences (eos / token budget / context exhaustion)
+   free their slots for the next step's admissions.
+
+Prefill is sequence-at-a-time and decode is token-at-a-time across the
+batch — the Orca-style interleaving that keeps short requests from waiting
+behind long ones.  With a fixed submission order and a deterministic clock,
+the whole schedule — admission order, batch composition, sampled tokens —
+is reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn.sampling import sample_next
+from .cache import PrefixCachePool
+from .engine import DECODE_MODES, BatchedEngine, SequenceHandle
+from .metrics import ServerMetrics
+from .request import Completion, FinishReason, Request, RequestStatus
+from .sessions import SessionStore
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Scheduler/server tuning knobs."""
+
+    max_batch_size: int = 8
+    decode_mode: str = "fused"
+    prefix_cache: bool = True
+    prefix_cache_entries: int = 32
+    prefix_min_tokens: int = 8
+    session_capacity: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.decode_mode not in DECODE_MODES:
+            raise ValueError(f"decode_mode must be one of {DECODE_MODES}")
+
+
+class _Sequence:
+    """Mutable state of one running request."""
+
+    __slots__ = ("request", "handle", "out", "last_token", "rng",
+                 "covered_ids", "prompt", "reused", "first_token_at")
+
+    def __init__(self, request: Request, prompt: Tuple[int, ...],
+                 handle: SequenceHandle, reused: int) -> None:
+        self.request = request
+        self.prompt = prompt
+        self.handle = handle
+        self.reused = reused
+        self.out: List[int] = []
+        self.last_token: Optional[int] = None
+        self.rng = np.random.default_rng(request.params.seed)
+        #: Tokens whose KV state the caches currently hold.
+        self.covered_ids: List[int] = list(prompt)
+        self.first_token_at: Optional[float] = None
+
+
+class Scheduler:
+    """Admission, batching, and eviction policy over a :class:`BatchedEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The batched engine to drive (its ``decode_mode`` is set from the
+        config when constructed through :class:`~repro.serve.server.InProcessServer`).
+    config:
+        Scheduling knobs.
+    clock:
+        Monotonic time source.  Injectable so tests and the deterministic
+        load generator can run on a manual clock.
+    eos_id:
+        End-of-sequence token id (usually the tokenizer's); ``None``
+        disables eos stopping regardless of per-request ``stop_on_eos``.
+    """
+
+    def __init__(self, engine: BatchedEngine, config: ServeConfig = ServeConfig(),
+                 clock: Callable[[], float] = time.monotonic,
+                 eos_id: Optional[int] = None) -> None:
+        self.engine = engine
+        self.config = config
+        self.clock = clock
+        self.eos_id = eos_id
+        self.prefix_pool: Optional[PrefixCachePool] = (
+            PrefixCachePool(max_entries=config.prefix_cache_entries,
+                            min_match_tokens=config.prefix_min_tokens)
+            if config.prefix_cache else None)
+        self.sessions = SessionStore(capacity=config.session_capacity)
+        self.metrics = ServerMetrics(config.max_batch_size)
+        self._queue: List[Tuple[int, int, Request]] = []  # (-priority, seqno, req)
+        self._seqno = 0
+        self._submitted_at: Dict[str, float] = {}
+        self._running: List[_Sequence] = []
+        self._completions: List[Completion] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def running_count(self) -> int:
+        return len(self._running)
+
+    @property
+    def idle(self) -> bool:
+        return not self._queue and not self._running
+
+    def submit(self, request: Request) -> None:
+        """Enqueue a request (does not run any model work)."""
+        if request.request_id in self._submitted_at:
+            raise ValueError(f"duplicate request_id {request.request_id!r}")
+        now = self.clock()
+        self._submitted_at[request.request_id] = now
+        heapq.heappush(self._queue, (-request.priority, self._seqno, request))
+        self._seqno += 1
+        self.metrics.requests_submitted += 1
+        self.metrics.mark_busy(now)
+
+    def cancel(self, request_id: str) -> bool:
+        """Cancel a queued or running request; returns whether it was found."""
+        for i, (_, _, request) in enumerate(self._queue):
+            if request.request_id == request_id:
+                del self._queue[i]
+                heapq.heapify(self._queue)
+                self._complete(request, RequestStatus.CANCELLED,
+                               FinishReason.CANCELLED)
+                return True
+        for seq in list(self._running):
+            if seq.request.request_id == request_id:
+                self._running.remove(seq)
+                self._finish_seq(seq, RequestStatus.CANCELLED,
+                                 FinishReason.CANCELLED)
+                return True
+        return False
+
+    def drain_completions(self) -> List[Completion]:
+        """Completions accumulated since the last drain."""
+        done, self._completions = self._completions, []
+        return done
+
+    # ------------------------------------------------------------------
+    def step(self) -> List[Completion]:
+        """Run one scheduler iteration; returns completions it produced."""
+        before = len(self._completions)
+        now = self.clock()
+        self._expire(now)
+        self._admit(now)
+        if self._running:
+            self.metrics.record_step(len(self._queue), len(self._running))
+            self._decode_step()
+        if self.idle:
+            self.metrics.mark_idle(self.clock())
+        return self._completions[before:]
+
+    def run_until_idle(self, max_steps: Optional[int] = None) -> List[Completion]:
+        """Step until queue and batch are empty; returns all completions."""
+        steps = 0
+        while not self.idle:
+            self.step()
+            steps += 1
+            if max_steps is not None and steps >= max_steps:
+                break
+        return self.drain_completions()
+
+    # ------------------------------------------------------------------
+    def _expire(self, now: float) -> None:
+        live = []
+        for item in self._queue:
+            request = item[2]
+            if request.deadline is not None and now > request.deadline:
+                self.metrics.requests_expired += 1
+                self._complete(request, RequestStatus.EXPIRED,
+                               FinishReason.DEADLINE)
+            else:
+                live.append(item)
+        if len(live) != len(self._queue):
+            self._queue = live
+            heapq.heapify(self._queue)
+        for seq in list(self._running):
+            deadline = seq.request.deadline
+            if deadline is not None and now > deadline:
+                self._running.remove(seq)
+                self.metrics.requests_expired += 1
+                self._finish_seq(seq, RequestStatus.EXPIRED,
+                                 FinishReason.DEADLINE)
+
+    def _admit(self, now: float) -> None:
+        max_ctx = self.engine.config.max_seq_len
+        while self._queue and len(self._running) < self.config.max_batch_size:
+            _, _, request = heapq.heappop(self._queue)
+            prompt = tuple(request.prompt_ids[-max_ctx:])
+            reused, reused_kv = 0, None
+            if request.session_id is not None:
+                reused, reused_kv = self.sessions.lookup_prefix(
+                    request.session_id, prompt)
+            if reused == 0 and self.prefix_pool is not None:
+                reused, reused_kv = self.prefix_pool.lookup(prompt)
+            caches = self.engine.new_caches()
+            logits = self.engine.prefill(prompt, caches, reused_kv)
+            if self.prefix_pool is not None:
+                self.prefix_pool.insert(
+                    prompt, [(c.k, c.v) for c in caches])
+            seq = _Sequence(request, prompt, self.engine.bind(caches), reused)
+            self.metrics.prefill_tokens += len(prompt) - reused
+            self.metrics.cached_prefix_tokens += reused
+            submitted = self._submitted_at[request.request_id]
+            self.metrics.queue_waits.append(now - submitted)
+            seq.first_token_at = now
+            self.metrics.ttfts.append(now - submitted)
+            if self._advance(seq, logits):
+                self._running.append(seq)
+
+    def _decode_step(self) -> None:
+        batch = self._running
+        tokens = [seq.last_token for seq in batch]
+        for seq in batch:
+            seq.covered_ids.append(seq.last_token)
+        logits = self.engine.decode(tokens, [seq.handle for seq in batch])
+        survivors = []
+        for row, seq in enumerate(batch):
+            if self._advance(seq, logits, row=row):
+                survivors.append(seq)
+        self._running = survivors
+
+    def _advance(self, seq: _Sequence, logits: np.ndarray,
+                 row: Optional[int] = None) -> bool:
+        """Sample one token for ``seq`` and apply the stop conditions.
+
+        Mirrors :meth:`InferenceEngine.generate` exactly: an eos token ends
+        the sequence without being emitted, the token budget is checked
+        after appending, and context exhaustion stops decoding once the
+        cache reaches the model's window.  Returns True while running.
+        """
+        params = seq.request.params
+        vec = logits if row is None else logits[row]
+        token = sample_next(vec, temperature=params.temperature, rng=seq.rng,
+                            top_k=params.top_k, top_p=params.top_p)
+        if params.stop_on_eos and self.eos_id is not None and token == self.eos_id:
+            self._finish_seq(seq, RequestStatus.FINISHED, FinishReason.EOS)
+            return False
+        seq.out.append(token)
+        self.metrics.tokens_generated += 1
+        if len(seq.out) >= params.max_new_tokens:
+            self._finish_seq(seq, RequestStatus.FINISHED, FinishReason.LENGTH)
+            return False
+        if seq.handle.length >= self.engine.config.max_seq_len:
+            self._finish_seq(seq, RequestStatus.FINISHED, FinishReason.CONTEXT)
+            return False
+        seq.last_token = token
+        return True
+
+    # ------------------------------------------------------------------
+    def _finish_seq(self, seq: _Sequence, status: str, reason: str) -> None:
+        request = seq.request
+        if status == RequestStatus.FINISHED:
+            self.metrics.requests_finished += 1
+            if request.session_id is not None:
+                self.sessions.update(request.session_id, seq.covered_ids,
+                                     self.engine.export_kv(seq.handle))
+        self.engine.release(seq.handle)
+        submitted = self._submitted_at.pop(request.request_id, None)
+        ttft = (seq.first_token_at - submitted
+                if seq.first_token_at is not None and submitted is not None
+                else None)
+        self._completions.append(Completion(
+            request_id=request.request_id,
+            status=status,
+            token_ids=tuple(seq.out),
+            finish_reason=reason,
+            ttft=ttft,
+            queue_wait=ttft,
+            prefill_tokens=len(seq.prompt) - seq.reused,
+            cached_prefix_tokens=seq.reused,
+            text=None,
+        ))
+
+    def _complete(self, request: Request, status: str, reason: str) -> None:
+        """Terminal record for a request that never ran (expired/cancelled)."""
+        self._submitted_at.pop(request.request_id, None)
+        self._completions.append(Completion(
+            request_id=request.request_id, status=status, finish_reason=reason))

@@ -1,0 +1,158 @@
+"""In-process inference server: the user-facing facade over the scheduler.
+
+:class:`InProcessServer` binds a model (wrapped in a
+:class:`~repro.serve.engine.BatchedEngine`), an optional tokenizer, and a
+:class:`~repro.serve.scheduler.Scheduler` into one object with a small
+surface:
+
+* :meth:`submit` / :meth:`step` / :meth:`run_until_idle` — the asynchronous
+  interface: enqueue any number of requests, then drive the scheduler; the
+  continuous batcher interleaves them automatically;
+* :meth:`complete` — synchronous one-call completion (submit + run);
+* :meth:`chat` — session-aware completion that carries KV state across the
+  turns of a conversation;
+* :meth:`metrics_snapshot` — instrumentation as a plain dict.
+
+"Server" here means a serving *subsystem*, not a network daemon: it lives in
+the caller's process, the way the evaluation harness and examples consume
+it.  A transport layer could wrap it without touching scheduling.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .engine import BatchedEngine
+from .request import Completion, Request, SamplingParams
+from .scheduler import Scheduler, ServeConfig
+
+
+class InProcessServer:
+    """Batched, prefix-caching server around one model.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.nn.transformer.TransformerLM` (weights are
+        snapshotted by the engine at construction).
+    tokenizer:
+        Optional; enables the text convenience APIs (``complete_text``,
+        completions carrying decoded ``text``) and supplies the eos id.
+    config:
+        Scheduling knobs; see :class:`~repro.serve.scheduler.ServeConfig`.
+    clock:
+        Injectable monotonic time source (tests use a manual clock).
+    eos_id:
+        Overrides the tokenizer's eos id (or provides one without a
+        tokenizer).
+    """
+
+    def __init__(self, model, tokenizer=None, config: ServeConfig = ServeConfig(),
+                 clock: Callable[[], float] = time.monotonic,
+                 eos_id: Optional[int] = None) -> None:
+        self.engine = BatchedEngine(model, decode_mode=config.decode_mode,
+                                    max_batch_size=config.max_batch_size)
+        self.tokenizer = tokenizer
+        if eos_id is None and tokenizer is not None:
+            eos_id = tokenizer.eos_id
+        self.config = config
+        self.scheduler = Scheduler(self.engine, config=config, clock=clock,
+                                   eos_id=eos_id)
+        self._ids = itertools.count()
+        self._results: Dict[str, Completion] = {}
+
+    # ------------------------------------------------------------------
+    # async-style interface
+    # ------------------------------------------------------------------
+    def submit(self, prompt_ids: Sequence[int],
+               params: Optional[SamplingParams] = None, priority: int = 0,
+               deadline: Optional[float] = None,
+               session_id: Optional[str] = None,
+               request_id: Optional[str] = None) -> str:
+        """Enqueue a generation job; returns its request id."""
+        if request_id is None:
+            request_id = f"req-{next(self._ids)}"
+        request = Request(request_id=request_id,
+                          prompt_ids=tuple(prompt_ids),
+                          params=params or SamplingParams(),
+                          priority=priority, deadline=deadline,
+                          session_id=session_id)
+        self.scheduler.submit(request)
+        return request_id
+
+    def submit_text(self, prompt: str, params: Optional[SamplingParams] = None,
+                    **kwargs) -> str:
+        """Encode a text prompt with the server tokenizer and enqueue it."""
+        if self.tokenizer is None:
+            raise ValueError("submit_text requires a tokenizer")
+        ids = self.tokenizer.encode(prompt, add_bos=True)
+        return self.submit(ids, params=params, **kwargs)
+
+    def step(self) -> List[Completion]:
+        """Advance the scheduler one step; returns new completions."""
+        return self._collect(self.scheduler.step())
+
+    def run_until_idle(self, max_steps: Optional[int] = None) -> List[Completion]:
+        """Drive the scheduler until all submitted work is done."""
+        return self._collect(self.scheduler.run_until_idle(max_steps=max_steps))
+
+    def result(self, request_id: str) -> Optional[Completion]:
+        """The completion of a finished request, if available yet."""
+        return self._results.get(request_id)
+
+    def cancel(self, request_id: str) -> bool:
+        found = self.scheduler.cancel(request_id)
+        self._collect(self.scheduler.drain_completions())
+        return found
+
+    @property
+    def idle(self) -> bool:
+        return self.scheduler.idle
+
+    # ------------------------------------------------------------------
+    # synchronous conveniences
+    # ------------------------------------------------------------------
+    def complete(self, prompt_ids: Sequence[int],
+                 params: Optional[SamplingParams] = None,
+                 session_id: Optional[str] = None) -> Completion:
+        """Submit one request and run the scheduler until it finishes."""
+        request_id = self.submit(prompt_ids, params=params, session_id=session_id)
+        self.run_until_idle()
+        return self._results[request_id]
+
+    def complete_text(self, prompt: str,
+                      params: Optional[SamplingParams] = None,
+                      session_id: Optional[str] = None) -> str:
+        """Text-in/text-out completion through the tokenizer."""
+        if self.tokenizer is None:
+            raise ValueError("complete_text requires a tokenizer")
+        ids = self.tokenizer.encode(prompt, add_bos=True)
+        completion = self.complete(ids, params=params, session_id=session_id)
+        return completion.text or ""
+
+    def chat(self, session_id: str, prompt_ids: Sequence[int],
+             params: Optional[SamplingParams] = None) -> Completion:
+        """One conversation turn; KV state is reused across calls with the
+        same ``session_id`` (the prompt must replay the conversation so far,
+        as the canonical prompt grammar does)."""
+        return self.complete(prompt_ids, params=params, session_id=session_id)
+
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """Instrumentation snapshot (tokens/sec, TTFT, hit rates, …)."""
+        pool = self.scheduler.prefix_pool
+        return self.scheduler.metrics.snapshot(
+            pool.stats() if pool is not None else None)
+
+    def _collect(self, completions: List[Completion]) -> List[Completion]:
+        out = []
+        for completion in completions:
+            if self.tokenizer is not None and completion.token_ids:
+                completion = replace(
+                    completion, text=self.tokenizer.decode(list(completion.token_ids)))
+            self._results[completion.request_id] = completion
+            out.append(completion)
+        return out

@@ -1,0 +1,91 @@
+"""Session store: carry KV state across the turns of a chat.
+
+A multi-turn prompt in the canonical grammar replays the whole conversation
+verbatim (``question : q1 assistant : a1 question : q2 … assistant :``), so
+turn *n*'s prompt begins with the exact token sequence the server already
+processed in turn *n-1* — prompt *and* generated answer.  Storing that
+state per session turns every follow-up turn into a suffix-only prefill.
+
+Entries hold the token ids whose KV is cached plus per-layer ``(k, v)``
+copies, and are evicted LRU beyond ``capacity``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .cache import LayerKV, common_prefix_length
+
+
+@dataclass
+class SessionState:
+    """Cached conversation state of one chat session."""
+
+    #: Token ids covered by the cached KV (prompt + generated, minus the
+    #: final sampled token, whose KV was never computed).
+    token_ids: Tuple[int, ...]
+    layer_kv: List[LayerKV]
+    turns: int = 0
+    last_used: int = field(default=0)
+
+
+class SessionStore:
+    """LRU map of ``session_id`` → :class:`SessionState`."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._sessions: Dict[str, SessionState] = {}
+        self._clock = 0
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._sessions
+
+    def get(self, session_id: str) -> Optional[SessionState]:
+        state = self._sessions.get(session_id)
+        if state is not None:
+            self._clock += 1
+            state.last_used = self._clock
+        return state
+
+    def lookup_prefix(self, session_id: str,
+                      prompt_ids: Sequence[int]) -> Tuple[int, Optional[List[LayerKV]]]:
+        """Reusable KV prefix of ``prompt_ids`` from the session, if any.
+
+        Like the prefix pool, the match is capped one token short of the
+        prompt so prefill always has work to produce logits from.
+        """
+        state = self.get(session_id)
+        if state is None:
+            return 0, None
+        match = min(common_prefix_length(state.token_ids, prompt_ids),
+                    len(prompt_ids) - 1)
+        if match <= 0:
+            return 0, None
+        kv = [(k[:, :match].copy(), v[:, :match].copy())
+              for k, v in state.layer_kv]
+        return match, kv
+
+    def update(self, session_id: str, token_ids: Sequence[int],
+               layer_kv: List[LayerKV]) -> None:
+        """Replace a session's cached state after a completed turn."""
+        previous = self._sessions.get(session_id)
+        self._clock += 1
+        self._sessions[session_id] = SessionState(
+            token_ids=tuple(int(i) for i in token_ids),
+            layer_kv=layer_kv,
+            turns=(previous.turns + 1) if previous else 1,
+            last_used=self._clock,
+        )
+        while len(self._sessions) > self.capacity:
+            oldest = min(self._sessions, key=lambda s: self._sessions[s].last_used)
+            del self._sessions[oldest]
+
+    def drop(self, session_id: str) -> bool:
+        """Forget a session; returns whether it existed."""
+        return self._sessions.pop(session_id, None) is not None

@@ -92,3 +92,45 @@ def test_long_prompt_is_truncated_to_context(engine):
     prompt = [1] + [5, 6] * 40  # longer than max_seq_len=24
     out = engine.generate(prompt, max_new_tokens=2)
     assert len(out) <= 2  # no crash; generation proceeds from the tail window
+
+
+def test_layer_cache_buffer_growth(engine):
+    """The growable KV buffer doubles past its initial capacity while .k/.v
+    stay views of exactly the appended history."""
+    from repro.nn.infer import _LayerCache
+
+    cache = _LayerCache()
+    rng = np.random.default_rng(0)
+    total = _LayerCache.INITIAL_CAPACITY * 2 + 5
+    chunks = []
+    written = 0
+    while written < total:
+        step = int(rng.integers(1, 7))
+        k = rng.normal(size=(2, step, 3)).astype(np.float32)
+        cache.append(k, k)
+        chunks.append(k)
+        written += step
+    expected = np.concatenate(chunks, axis=1)
+    assert cache.length == written
+    assert np.array_equal(cache.k, expected)
+    assert np.array_equal(cache.v, expected)
+    # Snapshots are copies, not views into the buffer.
+    snap_k, _ = cache.snapshot(upto=4)
+    snap_k[:] = -1
+    assert not np.array_equal(cache.k[:, :4], snap_k)
+
+
+def test_generate_top_k_and_top_p(engine):
+    """Filtered sampling stays deterministic under a fixed seed and matches
+    unfiltered greedy when the filters are vacuous."""
+    greedy = engine.generate([1, 7], max_new_tokens=5)
+    vacuous = engine.generate([1, 7], max_new_tokens=5, top_k=24, top_p=1.0)
+    assert vacuous == greedy
+    a = engine.generate([1, 7], max_new_tokens=5, temperature=0.9, top_k=3,
+                        rng=np.random.default_rng(3))
+    b = engine.generate([1, 7], max_new_tokens=5, temperature=0.9, top_k=3,
+                        rng=np.random.default_rng(3))
+    assert a == b
+    nucleus = engine.generate([1, 7], max_new_tokens=5, temperature=0.9,
+                              top_p=0.9, rng=np.random.default_rng(3))
+    assert len(nucleus) == 5

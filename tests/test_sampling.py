@@ -1,0 +1,84 @@
+"""Shared sampling utilities: softmax, top-k / nucleus filtering."""
+
+import numpy as np
+import pytest
+
+from repro.nn.sampling import filter_top_k, filter_top_p, sample_next, softmax
+
+
+def test_softmax_matches_reference(rng):
+    logits = rng.normal(size=(3, 7)).astype(np.float32)
+    out = softmax(logits)
+    assert np.allclose(out.sum(axis=-1), 1.0, atol=1e-6)
+    ref = np.exp(logits - logits.max(-1, keepdims=True))
+    ref /= ref.sum(-1, keepdims=True)
+    assert np.allclose(out, ref)
+
+
+def test_softmax_extreme_logits_stable():
+    out = softmax(np.array([1e4, 0.0, -1e4], dtype=np.float64))
+    assert np.isfinite(out).all()
+    assert out.argmax() == 0
+
+
+def test_filter_top_k_keeps_k_best():
+    probs = np.array([0.1, 0.4, 0.2, 0.3])
+    kept = filter_top_k(probs, top_k=2)
+    assert kept[0] == 0 and kept[2] == 0
+    assert np.isclose(kept.sum(), 1.0)
+    assert np.isclose(kept[1], 0.4 / 0.7)
+    # k >= vocab is a no-op.
+    assert np.allclose(filter_top_k(probs, top_k=10), probs)
+
+
+def test_filter_top_p_nucleus():
+    probs = np.array([0.5, 0.3, 0.15, 0.05])
+    # p=0.6: keep the tokens whose cumulative mass first crosses 0.6
+    # (0.5 alone is not enough, so 0.3 joins the nucleus).
+    kept = filter_top_p(probs, top_p=0.6)
+    assert kept[2] == 0 and kept[3] == 0
+    assert np.isclose(kept.sum(), 1.0)
+    assert np.isclose(kept[0], 0.5 / 0.8)
+    # p=1 keeps everything.
+    assert np.allclose(filter_top_p(probs, top_p=1.0), probs)
+
+
+def test_filter_top_p_always_keeps_best_token():
+    probs = np.array([0.99, 0.01])
+    kept = filter_top_p(probs, top_p=0.5)
+    assert kept[0] == 1.0 and kept[1] == 0.0
+
+
+def test_sample_next_greedy_ignores_rng():
+    logits = np.array([0.1, 2.0, -1.0])
+    assert sample_next(logits, temperature=0.0) == 1
+    assert sample_next(logits, temperature=0.0, top_k=1) == 1
+
+
+def test_sample_next_default_rng_is_seeded():
+    """Without an rng, stochastic sampling falls back to a fixed seed
+    (matching the engines' historical default), so it stays reproducible."""
+    logits = np.linspace(-1, 1, 8)
+    assert sample_next(logits, temperature=1.0) == \
+        sample_next(logits, temperature=1.0)
+    with pytest.raises(ValueError):
+        sample_next(logits, temperature=-0.1)
+
+
+def test_sample_next_respects_filters(rng):
+    logits = np.array([5.0, 4.0, -10.0, -10.0])
+    draws = {sample_next(logits, temperature=1.0, rng=rng, top_k=2)
+             for _ in range(50)}
+    assert draws <= {0, 1}
+    draws = {sample_next(logits, temperature=1.0, rng=rng, top_p=0.5)
+             for _ in range(50)}
+    assert draws == {0}
+
+
+def test_sample_next_reproducible_stream():
+    logits = np.linspace(-1, 1, 16)
+    a = [sample_next(logits, temperature=0.9, rng=np.random.default_rng(7))
+         for _ in range(1)]
+    b = [sample_next(logits, temperature=0.9, rng=np.random.default_rng(7))
+         for _ in range(1)]
+    assert a == b

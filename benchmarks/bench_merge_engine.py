@@ -1,0 +1,110 @@
+"""Incremental λ-sweep merge engine — plan once, evaluate per λ.
+
+The acceptance workload from ISSUE 2: an 11-point λ sweep over the grande
+backbone (the paper's Figure 8 grid).  The naive baseline re-runs the full
+per-tensor :func:`~repro.core.geodesic.geodesic_merge` — float64
+conversion, sphere projections, norms, and angles — for every λ, exactly
+what :func:`~repro.core.analysis.interpolation_path` and the figure-8
+runner did before the engine existed.  The engine builds one
+:class:`~repro.core.merge_engine.MergePlan` and evaluates each λ with only
+coefficient math plus a fused ``(L, 2) @ (2, n)`` multiply-add per tensor.
+
+Asserts the headline claim: >= 3x wall-clock over the naive loop with
+outputs ``np.allclose`` (rtol 1e-10) at every λ point.
+"""
+
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+from benchmarks.conftest import print_result
+from repro.core.geodesic import geodesic_merge
+from repro.core.merge_engine import GeodesicMergeEngine
+from repro.nn.transformer import TransformerLM, preset_config
+
+#: The acceptance grid: Figure 8's 11 λ points.
+LAMS = [i / 10 for i in range(11)]
+
+#: Interleaved timing repeats (best-of) to damp machine-noise dips.
+REPEATS = 5
+
+
+def _model_pair():
+    chip = TransformerLM(preset_config("grande", vocab_size=512, seed=0))
+    instruct = TransformerLM(preset_config("grande", vocab_size=512, seed=1))
+    return chip.state_dict(), instruct.state_dict()
+
+
+def _naive_sweep(chip, instruct):
+    return [OrderedDict((key, geodesic_merge(chip[key], instruct[key], lam))
+                        for key in chip) for lam in LAMS]
+
+
+def _engine_sweep(chip, instruct):
+    return GeodesicMergeEngine(chip, instruct).sweep(LAMS)
+
+
+def test_engine_sweep_beats_naive_loop(benchmark):
+    chip, instruct = _model_pair()
+    n_params = sum(w.size for w in chip.values())
+
+    # Warm-up (allocator, BLAS), then interleaved best-of so both sides
+    # sample the same CPU-frequency/cache conditions.
+    _naive_sweep(chip, instruct)
+    _engine_sweep(chip, instruct)
+    naive_times, engine_times = [], []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        naive_result = _naive_sweep(chip, instruct)
+        naive_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        engine_result = _engine_sweep(chip, instruct)
+        engine_times.append(time.perf_counter() - start)
+    naive_t, engine_t = min(naive_times), min(engine_times)
+    speedup = naive_t / engine_t
+
+    table = "\n".join([
+        f"workload        : grande pair, {len(chip)} tensors, "
+        f"{n_params:,} params, {len(LAMS)} lambda points",
+        f"naive loop      : {naive_t * 1e3:8.1f} ms",
+        f"engine sweep    : {engine_t * 1e3:8.1f} ms",
+        f"speedup         : {speedup:8.2f}x",
+    ])
+    print_result("Merge engine: 11-point lambda sweep vs naive loop", table)
+
+    for naive_sd, engine_sd in zip(naive_result, engine_result):
+        for key in naive_sd:
+            assert np.allclose(naive_sd[key], engine_sd[key],
+                               rtol=1e-10, atol=1e-13), key
+    assert speedup >= 3.0, (
+        f"expected >= 3x over the naive per-lambda loop, got {speedup:.2f}x")
+
+    engine = GeodesicMergeEngine(chip, instruct)
+    benchmark(lambda: engine.sweep(LAMS))
+
+
+def test_single_merge_amortises_plan(benchmark):
+    """After one plan, a single-λ evaluation is several times cheaper than
+    a from-scratch merge — the win ModelZoo.merge_engine banks when λ is
+    tuned interactively."""
+    chip, instruct = _model_pair()
+    engine = GeodesicMergeEngine(chip, instruct)
+    engine.merge(0.6)  # warm-up
+
+    start = time.perf_counter()
+    for _ in range(REPEATS):
+        engine.merge(0.6)
+    eval_t = (time.perf_counter() - start) / REPEATS
+
+    start = time.perf_counter()
+    for _ in range(REPEATS):
+        OrderedDict((key, geodesic_merge(chip[key], instruct[key], 0.6))
+                    for key in chip)
+    naive_t = (time.perf_counter() - start) / REPEATS
+
+    print_result("Merge engine: single-lambda evaluation vs naive merge",
+                 f"naive {naive_t * 1e3:.2f} ms  engine-eval {eval_t * 1e3:.2f} ms"
+                 f"  ({naive_t / eval_t:.1f}x)")
+    assert eval_t < naive_t, "a planned evaluation must beat a full merge"
+    benchmark(lambda: engine.merge(0.6))

@@ -7,6 +7,7 @@ Subcommands mirror how an adopter would actually use the release:
 * ``zoo``     — build / list the model-zoo checkpoints;
 * ``chat``    — one-shot grounded question answering with a zoo model;
 * ``table``   — regenerate one of the paper's tables or figures;
+* ``merge-sweep`` — time a λ sweep, naive loop vs the merge engine;
 * ``serve-bench`` — serial vs. batched+prefix-cached serving throughput.
 """
 
@@ -138,6 +139,75 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_merge_sweep(args: argparse.Namespace) -> int:
+    import time
+    from collections import OrderedDict
+
+    import numpy as np
+
+    from .core.geodesic import geodesic_merge
+    from .core.merge_engine import GeodesicMergeEngine
+    from .nn.transformer import preset_config
+
+    if (args.chip is None) != (args.instruct is None):
+        print("error: pass both --chip and --instruct, or neither",
+              file=sys.stderr)
+        return 2
+    if args.chip:
+        chip_model, _ = load_model(args.chip)
+        instruct_model, _ = load_model(args.instruct)
+        if chip_model.config != instruct_model.config:
+            print("error: models have different architectures", file=sys.stderr)
+            return 2
+        chip = chip_model.state_dict()
+        instruct = instruct_model.state_dict()
+        source = f"{args.chip} / {args.instruct}"
+    else:
+        config = preset_config(args.backbone, vocab_size=args.vocab, seed=0)
+        chip = TransformerLM(config).state_dict()
+        config_b = preset_config(args.backbone, vocab_size=args.vocab, seed=1)
+        instruct = TransformerLM(config_b).state_dict()
+        source = f"random {args.backbone} pair (seeds 0/1, vocab {args.vocab})"
+    lams = [i / (args.points - 1) for i in range(args.points)]
+
+    def naive_sweep():
+        return [OrderedDict((key, geodesic_merge(chip[key], instruct[key], lam))
+                            for key in chip) for lam in lams]
+
+    def engine_sweep():
+        return GeodesicMergeEngine(chip, instruct).sweep(
+            lams, n_workers=args.workers)
+
+    def timed(fn):
+        start = time.perf_counter()
+        result = fn()
+        return time.perf_counter() - start, result
+
+    n_params = sum(int(np.asarray(w).size) for w in chip.values())
+    print(f"merge sweep: {source}, {len(chip)} tensors, "
+          f"{n_params:,} params, {args.points} lambda points, "
+          f"best of {args.repeats}")
+    # Interleave the repeats so both sides sample the same machine
+    # conditions (CPU frequency, cache pressure) — a sequential best-of
+    # can hand one side a systematically faster window.
+    naive_times, engine_times = [], []
+    for _ in range(args.repeats):
+        elapsed, naive_result = timed(naive_sweep)
+        naive_times.append(elapsed)
+        elapsed, engine_result = timed(engine_sweep)
+        engine_times.append(elapsed)
+    naive_t, engine_t = min(naive_times), min(engine_times)
+    matches = all(
+        np.allclose(naive_result[i][key], engine_result[i][key],
+                    rtol=1e-10, atol=1e-13)
+        for i in range(len(lams)) for key in chip)
+    print(f"  naive per-lambda loop : {naive_t * 1e3:8.1f} ms")
+    print(f"  merge engine sweep    : {engine_t * 1e3:8.1f} ms")
+    print(f"  speedup               : {naive_t / engine_t:8.2f}x")
+    print(f"  outputs allclose      : {matches}")
+    return 0 if matches else 1
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from .nn.transformer import preset_config
     from .serve import (ServeConfig, WorkloadSpec, format_benchmark_report,
@@ -218,6 +288,26 @@ def build_parser() -> argparse.ArgumentParser:
                                               "complexity"))
     p_table.add_argument("--items", type=int, default=None)
     p_table.set_defaults(fn=_cmd_table)
+
+    p_msweep = sub.add_parser(
+        "merge-sweep",
+        help="time a lambda sweep: naive per-lambda merges vs the merge engine")
+    p_msweep.add_argument("--backbone", default="grande",
+                          help="preset architecture for the random model pair")
+    p_msweep.add_argument("--chip", type=Path, default=None,
+                          help="chip checkpoint (with --instruct; replaces "
+                               "the random pair)")
+    p_msweep.add_argument("--instruct", type=Path, default=None,
+                          help="instruct checkpoint (with --chip)")
+    p_msweep.add_argument("--points", type=int, default=11,
+                          help="number of lambda points in [0, 1]")
+    p_msweep.add_argument("--repeats", type=int, default=3,
+                          help="timing repeats (best-of)")
+    p_msweep.add_argument("--workers", type=int, default=None,
+                          help="fork this many sweep worker processes")
+    p_msweep.add_argument("--vocab", type=int, default=512,
+                          help="vocab size of the random model pair")
+    p_msweep.set_defaults(fn=_cmd_merge_sweep)
 
     p_serve = sub.add_parser(
         "serve-bench",

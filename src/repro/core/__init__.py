@@ -3,6 +3,7 @@
 from .geodesic import (frobenius_norm, geodesic_distance, geodesic_merge,
                        project_to_sphere, restore_norm, slerp, sphere_angle)
 from .merge import ChipAlignMerger, merge_state_dicts, validate_conformable
+from .merge_engine import GeodesicMergeEngine, MergePlan, TensorPlan
 from .baselines import (dare_merge, della_merge, model_soup, task_arithmetic,
                         task_vectors, ties_merge)
 from .registry import available_methods, merge, register
@@ -18,6 +19,7 @@ __all__ = [
     "frobenius_norm", "geodesic_distance", "geodesic_merge",
     "project_to_sphere", "restore_norm", "slerp", "sphere_angle",
     "ChipAlignMerger", "merge_state_dicts", "validate_conformable",
+    "GeodesicMergeEngine", "MergePlan", "TensorPlan",
     "dare_merge", "della_merge", "model_soup", "task_arithmetic",
     "task_vectors", "ties_merge",
     "available_methods", "merge", "register",

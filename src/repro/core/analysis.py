@@ -89,7 +89,12 @@ def norm_deviation_along_path(w_chip: np.ndarray, w_instruct: np.ndarray,
 
 def interpolation_path(chip: StateDict, instruct: StateDict,
                        lams: np.ndarray) -> List[Dict[str, np.ndarray]]:
-    """Sample merged state dicts along the geodesic at each λ in ``lams``."""
-    from .merge import merge_state_dicts
+    """Sample merged state dicts along the geodesic at each λ in ``lams``.
 
-    return [merge_state_dicts(chip, instruct, float(lam)) for lam in lams]
+    Projections, norms, and angles are λ-independent, so the whole path is
+    one :class:`~repro.core.merge_engine.GeodesicMergeEngine` plan plus a
+    cheap coefficient evaluation per λ — not a full merge per point.
+    """
+    from .merge_engine import GeodesicMergeEngine
+
+    return GeodesicMergeEngine(chip, instruct).sweep([float(lam) for lam in lams])

@@ -133,9 +133,16 @@ def geodesic_merge(w_chip: np.ndarray, w_instruct: np.ndarray, lam: float = 0.6)
     applied to a single weight matrix.  λ defaults to the paper's recommended
     0.6 (Section IV-E).
 
-    Degenerate inputs: if both tensors are zero the result is zero; if exactly
-    one is zero, spherical projection is undefined and we fall back to the
-    norm-weighted linear blend (which continuously extends the formula).
+    Degenerate inputs: if both tensors are zero the result is zero; if
+    exactly one is zero, spherical projection is undefined and we fall back
+    to the plain linear blend ``lam * w_chip + (1 - lam) * w_instruct``.
+    This blend is a *pragmatic* choice, **not** the continuous extension of
+    the formula: the geometric-mean rescale
+    :math:`\\mathrm{Norm}_{chip}^{\\lambda}\\mathrm{Norm}_{instruct}^{1-\\lambda}`
+    vanishes as either norm → 0 (for λ in the open interval), so the
+    formula's limit is the zero tensor — which would silently discard the
+    surviving model's weights.  The blend instead keeps a useful
+    interpolation toward the non-zero input; tests pin both behaviours.
     """
     w_chip = np.asarray(w_chip, dtype=np.float64)
     w_instruct = np.asarray(w_instruct, dtype=np.float64)

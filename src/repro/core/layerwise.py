@@ -17,8 +17,7 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
-from .geodesic import geodesic_merge
-from .merge import StateDict, validate_conformable
+from .merge import StateDict
 
 _LAYER_PATTERN = re.compile(r"\bblocks\.(\d+)\.")
 
@@ -79,9 +78,13 @@ class LambdaSchedule:
 def merge_state_dicts_layerwise(chip: StateDict, instruct: StateDict,
                                 schedule: LambdaSchedule,
                                 ) -> "OrderedDict[str, np.ndarray]":
-    """Geodesic merge with a per-layer λ schedule."""
-    validate_conformable(chip, instruct)
-    merged: "OrderedDict[str, np.ndarray]" = OrderedDict()
-    for key in chip:
-        merged[key] = geodesic_merge(chip[key], instruct[key], schedule.lam_for(key))
-    return merged
+    """Geodesic merge with a per-layer λ schedule.
+
+    Routes through :class:`~repro.core.merge_engine.GeodesicMergeEngine`; to
+    evaluate several schedules on one model pair, build the engine once and
+    call :meth:`~repro.core.merge_engine.GeodesicMergeEngine.merge_layerwise`
+    per schedule.
+    """
+    from .merge_engine import GeodesicMergeEngine
+
+    return GeodesicMergeEngine(chip, instruct).merge_layerwise(schedule)

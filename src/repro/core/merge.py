@@ -2,15 +2,18 @@
 
 The paper merges *every* weight tensor of the two input models — embeddings,
 normalisation, attention, and feed-forward layers — with the same geodesic
-interpolation and a single hyperparameter λ.  This module applies
-:func:`repro.core.geodesic.geodesic_merge` across a pair of state dicts and
-offers a convenience wrapper that produces a merged
-:class:`~repro.nn.transformer.TransformerLM`.
+interpolation and a single hyperparameter λ.  This module applies the
+geodesic merge across a pair of state dicts (routing through
+:class:`~repro.core.merge_engine.GeodesicMergeEngine`, whose single-λ
+evaluation is numerically equivalent to per-tensor
+:func:`repro.core.geodesic.geodesic_merge`) and offers a convenience
+wrapper that produces a merged :class:`~repro.nn.transformer.TransformerLM`.
+When several λ points are needed for the *same* model pair, build one
+engine and reuse it — the sphere projections and angles are computed once.
 """
 
 from __future__ import annotations
 
-import fnmatch
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Sequence
@@ -18,7 +21,6 @@ from typing import Dict, Iterable, Optional, Sequence
 import numpy as np
 
 from ..nn.transformer import TransformerLM
-from .geodesic import geodesic_merge
 
 StateDict = Dict[str, np.ndarray]
 
@@ -53,14 +55,9 @@ def merge_state_dicts(chip: StateDict, instruct: StateDict, lam: float = 0.6,
         chip model unmerged (useful for ablations — the paper itself merges
         everything).
     """
-    validate_conformable(chip, instruct)
-    merged: "OrderedDict[str, np.ndarray]" = OrderedDict()
-    for key in chip:
-        if any(fnmatch.fnmatch(key, pattern) for pattern in exclude):
-            merged[key] = np.array(chip[key], copy=True)
-        else:
-            merged[key] = geodesic_merge(chip[key], instruct[key], lam)
-    return merged
+    from .merge_engine import GeodesicMergeEngine
+
+    return GeodesicMergeEngine(chip, instruct, exclude=exclude).merge(lam)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,418 @@
+"""Incremental λ-sweep merge engine.
+
+The naive model-level merge (:func:`repro.core.merge.merge_state_dicts`)
+re-does the *whole* geodesic computation for every λ: float64 conversion,
+two Frobenius norms, two sphere projections, the inner product, and the
+arccos — per tensor, per λ.  But every one of those quantities is
+**λ-independent**: only the two scalar coefficients
+
+.. math::
+
+   \\frac{\\sin(\\lambda\\Theta)}{\\sin\\Theta} \\quad\\text{and}\\quad
+   \\frac{\\sin((1-\\lambda)\\Theta)}{\\sin\\Theta}
+
+and the geometric-mean rescale :math:`\\mathrm{Norm}_{chip}^{\\lambda}
+\\mathrm{Norm}_{instruct}^{1-\\lambda}` change with λ.
+
+:class:`GeodesicMergeEngine` therefore factors the merge into two phases:
+
+1. **plan** (once per model pair): record each tensor pair's norms and
+   angle Θ and stack the two raw tensors into one float64 ``(2, n)`` row
+   matrix per tensor (:class:`MergePlan`) — the unit projections are never
+   materialised, their ``1/norm`` factors fold into the scalars;
+2. **evaluate** (per λ, per schedule, or per sweep): fold the rescale and
+   ``1/norm`` into the two slerp coefficients and apply them with a single
+   fused ``(1, 2) @ (2, n)`` BLAS multiply-add per tensor — no
+   projections, no norms, no angles.
+
+A whole sweep evaluates all L λ points tensor-at-a-time into one
+``(L, n)`` row block per tensor.  For very large state dicts the sweep can
+fan tensors out
+across ``fork``-ed worker processes (``n_workers``), and
+:meth:`GeodesicMergeEngine.isweep` can reuse one set of preallocated output
+buffers across λ points to cap peak memory at a single merged model.
+
+Numerical contract: evaluation performs the same float64 operations as
+:func:`repro.core.geodesic.geodesic_merge` up to re-association of the
+scalar rescale (``(s·c₁)·W`` instead of ``s·(c₁·W)``), so results agree
+with the naive path to a relative tolerance of ~1e-15 — far inside the
+1e-10 the tests pin.  All of :func:`~repro.core.merge.merge_state_dicts`,
+:func:`~repro.core.layerwise.merge_state_dicts_layerwise`,
+:func:`~repro.core.analysis.interpolation_path`, and
+:meth:`~repro.pipelines.model_zoo.ModelZoo.merged` route through this
+engine.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+from collections import OrderedDict
+from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple)
+
+import numpy as np
+
+from .geodesic import ANTIPODAL_MARGIN, SMALL_ANGLE, frobenius_norm
+
+StateDict = Dict[str, np.ndarray]
+
+#: Tensor-pair categories a plan distinguishes (see ``geodesic_merge``).
+KIND_SLERP = "slerp"          # regular geodesic interpolation
+KIND_PARALLEL = "parallel"    # Θ < SMALL_ANGLE: normalised lerp fallback
+KIND_LINEAR = "linear"        # exactly one zero tensor: linear blend
+KIND_ZERO = "zero"            # both tensors zero
+KIND_EXCLUDED = "excluded"    # exclude-pattern match: copy chip verbatim
+
+
+class TensorPlan:
+    """Precomputed, λ-independent geometry of one tensor pair.
+
+    For mergeable kinds the two *raw* tensors are flattened and stacked
+    into one ``(2, n)`` float64 matrix; the unit projections are never
+    materialised — the ``1/norm`` factors fold into the per-λ scalar
+    coefficients, so any λ evaluates as a single fused multiply-add:
+    ``coeffs @ stacked``.
+    """
+
+    __slots__ = ("key", "kind", "shape", "stacked", "norm_chip",
+                 "norm_instruct", "theta", "sin_theta", "raw_chip")
+
+    def __init__(self, key: str, kind: str, shape: Tuple[int, ...],
+                 stacked: Optional[np.ndarray] = None,
+                 norm_chip: float = 0.0, norm_instruct: float = 0.0,
+                 theta: float = 0.0, sin_theta: float = 0.0,
+                 raw_chip: Optional[np.ndarray] = None) -> None:
+        self.key = key
+        self.kind = kind
+        self.shape = shape
+        self.stacked = stacked
+        self.norm_chip = norm_chip
+        self.norm_instruct = norm_instruct
+        self.theta = theta
+        self.sin_theta = sin_theta
+        self.raw_chip = raw_chip
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    # ------------------------------------------------------------------
+    def coefficients(self, lam: float) -> Tuple[float, float]:
+        """The two λ-dependent scalars, with the geometric-mean rescale
+        folded in (``KIND_SLERP`` / ``KIND_LINEAR`` only)."""
+        if self.kind == KIND_LINEAR:
+            return lam, 1.0 - lam
+        scale = self.norm_chip ** lam * self.norm_instruct ** (1.0 - lam)
+        coeff_chip = np.sin(lam * self.theta) / self.sin_theta
+        coeff_instruct = np.sin((1.0 - lam) * self.theta) / self.sin_theta
+        # stacked holds the raw tensors; the sphere projection's 1/norm
+        # rides along in the scalars instead of a (2, n)-sized division.
+        return (scale * coeff_chip / self.norm_chip,
+                scale * coeff_instruct / self.norm_instruct)
+
+    def evaluate(self, lam: float, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Merged tensor at ``lam``; writes into ``out`` when provided."""
+        if self.kind in (KIND_SLERP, KIND_LINEAR):
+            coeffs = np.asarray(self.coefficients(lam), dtype=np.float64)
+            if (out is not None and out.dtype == np.float64
+                    and out.flags.c_contiguous):
+                np.dot(coeffs, self.stacked, out=out.reshape(-1))
+                return out
+            result = np.dot(coeffs, self.stacked).reshape(self.shape)
+        elif self.kind == KIND_EXCLUDED:
+            result = np.array(self.raw_chip, copy=True)
+        elif self.kind == KIND_ZERO:
+            result = np.zeros(self.shape, dtype=np.float64)
+        else:
+            result = self._evaluate_parallel(lam)
+        if out is None:
+            return result
+        out[...] = result
+        return out
+
+    def _evaluate_parallel(self, lam: float) -> np.ndarray:
+        """Θ ≈ 0 fallback: normalised linear interpolation, then rescale —
+        the same math ``slerp`` + ``restore_norm`` use."""
+        blended = np.dot((lam / self.norm_chip, (1.0 - lam) / self.norm_instruct),
+                         self.stacked)
+        norm = frobenius_norm(blended)
+        scale = self.norm_chip ** lam * self.norm_instruct ** (1.0 - lam)
+        if norm > 0:
+            return (scale / norm * blended).reshape(self.shape)
+        return (scale / self.norm_chip * self.stacked[0]).reshape(self.shape)
+
+    def coefficient_matrix(self, lams: np.ndarray) -> np.ndarray:
+        """The ``(L, 2)`` coefficient rows for a whole sweep at once
+        (``KIND_SLERP`` / ``KIND_LINEAR`` only)."""
+        lams = np.asarray(lams, dtype=np.float64)
+        if self.kind == KIND_LINEAR:
+            return np.stack([lams, 1.0 - lams], axis=1)
+        scale = self.norm_chip ** lams * self.norm_instruct ** (1.0 - lams)
+        coeff_chip = np.sin(lams * self.theta) / self.sin_theta
+        coeff_instruct = np.sin((1.0 - lams) * self.theta) / self.sin_theta
+        return np.stack([scale * coeff_chip / self.norm_chip,
+                         scale * coeff_instruct / self.norm_instruct], axis=1)
+
+    def evaluate_sweep(self, lams: np.ndarray) -> np.ndarray:
+        """All sweep points as an ``(L, n)`` matrix.
+
+        One ``(L, 2) @ (2, n)`` GEMM per tensor — the unit projections are
+        streamed through memory *once* for the whole sweep instead of once
+        per λ, which is what makes a sweep cheaper than L single merges on
+        a bandwidth-bound machine.
+        """
+        n_points = len(lams)
+        if self.kind == KIND_EXCLUDED:
+            flat = np.asarray(self.raw_chip, dtype=np.float64).reshape(-1)
+            return np.tile(flat, (n_points, 1))
+        if self.kind == KIND_ZERO:
+            return np.zeros((n_points, self.size), dtype=np.float64)
+        if self.kind == KIND_PARALLEL:
+            return np.stack([self._evaluate_parallel(float(lam)).reshape(-1)
+                             for lam in lams])
+        return np.dot(self.coefficient_matrix(lams), self.stacked)
+
+
+class MergePlan:
+    """The λ-independent half of a ChipAlign merge, reusable for any λ."""
+
+    def __init__(self, tensors: "OrderedDict[str, TensorPlan]") -> None:
+        self.tensors = tensors
+
+    def __len__(self) -> int:
+        return len(self.tensors)
+
+    def __iter__(self) -> Iterator[TensorPlan]:
+        return iter(self.tensors.values())
+
+    @property
+    def keys(self) -> List[str]:
+        return list(self.tensors)
+
+    @property
+    def total_params(self) -> int:
+        return sum(plan.size for plan in self)
+
+    def summary(self) -> Dict[str, float]:
+        """Plan composition + angle statistics (diagnostics / logging)."""
+        angles = [p.theta for p in self if p.kind in (KIND_SLERP, KIND_PARALLEL)]
+        kinds: Dict[str, int] = {}
+        for plan in self:
+            kinds[plan.kind] = kinds.get(plan.kind, 0) + 1
+        return {
+            "n_tensors": float(len(self)),
+            "total_params": float(self.total_params),
+            "angle_mean": float(np.mean(angles)) if angles else 0.0,
+            "angle_max": float(np.max(angles)) if angles else 0.0,
+            **{f"n_{kind}": float(count) for kind, count in sorted(kinds.items())},
+        }
+
+
+def _plan_tensor(key: str, w_chip: np.ndarray, w_instruct: np.ndarray) -> TensorPlan:
+    """Classify one tensor pair and precompute its geometry.
+
+    Builds the ``(2, n)`` stacked matrix in place (one float64 conversion
+    per tensor, no unit-tensor copies — norms and the angle come from BLAS
+    dot products on the raw rows), so planning costs *less* than one naive
+    merge.
+    """
+    chip = np.asarray(w_chip)
+    instruct = np.asarray(w_instruct)
+    if chip.shape != instruct.shape:
+        raise ValueError(f"shape mismatch for {key!r}: {chip.shape} vs {instruct.shape}")
+    shape = chip.shape
+    stacked = np.empty((2, chip.size), dtype=np.float64)
+    stacked[0] = chip.reshape(-1)
+    stacked[1] = instruct.reshape(-1)
+    norm_chip = float(np.sqrt(np.dot(stacked[0], stacked[0])))
+    norm_instruct = float(np.sqrt(np.dot(stacked[1], stacked[1])))
+    if norm_chip == 0.0 and norm_instruct == 0.0:
+        return TensorPlan(key, KIND_ZERO, shape)
+    if norm_chip == 0.0 or norm_instruct == 0.0:
+        # One-zero fallback: the pragmatic linear blend (see geodesic_merge's
+        # docstring — this is NOT the continuous extension of the formula).
+        return TensorPlan(key, KIND_LINEAR, shape, stacked=stacked)
+    cosine = float(np.dot(stacked[0], stacked[1])) / (norm_chip * norm_instruct)
+    theta = float(np.arccos(np.clip(cosine, -1.0, 1.0)))
+    if np.pi - theta < ANTIPODAL_MARGIN:
+        raise ValueError(
+            f"tensors {key!r} are (numerically) antipodal on the sphere; "
+            "the geodesic between them is not unique")
+    if theta < SMALL_ANGLE:
+        return TensorPlan(key, KIND_PARALLEL, shape, stacked=stacked,
+                          norm_chip=norm_chip, norm_instruct=norm_instruct,
+                          theta=theta)
+    return TensorPlan(key, KIND_SLERP, shape, stacked=stacked,
+                      norm_chip=norm_chip, norm_instruct=norm_instruct,
+                      theta=theta, sin_theta=float(np.sin(theta)))
+
+
+# ---------------------------------------------------------------------------
+# multiprocessing fan-out (fork-only; the plan is inherited by the children)
+# ---------------------------------------------------------------------------
+
+_ACTIVE_PLAN: Optional[MergePlan] = None
+
+
+def _sweep_chunk(args: Tuple[List[str], np.ndarray]) -> Dict[str, np.ndarray]:
+    keys, lams = args
+    assert _ACTIVE_PLAN is not None
+    return {key: _ACTIVE_PLAN.tensors[key].evaluate_sweep(lams) for key in keys}
+
+
+def _fork_available() -> bool:
+    return hasattr(os, "fork")
+
+
+class GeodesicMergeEngine:
+    """Reusable ChipAlign merger for one (chip, instruct) model pair.
+
+    Parameters
+    ----------
+    chip, instruct:
+        Conformable state dicts (same keys, same shapes).
+    exclude:
+        fnmatch patterns; matching tensors are copied from ``chip`` unmerged
+        (mirrors :func:`~repro.core.merge.merge_state_dicts`).
+    n_workers:
+        Default process fan-out for :meth:`sweep`.  ``None``/``1`` keeps
+        everything in-process; >1 forks workers that each evaluate a chunk
+        of tensors (worth it only for large state dicts — results are
+        pickled back).  Ignored where ``fork`` is unavailable.
+
+    Notes
+    -----
+    The plan holds one float64 copy of both models' weights (~2× one
+    model's float64 footprint) — the space cost of making every subsequent
+    λ evaluation a single fused multiply-add per tensor.
+    """
+
+    def __init__(self, chip: StateDict, instruct: StateDict,
+                 exclude: Sequence[str] = (),
+                 n_workers: Optional[int] = None) -> None:
+        from .merge import validate_conformable
+
+        validate_conformable(chip, instruct)
+        self.exclude = tuple(exclude)
+        self.n_workers = n_workers
+        tensors: "OrderedDict[str, TensorPlan]" = OrderedDict()
+        for key in chip:
+            if any(fnmatch.fnmatch(key, pattern) for pattern in self.exclude):
+                raw = np.asarray(chip[key])
+                tensors[key] = TensorPlan(key, KIND_EXCLUDED, raw.shape,
+                                          raw_chip=np.array(raw, copy=True))
+            else:
+                tensors[key] = _plan_tensor(key, chip[key], instruct[key])
+        self.plan = MergePlan(tensors)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_models(cls, chip_model, instruct_model,
+                    **kwargs) -> "GeodesicMergeEngine":
+        """Build an engine from two same-architecture models."""
+        if chip_model.config != instruct_model.config:
+            raise ValueError(
+                "models must share an architecture: "
+                f"{chip_model.config} vs {instruct_model.config}")
+        return cls(chip_model.state_dict(), instruct_model.state_dict(), **kwargs)
+
+    @staticmethod
+    def _check_lam(lam: float) -> float:
+        lam = float(lam)
+        if not 0.0 <= lam <= 1.0:
+            raise ValueError(f"lambda must be in [0, 1], got {lam}")
+        return lam
+
+    def new_buffers(self) -> "OrderedDict[str, np.ndarray]":
+        """Preallocated float64 output buffers, one per merged tensor."""
+        return OrderedDict((plan.key, np.empty(plan.shape, dtype=np.float64))
+                           for plan in self.plan)
+
+    # ------------------------------------------------------------------
+    def merge(self, lam: float,
+              out: Optional["OrderedDict[str, np.ndarray]"] = None,
+              ) -> "OrderedDict[str, np.ndarray]":
+        """Merged state dict at one λ (coefficient math + fused scale-add
+        only).  Pass ``out`` (from :meth:`new_buffers`) to write in place."""
+        lam = self._check_lam(lam)
+        merged: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for plan in self.plan:
+            merged[plan.key] = plan.evaluate(
+                lam, out=None if out is None else out[plan.key])
+        return merged
+
+    def merge_layerwise(self, schedule,
+                        out: Optional["OrderedDict[str, np.ndarray]"] = None,
+                        ) -> "OrderedDict[str, np.ndarray]":
+        """Merged state dict under a per-layer λ schedule
+        (:class:`~repro.core.layerwise.LambdaSchedule`)."""
+        merged: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for plan in self.plan:
+            lam = self._check_lam(schedule.lam_for(plan.key))
+            merged[plan.key] = plan.evaluate(
+                lam, out=None if out is None else out[plan.key])
+        return merged
+
+    # ------------------------------------------------------------------
+    def sweep(self, lams: Sequence[float],
+              n_workers: Optional[int] = None,
+              ) -> List["OrderedDict[str, np.ndarray]"]:
+        """Merged state dicts for every λ in ``lams``.
+
+        Each tensor's whole sweep lands in one ``(L, n)`` row block; the
+        returned dicts hold row views into those per-tensor results (no
+        per-λ copies).  With ``n_workers > 1`` tensors are fanned out
+        across forked worker processes.
+        """
+        lam_arr = np.asarray([self._check_lam(lam) for lam in lams],
+                             dtype=np.float64)
+        workers = self.n_workers if n_workers is None else n_workers
+        if workers and workers > 1 and _fork_available() and len(self.plan) > 1:
+            rows = self._sweep_parallel(lam_arr, int(workers))
+        else:
+            rows = {plan.key: plan.evaluate_sweep(lam_arr)
+                    for plan in self.plan}
+        results: List["OrderedDict[str, np.ndarray]"] = []
+        for index in range(len(lam_arr)):
+            merged: "OrderedDict[str, np.ndarray]" = OrderedDict()
+            for plan in self.plan:
+                merged[plan.key] = rows[plan.key][index].reshape(plan.shape)
+            results.append(merged)
+        return results
+
+    def isweep(self, lams: Sequence[float], reuse_buffers: bool = False,
+               ) -> Iterator[Tuple[float, "OrderedDict[str, np.ndarray]"]]:
+        """Yield ``(lam, merged_state_dict)`` lazily, one λ at a time.
+
+        With ``reuse_buffers=True`` every yield writes into the *same*
+        preallocated buffers — peak memory stays at one merged model no
+        matter how long the sweep, at the price that each yielded dict is
+        invalidated by the next step (consume it before advancing).
+        """
+        out = self.new_buffers() if reuse_buffers else None
+        for lam in lams:
+            lam = self._check_lam(lam)
+            yield lam, self.merge(lam, out=out)
+
+    def _sweep_parallel(self, lam_arr: np.ndarray,
+                        workers: int) -> Dict[str, np.ndarray]:
+        import multiprocessing
+
+        global _ACTIVE_PLAN
+        keys = self.plan.keys
+        workers = min(workers, len(keys))
+        # Round-robin so each chunk gets a mix of large and small tensors.
+        chunks = [keys[start::workers] for start in range(workers)]
+        _ACTIVE_PLAN = self.plan
+        try:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(processes=workers) as pool:
+                parts = pool.map(_sweep_chunk,
+                                 [(chunk, lam_arr) for chunk in chunks])
+        finally:
+            _ACTIVE_PLAN = None
+        rows: Dict[str, np.ndarray] = {}
+        for part in parts:
+            rows.update(part)
+        return rows

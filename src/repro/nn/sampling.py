@@ -19,6 +19,13 @@ from typing import Optional
 
 import numpy as np
 
+#: Shared fallback generator for unseeded sampling.  A module-level stream
+#: advances across calls; constructing ``default_rng(0)`` *per call* would
+#: pin every draw to the same stream position (the same quantile each token
+#: — heavily biased generations).  Pass an explicit ``rng`` for
+#: reproducibility.
+_SHARED_RNG = np.random.default_rng(0)
+
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     """Numerically stable softmax (max-subtraction, matching the engines)."""
@@ -28,13 +35,21 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
 
 
 def filter_top_k(probs: np.ndarray, top_k: int) -> np.ndarray:
-    """Zero out everything but the ``top_k`` most probable tokens."""
+    """Zero out everything but exactly ``top_k`` tokens.
+
+    Ties at the cutoff probability are broken deterministically by
+    ``np.argpartition``'s introselect order (a fixed function of the input,
+    not of token id), so exactly ``k`` tokens survive — a threshold
+    comparison (``probs >= cutoff``) would keep *every* token tied at the
+    cutoff and overshoot ``k``.
+    """
     if top_k <= 0:
         raise ValueError(f"top_k must be positive, got {top_k}")
     if top_k >= probs.size:
         return probs
-    cutoff = np.partition(probs, -top_k)[-top_k]
-    filtered = np.where(probs >= cutoff, probs, 0.0)
+    keep = np.argpartition(probs, -top_k)[-top_k:]
+    filtered = np.zeros_like(probs)
+    filtered[keep] = probs[keep]
     return filtered / filtered.sum()
 
 
@@ -76,5 +91,6 @@ def sample_next(logits: np.ndarray, temperature: float = 0.0,
         probs = filter_top_k(probs, top_k)
     if top_p is not None:
         probs = filter_top_p(probs, top_p)
-    rng = rng or np.random.default_rng(0)
+    if rng is None:
+        rng = _SHARED_RNG
     return int(rng.choice(len(probs), p=probs))

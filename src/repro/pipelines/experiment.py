@@ -313,7 +313,12 @@ def run_fig8(families: Sequence[str] = ("nano", "micro"),
              lams: Optional[Sequence[float]] = None,
              zoo: Optional[ModelZoo] = None,
              max_items: Optional[int] = None) -> Fig8Result:
-    """Reproduce Figure 8: OpenROAD QA ROUGE-L as a function of λ."""
+    """Reproduce Figure 8: OpenROAD QA ROUGE-L as a function of λ.
+
+    The whole λ sweep shares one merge plan per family
+    (:meth:`ModelZoo.merged_sweep`) — projections, norms, and angles are
+    computed once, not once per λ point.
+    """
     zoo = zoo or default_zoo()
     tok = zoo.tokenizer
     lams = list(lams) if lams is not None else [round(0.1 * i, 1) for i in range(11)]
@@ -323,8 +328,7 @@ def run_fig8(families: Sequence[str] = ("nano", "micro"),
     scores: Dict[str, List[float]] = {}
     for family in families:
         series = []
-        for lam in lams:
-            model = zoo.merged(family, "chipalign", lam=float(lam))
+        for model in zoo.merged_sweep(family, lams):
             report = run_openroad(LMAnswerer(model, tok), triplets,
                                   context_mode="golden")
             series.append(report.overall)

@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
+from ..core.merge_engine import GeodesicMergeEngine
 from ..core.registry import merge as registry_merge
 from ..data import (eda_domain, industrial_qa, openroad_qa)
 from ..data.corpus import pretraining_sentences
@@ -69,6 +70,7 @@ class ModelZoo:
         self.verbose = verbose
         self._tokenizer: Optional[WordTokenizer] = None
         self._models: Dict[str, TransformerLM] = {}
+        self._engines: Dict[str, GeodesicMergeEngine] = {}
 
     # ------------------------------------------------------------------
     def _log(self, message: str) -> None:
@@ -223,26 +225,68 @@ class ModelZoo:
         """The family's chip-domain model (eda or chipnemo)."""
         return self.get(family, CHIP_VARIANT[family])
 
+    def merge_engine(self, family: str) -> GeodesicMergeEngine:
+        """The family's (chip, instruct) :class:`GeodesicMergeEngine`.
+
+        Built once per family and cached: the plan (sphere projections,
+        norms, angles Θ) is λ-independent, so every subsequent geodesic
+        merge of the pair — any λ, schedule, or sweep — is only cheap
+        coefficient math plus one fused scale-add per tensor.
+        """
+        if family not in self._engines:
+            chip = self.chip_model(family)
+            instruct = self.get(family, "instruct")
+            self._engines[family] = GeodesicMergeEngine.from_models(chip, instruct)
+        return self._engines[family]
+
     def merged(self, family: str, method: str = "chipalign", **kwargs) -> TransformerLM:
         """Merge the family's chip and instruct models with a registry method.
 
         Merging is fast (seconds), so merged models are built on demand and
-        memo-cached in memory only.
+        memo-cached in memory only.  Plain-λ chipalign merges reuse the
+        family's cached :meth:`merge_engine` plan instead of re-projecting.
         """
         key = f"{family}/merged:{method}:{sorted(kwargs.items())!r}"
         if key in self._models:
             return self._models[key]
         chip = self.chip_model(family)
-        instruct = self.get(family, "instruct")
-        base = self.get(family, "base")
-        merged_sd = registry_merge(method, chip=chip.state_dict(),
-                                   instruct=instruct.state_dict(),
-                                   base=base.state_dict(), **kwargs)
+        if method == "chipalign" and set(kwargs) <= {"lam"}:
+            merged_sd = self.merge_engine(family).merge(kwargs.get("lam", 0.6))
+        else:
+            instruct = self.get(family, "instruct")
+            base = self.get(family, "base")
+            merged_sd = registry_merge(method, chip=chip.state_dict(),
+                                       instruct=instruct.state_dict(),
+                                       base=base.state_dict(), **kwargs)
         model = TransformerLM(chip.config)
         model.load_state_dict(dict(merged_sd))
         model.eval()
         self._models[key] = model
         return model
+
+    def merged_sweep(self, family: str, lams) -> List[TransformerLM]:
+        """ChipAlign-merged models for every λ in ``lams`` in one pass.
+
+        The whole sweep shares one :meth:`merge_engine` plan and evaluates
+        tensor-at-a-time (:meth:`GeodesicMergeEngine.sweep`), so figure-8
+        style λ studies cost one plan plus L coefficient evaluations
+        instead of L full merges.  Results land in the same memo cache
+        :meth:`merged` uses, so mixed call patterns never re-merge.
+        """
+        lams = [float(lam) for lam in lams]
+        missing = [lam for lam in lams
+                   if f"{family}/merged:chipalign:{sorted({'lam': lam}.items())!r}"
+                   not in self._models]
+        if missing:
+            engine = self.merge_engine(family)
+            config = self.chip_model(family).config
+            for lam, merged_sd in zip(missing, engine.sweep(missing)):
+                model = TransformerLM(config)
+                model.load_state_dict(dict(merged_sd))
+                model.eval()
+                key = f"{family}/merged:chipalign:{sorted({'lam': lam}.items())!r}"
+                self._models[key] = model
+        return [self.merged(family, "chipalign", lam=lam) for lam in lams]
 
     def prewarm(self, families=FAMILIES) -> None:
         """Build every trainable variant up front (useful before benchmarks)."""

@@ -112,6 +112,15 @@ class PrefixCachePool:
         for stored in self._entries:
             if len(stored) >= len(key) and stored[: len(key)] == key:
                 return
+        # Conversely, stored entries that are strict prefixes of the new key
+        # are subsumed by it (every lookup they could serve, it serves at
+        # least as well) — prune them so they stop burning entry capacity
+        # and lengthening the O(entries · len) lookup scan.
+        subsumed = [stored for stored in self._entries
+                    if len(stored) < len(key) and key[: len(stored)] == stored]
+        for stored in subsumed:
+            del self._entries[stored]
+            del self._last_used[stored]
         self._entries[key] = [(k[:, : len(key)].copy(), v[:, : len(key)].copy())
                               for k, v in layer_kv]
         self._clock += 1

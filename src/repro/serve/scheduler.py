@@ -145,12 +145,14 @@ class Scheduler:
                 heapq.heapify(self._queue)
                 self._complete(request, RequestStatus.CANCELLED,
                                FinishReason.CANCELLED)
+                self.metrics.requests_cancelled += 1
                 return True
         for seq in list(self._running):
             if seq.request.request_id == request_id:
                 self._running.remove(seq)
                 self._finish_seq(seq, RequestStatus.CANCELLED,
                                  FinishReason.CANCELLED)
+                self.metrics.requests_cancelled += 1
                 return True
         return False
 

@@ -25,7 +25,8 @@ def checkpoints(tmp_path):
 def test_parser_has_all_commands():
     parser = build_parser()
     text = parser.format_help()
-    for command in ("merge", "merge-many", "sweep", "zoo", "chat", "table"):
+    for command in ("merge", "merge-many", "sweep", "zoo", "chat", "table",
+                    "merge-sweep", "serve-bench"):
         assert command in text
 
 
@@ -63,6 +64,24 @@ def test_merge_rejects_architecture_mismatch(checkpoints, tmp_path, capsys):
                  "--instruct", str(other_path),
                  "--output", str(tmp / "x")])
     assert code == 2
+
+
+def test_merge_sweep_command(checkpoints, capsys):
+    """merge-sweep on two tiny checkpoints: reports timings and exits 0
+    only when the engine's sweep matches the naive loop."""
+    _, paths, _ = checkpoints
+    code = main(["merge-sweep", "--chip", str(paths["chip"]),
+                 "--instruct", str(paths["instruct"]),
+                 "--points", "5", "--repeats", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "outputs allclose      : True" in out
+    assert "speedup" in out
+
+
+def test_merge_sweep_rejects_lone_checkpoint(checkpoints, capsys):
+    _, paths, _ = checkpoints
+    assert main(["merge-sweep", "--chip", str(paths["chip"])]) == 2
 
 
 def test_merge_many_command(checkpoints, capsys):

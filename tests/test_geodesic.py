@@ -131,6 +131,28 @@ class TestGeodesicMerge:
         b = np.ones((2, 2))
         out = geodesic_merge(np.zeros((2, 2)), b, 0.6)
         assert np.allclose(out, 0.4 * b)
+        out = geodesic_merge(b, np.zeros((2, 2)), 0.6)
+        assert np.allclose(out, 0.6 * b)
+
+    def test_one_zero_blend_is_not_the_formula_limit(self):
+        """The linear blend is a pragmatic choice, NOT the continuous
+        extension of the merge formula: as one input's norm shrinks toward
+        zero, the geometric-mean rescale Norm_chip^λ·Norm_instruct^(1−λ)
+        drives the formula's output to the zero tensor, while the fallback
+        jumps to a non-vanishing blend of the surviving model."""
+        b = np.ones((2, 2))
+        rng = np.random.default_rng(0)
+        direction = rng.normal(size=(2, 2))
+        for eps in (1e-4, 1e-6, 1e-8):
+            near_zero = eps * direction
+            merged = geodesic_merge(near_zero, b, 0.6)
+            # The formula's limit vanishes like eps^lam (≈1e-5 at eps=1e-8).
+            assert frobenius_norm(merged) < 2.0 * eps ** 0.6 * frobenius_norm(
+                direction) ** 0.6 * frobenius_norm(b) ** 0.4
+        # The fallback at exactly zero does NOT vanish — the discontinuity
+        # the docstring now states explicitly.
+        fallback = geodesic_merge(np.zeros((2, 2)), b, 0.6)
+        assert frobenius_norm(fallback) == pytest.approx(0.4 * frobenius_norm(b))
 
     def test_scale_invariance_of_direction(self):
         """Scaling an input changes the merged norm but not its direction."""

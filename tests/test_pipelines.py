@@ -127,3 +127,22 @@ class TestModelZoo:
         from repro.pipelines.model_zoo import CHIP_VARIANT
 
         assert CHIP_VARIANT == {"nano": "eda", "micro": "eda", "grande": "chipnemo"}
+
+    def test_merged_routes_through_cached_engine(self, zoo):
+        """Plain-λ chipalign merges share one engine plan per family, and
+        merged_sweep fills the same memo cache merged() reads."""
+        engine = zoo.merge_engine("nano")
+        assert zoo.merge_engine("nano") is engine  # cached per family
+        single = zoo.merged("nano", "chipalign", lam=0.5)
+        swept = zoo.merged_sweep("nano", [0.0, 0.5])
+        assert swept[1] is single  # memo-cache hit, no re-merge
+        # Sweep output matches an independent state-dict-level merge.
+        from repro.core.merge import merge_state_dicts
+
+        ref = merge_state_dicts(zoo.chip_model("nano").state_dict(),
+                                zoo.get("nano", "instruct").state_dict(),
+                                lam=0.5)
+        single_sd = single.state_dict()
+        for key in ref:
+            assert np.allclose(single_sd[key], ref[key], rtol=1e-5,
+                               atol=1e-7), key

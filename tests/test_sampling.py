@@ -31,6 +31,25 @@ def test_filter_top_k_keeps_k_best():
     assert np.allclose(filter_top_k(probs, top_k=10), probs)
 
 
+def test_filter_top_k_exact_k_under_ties():
+    """Ties at the cutoff must not inflate the kept set past k (a
+    ``probs >= cutoff`` mask kept every tied token)."""
+    probs = np.full(6, 1.0 / 6.0)  # all tied: worst case
+    for k in (1, 2, 3, 5):
+        kept = filter_top_k(probs, top_k=k)
+        assert int(np.count_nonzero(kept)) == k, k
+        assert np.isclose(kept.sum(), 1.0)
+        assert np.allclose(kept[kept > 0], 1.0 / k)
+    # Ties only *at* the cutoff: top-3 of [.3, .2, .2, .2, .1] keeps the
+    # 0.3, and exactly two of the tied 0.2s.
+    probs = np.array([0.3, 0.2, 0.2, 0.2, 0.1])
+    kept = filter_top_k(probs, top_k=3)
+    assert int(np.count_nonzero(kept)) == 3
+    assert kept[0] > 0 and kept[4] == 0
+    # Deterministic tie-break: same input -> same survivors.
+    assert np.array_equal(kept, filter_top_k(probs, top_k=3))
+
+
 def test_filter_top_p_nucleus():
     probs = np.array([0.5, 0.3, 0.15, 0.05])
     # p=0.6: keep the tokens whose cumulative mass first crosses 0.6
@@ -55,12 +74,14 @@ def test_sample_next_greedy_ignores_rng():
     assert sample_next(logits, temperature=0.0, top_k=1) == 1
 
 
-def test_sample_next_default_rng_is_seeded():
-    """Without an rng, stochastic sampling falls back to a fixed seed
-    (matching the engines' historical default), so it stays reproducible."""
-    logits = np.linspace(-1, 1, 8)
-    assert sample_next(logits, temperature=1.0) == \
-        sample_next(logits, temperature=1.0)
+def test_sample_next_default_rng_advances():
+    """The unseeded fallback is a *shared* generator whose stream advances
+    across calls.  The old per-call ``default_rng(0)`` froze every draw at
+    the same stream position — identical quantile each token — so unseeded
+    flat-distribution draws could never differ."""
+    logits = np.zeros(64)  # flat distribution: every token p = 1/64
+    draws = {sample_next(logits, temperature=1.0) for _ in range(32)}
+    assert len(draws) > 1, "unseeded draws are frozen at one stream position"
     with pytest.raises(ValueError):
         sample_next(logits, temperature=-0.1)
 

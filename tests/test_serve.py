@@ -148,6 +148,25 @@ def test_prefix_pool_lookup_and_eviction():
     assert len(pool) == 2
 
 
+def test_prefix_pool_prunes_subsumed_entries():
+    """Inserting a longer prompt reclaims the capacity of stored entries
+    that are strict prefixes of it — they can never out-match it."""
+    pool = PrefixCachePool(max_entries=2, min_match_tokens=2)
+    kv = [(np.ones((2, 8, 3)), np.ones((2, 8, 3)))]
+    pool.insert((1, 2, 3), kv)
+    pool.insert((1, 2, 3, 4, 5), kv)
+    assert len(pool) == 1  # the (1, 2, 3) entry was subsumed
+    # The reclaimed slot fits an unrelated prompt without evicting the
+    # longer entry...
+    pool.insert((7, 8, 9), kv)
+    assert len(pool) == 2
+    # ...and lookups the short entry used to serve still hit, through the
+    # longer entry.
+    match, reused = pool.lookup((1, 2, 3, 9))
+    assert match == 3
+    assert reused[0][0].shape[1] == 3
+
+
 def test_prefix_cache_reuse_preserves_outputs(model, engine):
     """Shared-prefix requests reuse cached KV and still produce the same
     greedy tokens as uncached serving."""
@@ -224,12 +243,17 @@ def test_cancellation(model):
     params = SamplingParams(max_new_tokens=4)
     running = server.submit([1, 7], params=params)
     queued = server.submit([1, 5], params=params)
-    server.step()
-    assert server.cancel(queued)
+    finishing = server.submit([1, 3], params=params)
+    server.step()  # admits `running` (batch of 1); the others stay queued
+    assert server.cancel(queued)     # queued-path cancellation
+    assert server.cancel(running)    # running-path cancellation
     assert not server.cancel("nonexistent")
     server.run_until_idle()
     assert server.result(queued).status == RequestStatus.CANCELLED
-    assert server.result(running).status == RequestStatus.FINISHED
+    assert server.result(running).status == RequestStatus.CANCELLED
+    assert server.result(finishing).status == RequestStatus.FINISHED
+    # Both cancellation paths must hit the metrics counter (it was dead).
+    assert server.metrics_snapshot()["requests_cancelled"] == 2
 
 
 def test_schedule_is_deterministic(model):

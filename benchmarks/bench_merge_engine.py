@@ -13,6 +13,7 @@ Asserts the headline claim: >= 3x wall-clock over the naive loop with
 outputs ``np.allclose`` (rtol 1e-10) at every λ point.
 """
 
+import json
 import time
 from collections import OrderedDict
 
@@ -22,6 +23,7 @@ from benchmarks.conftest import print_result
 from repro.core.geodesic import geodesic_merge
 from repro.core.merge_engine import GeodesicMergeEngine
 from repro.nn.transformer import TransformerLM, preset_config
+from repro.obs import Observability
 
 #: The acceptance grid: Figure 8's 11 λ points.
 LAMS = [i / 10 for i in range(11)]
@@ -80,7 +82,11 @@ def test_engine_sweep_beats_naive_loop(benchmark):
     assert speedup >= 3.0, (
         f"expected >= 3x over the naive per-lambda loop, got {speedup:.2f}x")
 
-    engine = GeodesicMergeEngine(chip, instruct)
+    obs = Observability()
+    engine = GeodesicMergeEngine(chip, instruct, obs=obs)
+    engine.sweep(LAMS)
+    print_result("Merge engine: metric registry snapshot",
+                 json.dumps(obs.registry.snapshot(), indent=2, sort_keys=True))
     benchmark(lambda: engine.sweep(LAMS))
 
 

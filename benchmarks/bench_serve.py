@@ -9,13 +9,19 @@ continuous micro-batching scheduler with the prefix cache on.
 
 Asserts the headline claim: >= 2x tokens/sec over serial with a non-zero
 prefix-cache hit rate, and (separately, in exact mode) token-for-token
-agreement with the single-sequence engine.
+agreement with the single-sequence engine.  Also bounds the observability
+layer itself: running the burst with tracing + metrics on must cost < 5%
+wall-clock over a disabled-observability server.
 """
+
+import json
+import time
 
 import numpy as np
 
 from benchmarks.conftest import print_result
 from repro.nn.transformer import TransformerLM, preset_config
+from repro.obs import Observability
 from repro.serve import (SamplingParams, ServeConfig, WorkloadSpec,
                          format_benchmark_report, run_serve_benchmark,
                          synthetic_prompts)
@@ -41,6 +47,8 @@ def test_served_throughput_beats_serial(benchmark):
     result = max(results, key=lambda r: r["speedup"])
     print_result("Serving: serial vs batched+prefix-cached (nano backbone)",
                  format_benchmark_report(result, SPEC))
+    print_result("Serving: metric registry snapshot",
+                 json.dumps(result["registry"], indent=2, sort_keys=True))
 
     assert result["speedup"] >= 2.0, (
         f"expected >= 2x throughput, got {result['speedup']:.2f}x")
@@ -73,6 +81,40 @@ def test_exact_mode_matches_serial_engine():
     for serial_out, served_out in zip(result["serial"]["outputs"],
                                       result["served"]["outputs"]):
         assert list(serial_out) == list(served_out)
+
+
+def test_observability_overhead_under_five_percent():
+    """Spans + registry counters on the decode hot path must stay cheap.
+
+    Fresh servers per trial (so prefix-cache state is identical on both
+    sides), interleaved best-of timing, and the burst repeated a few times
+    per trial to amortise construction noise.
+    """
+    model = _model()
+    config = ServeConfig(max_batch_size=16)
+
+    def trial(enabled):
+        server = InProcessServer(model, config=config,
+                                 obs=Observability(enabled=enabled))
+        _burst(server)  # warm the prefix cache and allocator
+        start = time.perf_counter()
+        for _ in range(3):
+            _burst(server)
+        return time.perf_counter() - start
+
+    trial(True), trial(False)  # warm-up (BLAS threads, imports)
+    on_times, off_times = [], []
+    for _ in range(5):
+        on_times.append(trial(True))
+        off_times.append(trial(False))
+    on_t, off_t = min(on_times), min(off_times)
+    overhead = on_t / off_t - 1.0
+    print_result(
+        "Serving: observability overhead (enabled vs disabled)",
+        f"disabled {off_t * 1e3:8.1f} ms  enabled {on_t * 1e3:8.1f} ms  "
+        f"overhead {overhead * 100:+.2f}%")
+    assert overhead < 0.05, (
+        f"observability overhead {overhead * 100:.1f}% exceeds the 5% budget")
 
 
 def test_fused_mode_agrees_on_random_weights():

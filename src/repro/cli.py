@@ -8,7 +8,9 @@ Subcommands mirror how an adopter would actually use the release:
 * ``chat``    — one-shot grounded question answering with a zoo model;
 * ``table``   — regenerate one of the paper's tables or figures;
 * ``merge-sweep`` — time a λ sweep, naive loop vs the merge engine;
-* ``serve-bench`` — serial vs. batched+prefix-cached serving throughput.
+* ``serve-bench`` — serial vs. batched+prefix-cached serving throughput;
+* ``obs-report`` — end-to-end train→merge→serve→eval→rag flow with the
+  observability layer on: span tree + metric registry snapshot.
 """
 
 from __future__ import annotations
@@ -241,6 +243,32 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from .obs import Observability
+    from .obs.report import run_obs_flow
+
+    obs = None
+    if args.fake_clock:
+        # Deterministic trace: every clock read advances exactly 1 ms, so
+        # span durations depend only on the number of instrumented events.
+        ticks = iter(range(10**9))
+
+        def fake_clock() -> float:
+            return next(ticks) * 1e-3
+
+        obs = Observability(clock=fake_clock)
+    obs, summary = run_obs_flow(obs=obs, epochs=args.epochs, items=args.items,
+                                lam=args.lam)
+    print(obs.report(max_roots=args.max_roots))
+    print("== flow summary ==")
+    for key, value in summary.items():
+        print(f"{key:<20} {value}")
+    if args.jsonl:
+        obs.tracer.write_jsonl(args.jsonl)
+        print(f"spans written to {args.jsonl}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ChipAlign reproduction command-line tools")
@@ -330,6 +358,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="model vocabulary size (random weights)")
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.set_defaults(fn=_cmd_serve_bench)
+
+    p_obs = sub.add_parser(
+        "obs-report",
+        help="trace an end-to-end flow and print the span tree + metrics")
+    p_obs.add_argument("--epochs", type=int, default=4,
+                       help="training epochs for the stub model")
+    p_obs.add_argument("--items", type=int, default=3,
+                       help="OpenROAD QA items in the eval stage")
+    p_obs.add_argument("--lam", type=float, default=0.6,
+                       help="geodesic interpolation weight for the merge stage")
+    p_obs.add_argument("--max-roots", type=int, default=40,
+                       help="root spans shown before eliding the middle")
+    p_obs.add_argument("--fake-clock", action="store_true",
+                       help="use a deterministic 1ms-per-read clock")
+    p_obs.add_argument("--jsonl", type=Path, default=None,
+                       help="also export the spans as JSONL")
+    p_obs.set_defaults(fn=_cmd_obs_report)
     return parser
 
 

@@ -53,6 +53,7 @@ from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
 
 import numpy as np
 
+from ..obs import Observability
 from .geodesic import ANTIPODAL_MARGIN, SMALL_ANGLE, frobenius_norm
 
 StateDict = Dict[str, np.ndarray]
@@ -280,6 +281,10 @@ class GeodesicMergeEngine:
         everything in-process; >1 forks workers that each evaluate a chunk
         of tensors (worth it only for large state dicts — results are
         pickled back).  Ignored where ``fork`` is unavailable.
+    obs:
+        Shared :class:`~repro.obs.Observability`; planning and every
+        evaluation record ``merge.*`` spans and counters (tensors and
+        bytes processed) into it.  Private when omitted.
 
     Notes
     -----
@@ -290,21 +295,38 @@ class GeodesicMergeEngine:
 
     def __init__(self, chip: StateDict, instruct: StateDict,
                  exclude: Sequence[str] = (),
-                 n_workers: Optional[int] = None) -> None:
+                 n_workers: Optional[int] = None,
+                 obs: Optional[Observability] = None) -> None:
         from .merge import validate_conformable
 
         validate_conformable(chip, instruct)
         self.exclude = tuple(exclude)
         self.n_workers = n_workers
+        self.obs = obs if obs is not None else Observability()
         tensors: "OrderedDict[str, TensorPlan]" = OrderedDict()
-        for key in chip:
-            if any(fnmatch.fnmatch(key, pattern) for pattern in self.exclude):
-                raw = np.asarray(chip[key])
-                tensors[key] = TensorPlan(key, KIND_EXCLUDED, raw.shape,
-                                          raw_chip=np.array(raw, copy=True))
-            else:
-                tensors[key] = _plan_tensor(key, chip[key], instruct[key])
+        with self.obs.span("merge.plan", tensors=len(chip)):
+            for key in chip:
+                if any(fnmatch.fnmatch(key, pattern) for pattern in self.exclude):
+                    raw = np.asarray(chip[key])
+                    tensors[key] = TensorPlan(key, KIND_EXCLUDED, raw.shape,
+                                              raw_chip=np.array(raw, copy=True))
+                else:
+                    tensors[key] = _plan_tensor(key, chip[key], instruct[key])
         self.plan = MergePlan(tensors)
+        registry = self.obs.registry
+        registry.counter("merge.plans").inc()
+        registry.counter("merge.tensors_planned").inc(len(tensors))
+        registry.counter("merge.params_planned").inc(self.plan.total_params)
+        #: Bytes one λ evaluation streams: the (2, n) float64 row blocks.
+        self._eval_bytes = self.plan.total_params * 2 * 8
+
+    def _account_evaluations(self, n_points: int) -> None:
+        """Counter bookkeeping for ``n_points`` λ evaluations."""
+        registry = self.obs.registry
+        registry.counter("merge.evaluations").inc(n_points)
+        registry.counter("merge.tensors_merged").inc(n_points * len(self.plan))
+        registry.counter("merge.bytes_processed").inc(
+            n_points * self._eval_bytes)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -337,9 +359,11 @@ class GeodesicMergeEngine:
         only).  Pass ``out`` (from :meth:`new_buffers`) to write in place."""
         lam = self._check_lam(lam)
         merged: "OrderedDict[str, np.ndarray]" = OrderedDict()
-        for plan in self.plan:
-            merged[plan.key] = plan.evaluate(
-                lam, out=None if out is None else out[plan.key])
+        with self.obs.span("merge.evaluate", lam=lam):
+            for plan in self.plan:
+                merged[plan.key] = plan.evaluate(
+                    lam, out=None if out is None else out[plan.key])
+        self._account_evaluations(1)
         return merged
 
     def merge_layerwise(self, schedule,
@@ -348,10 +372,12 @@ class GeodesicMergeEngine:
         """Merged state dict under a per-layer λ schedule
         (:class:`~repro.core.layerwise.LambdaSchedule`)."""
         merged: "OrderedDict[str, np.ndarray]" = OrderedDict()
-        for plan in self.plan:
-            lam = self._check_lam(schedule.lam_for(plan.key))
-            merged[plan.key] = plan.evaluate(
-                lam, out=None if out is None else out[plan.key])
+        with self.obs.span("merge.evaluate_layerwise"):
+            for plan in self.plan:
+                lam = self._check_lam(schedule.lam_for(plan.key))
+                merged[plan.key] = plan.evaluate(
+                    lam, out=None if out is None else out[plan.key])
+        self._account_evaluations(1)
         return merged
 
     # ------------------------------------------------------------------
@@ -368,11 +394,14 @@ class GeodesicMergeEngine:
         lam_arr = np.asarray([self._check_lam(lam) for lam in lams],
                              dtype=np.float64)
         workers = self.n_workers if n_workers is None else n_workers
-        if workers and workers > 1 and _fork_available() and len(self.plan) > 1:
-            rows = self._sweep_parallel(lam_arr, int(workers))
-        else:
-            rows = {plan.key: plan.evaluate_sweep(lam_arr)
-                    for plan in self.plan}
+        with self.obs.span("merge.sweep", points=len(lam_arr),
+                           workers=workers or 1):
+            if workers and workers > 1 and _fork_available() and len(self.plan) > 1:
+                rows = self._sweep_parallel(lam_arr, int(workers))
+            else:
+                rows = {plan.key: plan.evaluate_sweep(lam_arr)
+                        for plan in self.plan}
+        self._account_evaluations(len(lam_arr))
         results: List["OrderedDict[str, np.ndarray]"] = []
         for index in range(len(lam_arr)):
             merged: "OrderedDict[str, np.ndarray]" = OrderedDict()

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..data.industrial_qa import IndustrialItem, MultiTurnItem
+from ..obs import Observability
 from ..data.openroad_qa import CATEGORIES as OPENROAD_CATEGORIES
 from ..data.openroad_qa import QATriplet
 from ..data.prompting import format_prompt
@@ -152,12 +153,13 @@ class OpenRoadReport:
 def run_openroad(answerer: Answerer, triplets: Sequence[QATriplet],
                  context_mode: str = "golden", rag_pipeline=None,
                  instructions: Sequence[InstructionLike] = OPENROAD_INSTRUCTIONS,
-                 ) -> OpenRoadReport:
+                 obs: Optional[Observability] = None) -> OpenRoadReport:
     """Evaluate an answerer on OpenROAD QA triplets with ROUGE-L.
 
     ``context_mode='golden'`` supplies each item's golden paragraph;
     ``'rag'`` retrieves the context with the supplied pipeline, matching the
-    paper's two Table-1 regimes.
+    paper's two Table-1 regimes.  ``obs`` (optional) records a per-benchmark
+    timing span plus item/score gauges under ``eval.openroad.*``.
     """
     if context_mode not in ("golden", "rag"):
         raise ValueError(f"context_mode must be 'golden' or 'rag', got {context_mode!r}")
@@ -165,23 +167,31 @@ def run_openroad(answerer: Answerer, triplets: Sequence[QATriplet],
         raise ValueError("rag context mode requires a rag_pipeline")
     if not triplets:
         raise ValueError("empty evaluation set")
+    obs = obs if obs is not None else Observability()
     responses: List[str] = []
     references: List[str] = []
     scores: Dict[str, List[float]] = {c: [] for c in OPENROAD_CATEGORIES}
-    for triplet in triplets:
-        if context_mode == "golden":
-            context = triplet.context
-        else:
-            context = rag_pipeline.retrieve(triplet.question).context
-        response = answerer.answer(triplet.question, context=context,
-                                   instructions=instructions)
-        reference = golden_reference(triplet.answer, instructions)
-        responses.append(response)
-        references.append(reference)
-        scores[triplet.category].append(rouge_l(response, reference).fmeasure)
+    with obs.span("eval.openroad", items=len(triplets),
+                  context_mode=context_mode, answerer=answerer.name):
+        for triplet in triplets:
+            if context_mode == "golden":
+                context = triplet.context
+            else:
+                context = rag_pipeline.retrieve(triplet.question).context
+            with obs.span("eval.openroad.item", category=triplet.category):
+                response = answerer.answer(triplet.question, context=context,
+                                           instructions=instructions)
+            reference = golden_reference(triplet.answer, instructions)
+            responses.append(response)
+            references.append(reference)
+            scores[triplet.category].append(
+                rouge_l(response, reference).fmeasure)
     by_category = {c: (sum(v) / len(v) if v else 0.0) for c, v in scores.items()}
     flat = [s for v in scores.values() for s in v]
-    return OpenRoadReport(by_category, sum(flat) / len(flat), responses, references)
+    overall = sum(flat) / len(flat)
+    obs.registry.counter("eval.openroad.items").inc(len(triplets))
+    obs.registry.gauge("eval.openroad.rouge_l").set(overall)
+    return OpenRoadReport(by_category, overall, responses, references)
 
 
 # ---------------------------------------------------------------------------
@@ -202,31 +212,37 @@ class IndustrialReport:
 def run_industrial(answerer: Answerer, items: Sequence[IndustrialItem],
                    judge: Optional[ReferenceJudge] = None,
                    instructions: Sequence[InstructionLike] = INDUSTRIAL_INSTRUCTIONS,
-                   ) -> IndustrialReport:
+                   obs: Optional[Observability] = None) -> IndustrialReport:
     """Single-turn industrial QA with GPT-4-style judge scoring."""
     if not items:
         raise ValueError("empty evaluation set")
     judge = judge or ReferenceJudge()
+    obs = obs if obs is not None else Observability()
     scores: Dict[str, List[int]] = {}
     verdicts: List[JudgeVerdict] = []
     responses: List[str] = []
-    for item in items:
-        response = answerer.answer(item.question, context=item.context,
-                                   instructions=instructions)
-        golden = golden_reference(item.answer, instructions)
-        verdict = judge.grade(response, golden, item.context, item.question)
-        verdict = _apply_compliance_cap(verdict, response, instructions)
-        verdicts.append(verdict)
-        responses.append(response)
-        scores.setdefault(item.category, []).append(verdict.score)
+    with obs.span("eval.industrial", items=len(items), answerer=answerer.name):
+        for item in items:
+            response = answerer.answer(item.question, context=item.context,
+                                       instructions=instructions)
+            golden = golden_reference(item.answer, instructions)
+            verdict = judge.grade(response, golden, item.context, item.question)
+            verdict = _apply_compliance_cap(verdict, response, instructions)
+            verdicts.append(verdict)
+            responses.append(response)
+            scores.setdefault(item.category, []).append(verdict.score)
     by_category = {c: sum(v) / len(v) for c, v in scores.items()}
     flat = [s for v in scores.values() for s in v]
-    return IndustrialReport(by_category, sum(flat) / len(flat), verdicts, responses)
+    overall = sum(flat) / len(flat)
+    obs.registry.counter("eval.industrial.items").inc(len(items))
+    obs.registry.gauge("eval.industrial.score").set(overall)
+    return IndustrialReport(by_category, overall, verdicts, responses)
 
 
 def run_industrial_multiturn(answerer: Answerer, items: Sequence[MultiTurnItem],
                              judge: Optional[ReferenceJudge] = None,
                              instructions: Sequence[InstructionLike] = INDUSTRIAL_INSTRUCTIONS,
+                             obs: Optional[Observability] = None,
                              ) -> IndustrialReport:
     """Multi-turn industrial QA: models are scored on the follow-up answer.
 
@@ -237,20 +253,26 @@ def run_industrial_multiturn(answerer: Answerer, items: Sequence[MultiTurnItem],
     if not items:
         raise ValueError("empty evaluation set")
     judge = judge or ReferenceJudge()
+    obs = obs if obs is not None else Observability()
     scores: Dict[str, List[int]] = {}
     verdicts: List[JudgeVerdict] = []
     responses: List[str] = []
-    for item in items:
-        response = answerer.answer(item.question, context=item.context,
-                                   instructions=instructions,
-                                   history=[(item.first_question, item.first_answer)])
-        golden = golden_reference(item.answer, instructions)
-        verdict = judge.grade(response, golden, item.context,
-                              item.question + " " + item.first_question)
-        verdict = _apply_compliance_cap(verdict, response, instructions)
-        verdicts.append(verdict)
-        responses.append(response)
-        scores.setdefault(item.category, []).append(verdict.score)
+    with obs.span("eval.industrial_multiturn", items=len(items),
+                  answerer=answerer.name):
+        for item in items:
+            response = answerer.answer(
+                item.question, context=item.context, instructions=instructions,
+                history=[(item.first_question, item.first_answer)])
+            golden = golden_reference(item.answer, instructions)
+            verdict = judge.grade(response, golden, item.context,
+                                  item.question + " " + item.first_question)
+            verdict = _apply_compliance_cap(verdict, response, instructions)
+            verdicts.append(verdict)
+            responses.append(response)
+            scores.setdefault(item.category, []).append(verdict.score)
     by_category = {c: sum(v) / len(v) for c, v in scores.items()}
     flat = [s for v in scores.values() for s in v]
-    return IndustrialReport(by_category, sum(flat) / len(flat), verdicts, responses)
+    overall = sum(flat) / len(flat)
+    obs.registry.counter("eval.industrial_multiturn.items").inc(len(items))
+    obs.registry.gauge("eval.industrial_multiturn.score").set(overall)
+    return IndustrialReport(by_category, overall, verdicts, responses)

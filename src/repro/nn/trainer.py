@@ -12,6 +12,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import Observability
 from . import functional as F
 from .module import Parameter
 from .optim import AdamW, CosineSchedule, clip_grad_norm
@@ -97,14 +98,20 @@ class Trainer:
     parameters:
         Optional explicit parameter list (used by LoRA fine-tuning to train
         only adapter weights); defaults to all model parameters.
+    obs:
+        Shared :class:`~repro.obs.Observability`; :meth:`fit` records
+        ``train.fit``/``train.epoch`` spans plus per-epoch loss and
+        throughput gauges into it.  Private when omitted.
     """
 
     def __init__(self, model: TransformerLM, pad_id: int,
                  config: Optional[TrainConfig] = None,
-                 parameters: Optional[List[Parameter]] = None) -> None:
+                 parameters: Optional[List[Parameter]] = None,
+                 obs: Optional[Observability] = None) -> None:
         self.model = model
         self.pad_id = pad_id
         self.config = config or TrainConfig()
+        self.obs = obs if obs is not None else Observability()
         params = parameters if parameters is not None else model.parameters()
         self.optimizer = AdamW(params, lr=self.config.lr,
                                weight_decay=self.config.weight_decay)
@@ -131,35 +138,58 @@ class Trainer:
         result = TrainResult()
         self.model.train()
         lengths = np.array([len(s) for s in sequences])
+        registry = self.obs.registry
         step = 0
-        for epoch in range(cfg.epochs):
-            if cfg.bucket_by_length:
-                # Sort by length with random jitter, then shuffle whole batches.
-                jitter = rng.random(n) * 2.0
-                order = np.argsort(lengths + jitter, kind="stable")
-                starts = np.arange(0, n, cfg.batch_size)
-                rng.shuffle(starts)
-            else:
-                order = rng.permutation(n)
-                starts = np.arange(0, n, cfg.batch_size)
-            for start in starts:
-                idx = order[start: start + cfg.batch_size]
-                batch_seqs = [sequences[i] for i in idx]
-                batch_masks = [masks[i] for i in idx] if masks is not None else None
-                inputs, targets = pad_batch(batch_seqs, self.pad_id, batch_masks)
-                if (targets == IGNORE_INDEX).all():
-                    continue
-                schedule.apply(self.optimizer, step)
-                logits = self.model(inputs)
-                loss = F.cross_entropy(logits, targets, ignore_index=IGNORE_INDEX)
-                self.optimizer.zero_grad()
-                loss.backward()
-                clip_grad_norm(self.optimizer.params, cfg.grad_clip)
-                self.optimizer.step()
-                result.losses.append(loss.item())
-                step += 1
-                if cfg.log_every and step % cfg.log_every == 0:
-                    print(f"epoch {epoch} step {step}/{total_steps} loss {loss.item():.4f}")
+        with self.obs.span("train.fit", epochs=cfg.epochs, sequences=n):
+            for epoch in range(cfg.epochs):
+                if cfg.bucket_by_length:
+                    # Sort by length with random jitter, then shuffle whole
+                    # batches.
+                    jitter = rng.random(n) * 2.0
+                    order = np.argsort(lengths + jitter, kind="stable")
+                    starts = np.arange(0, n, cfg.batch_size)
+                    rng.shuffle(starts)
+                else:
+                    order = rng.permutation(n)
+                    starts = np.arange(0, n, cfg.batch_size)
+                epoch_losses: List[float] = []
+                epoch_tokens = 0
+                epoch_started = self.obs.clock()
+                with self.obs.span("train.epoch", epoch=epoch):
+                    for start in starts:
+                        idx = order[start: start + cfg.batch_size]
+                        batch_seqs = [sequences[i] for i in idx]
+                        batch_masks = ([masks[i] for i in idx]
+                                       if masks is not None else None)
+                        inputs, targets = pad_batch(batch_seqs, self.pad_id,
+                                                    batch_masks)
+                        n_tok = int((targets != IGNORE_INDEX).sum())
+                        if n_tok == 0:
+                            continue
+                        schedule.apply(self.optimizer, step)
+                        logits = self.model(inputs)
+                        loss = F.cross_entropy(logits, targets,
+                                               ignore_index=IGNORE_INDEX)
+                        self.optimizer.zero_grad()
+                        loss.backward()
+                        clip_grad_norm(self.optimizer.params, cfg.grad_clip)
+                        self.optimizer.step()
+                        result.losses.append(loss.item())
+                        epoch_losses.append(loss.item())
+                        epoch_tokens += n_tok
+                        step += 1
+                        if cfg.log_every and step % cfg.log_every == 0:
+                            print(f"epoch {epoch} step {step}/{total_steps} "
+                                  f"loss {loss.item():.4f}")
+                elapsed = self.obs.clock() - epoch_started
+                registry.counter("train.steps").inc(len(epoch_losses))
+                registry.counter("train.tokens").inc(epoch_tokens)
+                registry.counter("train.epochs").inc()
+                if epoch_losses:
+                    registry.gauge("train.epoch_loss").set(
+                        sum(epoch_losses) / len(epoch_losses))
+                registry.gauge("train.tokens_per_second").set(
+                    epoch_tokens / elapsed if elapsed > 0 else 0.0)
         result.steps = step
         self.model.eval()
         return result

@@ -1,0 +1,116 @@
+"""Unified observability: metric registry + tracer + profiler in one handle.
+
+Every instrumented subsystem (serving, merge engine, trainer, eval harness,
+RAG) accepts an optional :class:`Observability` and creates a private one
+when none is given — instances never share state by accident.  Pass one
+object through a whole pipeline to get a single registry snapshot and one
+span tree for the end-to-end flow (what ``repro obs-report`` prints)::
+
+    from repro.obs import Observability
+
+    obs = Observability()
+    engine = GeodesicMergeEngine(chip, instruct, obs=obs)
+    server = InProcessServer(model, config=cfg, obs=obs)
+    ...
+    print(obs.tracer.render())
+    print(obs.registry.to_json())
+
+The clock is injectable (``Observability(clock=fake)``) so tests assert
+exact span durations and nesting without sleeping; ``enabled=False`` turns
+span recording into a shared no-op, which is how the serve benchmark
+measures instrumentation overhead.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
+                      MetricRegistry, merge_snapshots)
+from .profile import CallStat, Profiler, profiled, tensor_bytes
+from .trace import MAX_SPANS, Span, Tracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricRegistry", "merge_snapshots",
+    "DEFAULT_BUCKETS",
+    "Span", "Tracer", "MAX_SPANS",
+    "Profiler", "CallStat", "profiled", "tensor_bytes",
+    "Observability", "default_observability", "set_default_observability",
+]
+
+
+class Observability:
+    """One registry + tracer + profiler sharing a clock.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source for spans and the profiler; defaults to
+        :func:`time.perf_counter`.  Inject a fake for deterministic tests.
+    enabled:
+        ``False`` disables span recording (registry counters stay live —
+        they are too cheap to matter and too load-bearing to lose).
+    max_spans:
+        Stored-span cap forwarded to the tracer.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 enabled: bool = True, max_spans: int = MAX_SPANS) -> None:
+        clock = clock or time.perf_counter
+        self.registry = MetricRegistry()
+        self.tracer = Tracer(clock=clock, max_spans=max_spans, enabled=enabled)
+        self.profiler = Profiler(clock=clock)
+
+    @property
+    def clock(self) -> Callable[[], float]:
+        return self.tracer.clock
+
+    def span(self, name: str, **meta: object):
+        """Shorthand for ``obs.tracer.span(...)``."""
+        return self.tracer.span(name, **meta)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Registry snapshot plus profiler aggregates under ``profile.*``."""
+        snap = self.registry.snapshot()
+        for name, stat in self.profiler.snapshot().items():
+            snap[f"profile.{name}"] = stat
+        return snap
+
+    def report(self, max_roots: Optional[int] = 40) -> str:
+        """Human-readable span tree + metric snapshot + profile table."""
+        import json
+
+        sections = []
+        tree = self.tracer.render(max_roots=max_roots)
+        if tree:
+            sections.append("== span tree ==\n" + tree)
+        sections.append("== metric registry ==\n"
+                        + json.dumps(self.registry.snapshot(), indent=2,
+                                     sort_keys=True))
+        if self.profiler.stats:
+            sections.append("== profiled call sites ==\n" + self.profiler.report())
+        return "\n\n".join(sections)
+
+    def reset(self) -> None:
+        self.tracer.reset()
+        self.profiler.reset()
+        self.registry = MetricRegistry()
+
+
+_DEFAULT: Optional[Observability] = None
+
+
+def default_observability() -> Observability:
+    """The process-wide fallback used by bare ``@profiled`` functions."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Observability()
+    return _DEFAULT
+
+
+def set_default_observability(obs: Observability) -> Observability:
+    """Replace the process default; returns the previous one's successor."""
+    global _DEFAULT
+    _DEFAULT = obs
+    return obs

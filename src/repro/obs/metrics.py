@@ -1,0 +1,244 @@
+"""Metric registry: named counters, gauges, and fixed-bucket histograms.
+
+One :class:`MetricRegistry` is the numeric half of an
+:class:`~repro.obs.Observability` context.  Every subsystem writes into the
+same flat, dot-namespaced metric space (``serve.tokens_generated``,
+``merge.bytes_processed``, ``train.epoch_loss``, …), so a single
+:meth:`MetricRegistry.snapshot` call captures the whole pipeline's state as
+a JSON-serialisable dict, and snapshots from independent runs (or worker
+processes) combine with :func:`merge_snapshots`.
+
+Three instrument types, chosen for zero-dependency cheapness:
+
+* :class:`Counter` — monotonically growing total (requests, tokens, bytes);
+* :class:`Gauge` — last-written value (loss, throughput, batch occupancy);
+* :class:`Histogram` — fixed upper-bound buckets plus count/sum/min/max,
+  for latency-shaped values where a mean hides the tail.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+#: Default histogram bucket upper bounds (seconds-flavoured, log-spaced).
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0)
+
+
+class Counter:
+    """A total that only grows (``set`` exists for view-style adapters)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def set(self, value: Number) -> None:
+        """Overwrite the total (used by thin views over legacy counters)."""
+        if value < self.value:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease ({self.value} -> {value})")
+        self.value = value
+
+
+class Gauge:
+    """A point-in-time value; the last write wins."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: Number) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: Number = 1.0) -> None:
+        self.value += float(amount)
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max sidecars.
+
+    ``buckets`` are inclusive upper bounds; an implicit +inf bucket catches
+    the overflow.  Buckets are cumulative in the snapshot (Prometheus
+    style), so two snapshots with identical bounds merge by addition.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total",
+                 "min", "max")
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"histogram {name!r} buckets must be strictly "
+                             f"increasing, got {buckets}")
+        self.name = name
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # +inf overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        cumulative, running = [], 0
+        for raw in self.bucket_counts:
+            running += raw
+            cumulative.append(running)
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "bounds": list(self.bounds),
+            "cumulative": cumulative,
+        }
+
+
+class MetricRegistry:
+    """Namespace of metrics, created on first use and snapshot as one dict.
+
+    A name is bound to exactly one instrument type for the registry's
+    lifetime; asking for the same name as a different type raises, which
+    catches subsystems silently stomping each other's metrics.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def _check_free(self, name: str, want: Dict[str, object]) -> None:
+        for kind, table in (("counter", self._counters),
+                            ("gauge", self._gauges),
+                            ("histogram", self._histograms)):
+            if table is not want and name in table:
+                raise ValueError(f"metric {name!r} already registered as a {kind}")
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            self._check_free(name, self._counters)
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._check_free(name, self._gauges)
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._check_free(name, self._histograms)
+            metric = self._histograms[name] = Histogram(name, buckets)
+        return metric
+
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted([*self._counters, *self._gauges, *self._histograms])
+
+    def snapshot(self) -> Dict[str, object]:
+        """Everything as one JSON-serialisable dict.
+
+        Counters and gauges land as plain numbers; histograms as nested
+        dicts with cumulative bucket counts.
+        """
+        snap: Dict[str, object] = {}
+        for name, counter in self._counters.items():
+            snap[name] = counter.value
+        for name, gauge in self._gauges.items():
+            snap[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            snap[name] = histogram.to_dict()
+        return dict(sorted(snap.items()))
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def merge(self, other: "MetricRegistry") -> "MetricRegistry":
+        """Fold another registry into this one (in place; returns self).
+
+        Counters and histograms add; gauges take the other side's value
+        (they are point-in-time, so "later wins" is the only coherent rule).
+        Histograms must share bucket bounds.
+        """
+        for name, counter in other._counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            self.gauge(name).set(gauge.value)
+        for name, histogram in other._histograms.items():
+            mine = self.histogram(name, histogram.bounds)
+            if mine.bounds != histogram.bounds:
+                raise ValueError(f"histogram {name!r} bucket bounds differ: "
+                                 f"{mine.bounds} vs {histogram.bounds}")
+            mine.count += histogram.count
+            mine.total += histogram.total
+            mine.min = min(mine.min, histogram.min)
+            mine.max = max(mine.max, histogram.max)
+            for i, raw in enumerate(histogram.bucket_counts):
+                mine.bucket_counts[i] += raw
+        return self
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """Combine :meth:`MetricRegistry.snapshot` dicts from independent runs.
+
+    Plain numbers add; histogram dicts combine bucket-wise (bounds must
+    match).  Useful for aggregating per-process or per-benchmark snapshots
+    without reconstructing registries.
+    """
+    merged: Dict[str, object] = {}
+    for snap in snapshots:
+        for name, value in snap.items():
+            if name not in merged:
+                merged[name] = json.loads(json.dumps(value))  # deep copy
+                continue
+            have = merged[name]
+            if isinstance(value, dict) != isinstance(have, dict):
+                raise ValueError(f"metric {name!r} changes type across snapshots")
+            if isinstance(value, dict):
+                if have["bounds"] != value["bounds"]:
+                    raise ValueError(f"histogram {name!r} bucket bounds differ")
+                have["count"] += value["count"]
+                have["sum"] += value["sum"]
+                have["mean"] = have["sum"] / have["count"] if have["count"] else 0.0
+                have["min"] = min(have["min"], value["min"]) if have["count"] else 0.0
+                have["max"] = max(have["max"], value["max"])
+                have["cumulative"] = [a + b for a, b in
+                                      zip(have["cumulative"], value["cumulative"])]
+            else:
+                merged[name] = have + value
+    return dict(sorted(merged.items()))

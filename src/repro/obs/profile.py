@@ -1,0 +1,136 @@
+"""Lightweight profiling hooks: per-call wall time, call counts, bytes.
+
+:class:`Profiler` aggregates named call sites; the :func:`profiled`
+decorator wires a function into one with a single line.  "Bytes" means
+*tensor bytes*: :func:`tensor_bytes` walks a return value (arrays, state
+dicts, lists of merged models, autograd tensors) and sums ``nbytes`` — a
+cheap allocation proxy that needs no allocator introspection and works the
+same on every platform.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+
+def tensor_bytes(obj) -> int:
+    """Total ndarray payload bytes reachable inside ``obj``.
+
+    Walks dicts, lists/tuples, numpy arrays, and objects exposing a
+    ``.data`` ndarray (the autograd :class:`~repro.nn.tensor.Tensor`).
+    Anything else contributes zero — the point is a cheap, deterministic
+    size estimate, not a full object graph census.
+    """
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, dict):
+        return sum(tensor_bytes(value) for value in obj.values())
+    if isinstance(obj, (list, tuple)):
+        return sum(tensor_bytes(item) for item in obj)
+    data = getattr(obj, "data", None)
+    if isinstance(data, np.ndarray):
+        return int(data.nbytes)
+    return 0
+
+
+class CallStat:
+    """Aggregate of one profiled call site."""
+
+    __slots__ = ("name", "calls", "seconds", "bytes", "max_seconds")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.calls = 0
+        self.seconds = 0.0
+        self.bytes = 0
+        self.max_seconds = 0.0
+
+    def record(self, seconds: float, nbytes: int = 0) -> None:
+        self.calls += 1
+        self.seconds += seconds
+        self.bytes += nbytes
+        self.max_seconds = max(self.max_seconds, seconds)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.seconds / self.calls if self.calls else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"calls": self.calls, "seconds": self.seconds,
+                "mean_seconds": self.mean_seconds,
+                "max_seconds": self.max_seconds, "bytes": self.bytes}
+
+
+class Profiler:
+    """Aggregating profiler with an injectable clock (tests run fake time)."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.clock = clock
+        self.stats: Dict[str, CallStat] = {}
+
+    def record(self, name: str, seconds: float, nbytes: int = 0) -> None:
+        stat = self.stats.get(name)
+        if stat is None:
+            stat = self.stats[name] = CallStat(name)
+        stat.record(seconds, nbytes)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        return {name: stat.to_dict() for name, stat in sorted(self.stats.items())}
+
+    def report(self) -> str:
+        """Fixed-width table, slowest call sites first."""
+        if not self.stats:
+            return "(no profiled calls)"
+        rows = sorted(self.stats.values(), key=lambda s: -s.seconds)
+        lines = [f"{'call site':<36} {'calls':>7} {'total ms':>10} "
+                 f"{'mean ms':>9} {'MB':>8}"]
+        for stat in rows:
+            lines.append(f"{stat.name:<36} {stat.calls:>7} "
+                         f"{stat.seconds * 1e3:>10.2f} "
+                         f"{stat.mean_seconds * 1e3:>9.3f} "
+                         f"{stat.bytes / 1e6:>8.2f}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self.stats = {}
+
+
+def profiled(name: Optional[str] = None,
+             profiler: Optional[Profiler] = None) -> Callable:
+    """Decorator recording wall time, call count, and result tensor bytes.
+
+    The profiler is resolved at *call* time, in order: the explicit
+    ``profiler`` argument; ``self.obs.profiler`` when the bound object
+    carries an :class:`~repro.obs.Observability`; else the process-default
+    observability's profiler.  So one decoration serves both
+    explicitly-instrumented objects and ad-hoc module functions::
+
+        @profiled("rag.retrieve")
+        def retrieve(self, query): ...
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        label = name or getattr(fn, "__qualname__", fn.__name__)
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            prof = profiler
+            if prof is None and args:
+                obs = getattr(args[0], "obs", None)
+                prof = getattr(obs, "profiler", None)
+            if prof is None:
+                from . import default_observability
+
+                prof = default_observability().profiler
+            start = prof.clock()
+            result = fn(*args, **kwargs)
+            prof.record(label, prof.clock() - start, tensor_bytes(result))
+            return result
+
+        return wrapper
+
+    return decorate

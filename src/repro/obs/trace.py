@@ -1,0 +1,227 @@
+"""Hierarchical tracing: timed spans with an injectable monotonic clock.
+
+A :class:`Tracer` records *spans* — named intervals with metadata — into a
+forest of trees: ``span("merge.plan")`` opened inside ``span("fig8.run")``
+becomes its child.  The clock is injectable, so tests drive a fake
+monotonic counter and assert exact span durations and nesting without ever
+sleeping; production code gets :func:`time.perf_counter`.
+
+Spans are cheap (one clock read on enter, one on exit, ``__slots__``
+objects) and bounded: past ``max_spans`` recorded spans the tracer keeps
+timing but stops *storing*, counting the overflow in ``dropped`` — a
+long-running server cannot leak memory through its own instrumentation.
+Export as a pretty-printed tree (:meth:`Tracer.render`) or one JSON object
+per span (:meth:`Tracer.to_jsonl`, :meth:`Tracer.write_jsonl`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+#: Default cap on stored spans (the forest, not the stack).
+MAX_SPANS = 100_000
+
+
+class Span:
+    """One timed, named interval; children are spans opened inside it."""
+
+    __slots__ = ("name", "start", "end", "meta", "children")
+
+    def __init__(self, name: str, start: float,
+                 meta: Optional[Dict[str, object]] = None) -> None:
+        self.name = name
+        self.start = start
+        self.end = start
+        self.meta = meta
+        self.children: List["Span"] = []
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def walk(self, depth: int = 0) -> Iterator[Tuple[int, "Span"]]:
+        """Depth-first (self, then children) with depths."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def find(self, name: str) -> List["Span"]:
+        """All descendants (including self) with the given name."""
+        return [span for _, span in self.walk() if span.name == name]
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, duration={self.duration:.6f}, "
+                f"children={len(self.children)})")
+
+
+class _NullSpanContext:
+    """Returned by a disabled tracer: no clock reads, no storage."""
+
+    __slots__ = ()
+    _SPAN = Span("<disabled>", 0.0)
+
+    def __enter__(self) -> Span:
+        return self._SPAN
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class _SpanContext:
+    """Live span context manager (a class, not a generator, for speed)."""
+
+    __slots__ = ("_tracer", "_name", "_meta", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 meta: Optional[Dict[str, object]]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._meta = meta
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        span = Span(self._name, tracer.clock(), self._meta)
+        tracer._stack.append(span)
+        self._span = span
+        return span
+
+    def __exit__(self, *exc) -> bool:
+        tracer = self._tracer
+        span = self._span
+        span.end = tracer.clock()
+        stack = tracer._stack
+        # Unwind to this span even if inner contexts leaked (exceptions).
+        while stack and stack[-1] is not span:
+            stack.pop()
+        if stack:
+            stack.pop()
+        if tracer._recorded >= tracer.max_spans:
+            tracer.dropped += 1
+            return False
+        tracer._recorded += 1
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            tracer.roots.append(span)
+        return False
+
+
+class Tracer:
+    """Span recorder with an injectable clock.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source; tests inject a fake counter for
+        deterministic spans.
+    max_spans:
+        Stored-span cap; exceeding it increments :attr:`dropped` instead of
+        growing memory.
+    enabled:
+        ``False`` turns :meth:`span` into a shared no-op context (used to
+        measure instrumentation overhead, or to run cold).
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter,
+                 max_spans: int = MAX_SPANS, enabled: bool = True) -> None:
+        self.clock = clock
+        self.max_spans = max_spans
+        self.enabled = enabled
+        self.roots: List[Span] = []
+        self.dropped = 0
+        self._stack: List[Span] = []
+        self._recorded = 0
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **meta: object):
+        """Context manager timing one named interval.
+
+        Spans opened while another span is active become its children::
+
+            with tracer.span("merge.sweep", points=11):
+                with tracer.span("merge.evaluate", lam=0.5):
+                    ...
+        """
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return _SpanContext(self, name, meta or None)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def reset(self) -> None:
+        self.roots = []
+        self.dropped = 0
+        self._stack = []
+        self._recorded = 0
+
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator[Tuple[int, Span]]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> List[Span]:
+        """All recorded spans with the given name, depth-first order."""
+        return [span for _, span in self.walk() if span.name == name]
+
+    def render(self, max_roots: Optional[int] = None) -> str:
+        """Pretty-printed span forest with durations and metadata.
+
+        ``max_roots`` elides the middle of very long forests (a server
+        traced over thousands of steps) while keeping head and tail.
+        """
+        roots = self.roots
+        elided = 0
+        if max_roots is not None and len(roots) > max_roots:
+            head = max(1, max_roots // 2)
+            tail = max_roots - head
+            elided = len(roots) - head - tail
+            roots = roots[:head] + roots[len(self.roots) - tail:]
+        lines = []
+        for i, root in enumerate(roots):
+            if elided and i == max(1, (max_roots or 0) // 2):
+                lines.append(f"... {elided} more root spans ...")
+            for depth, span in root.walk():
+                meta = ""
+                if span.meta:
+                    meta = "  [" + " ".join(f"{k}={v}" for k, v in
+                                            sorted(span.meta.items())) + "]"
+                lines.append(f"{'  ' * depth}{span.name:<{max(1, 40 - 2 * depth)}}"
+                             f" {span.duration * 1e3:9.3f} ms{meta}")
+        if self.dropped:
+            lines.append(f"... {self.dropped} spans dropped (max_spans="
+                         f"{self.max_spans}) ...")
+        return "\n".join(lines)
+
+    def to_jsonl(self) -> str:
+        """One JSON object per span (depth-first), with ancestry paths."""
+        lines = []
+
+        def emit(span: Span, path: str, depth: int) -> None:
+            record = {"name": span.name, "path": path, "depth": depth,
+                      "start": span.start, "end": span.end,
+                      "duration": span.duration}
+            if span.meta:
+                record["meta"] = span.meta
+            lines.append(json.dumps(record, sort_keys=True))
+            for child in span.children:
+                emit(child, f"{path}/{child.name}", depth + 1)
+
+        for root in self.roots:
+            emit(root, root.name, 0)
+        return "\n".join(lines)
+
+    def write_jsonl(self, path) -> int:
+        """Write :meth:`to_jsonl` to a file; returns the span-line count."""
+        text = self.to_jsonl()
+        with open(path, "w") as handle:
+            if text:
+                handle.write(text + "\n")
+        return len(text.splitlines()) if text else 0

@@ -14,8 +14,9 @@ block hits the server's prefix cache.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import Observability
 from .bm25 import BM25Index
 from .embedder import DenseRetriever, HashedEmbedder
 from .reranker import OverlapReranker
@@ -52,15 +53,21 @@ class RagPipeline:
         Candidates taken from each first-stage retriever before fusion.
     final_k:
         Number of paragraphs concatenated into the returned context.
+    obs:
+        Shared :class:`~repro.obs.Observability`; each retrieval records a
+        ``rag.retrieve`` span with per-stage children (dense / bm25 / fuse /
+        rerank) plus a query counter.  Private when omitted.
     """
 
     def __init__(self, corpus: Sequence[str], candidate_k: int = 5,
-                 final_k: int = 1, embed_dim: int = 256) -> None:
+                 final_k: int = 1, embed_dim: int = 256,
+                 obs: Optional[Observability] = None) -> None:
         if final_k > candidate_k:
             raise ValueError("final_k cannot exceed candidate_k")
         self.corpus = list(corpus)
         self.candidate_k = candidate_k
         self.final_k = final_k
+        self.obs = obs if obs is not None else Observability()
         self.dense = DenseRetriever(self.corpus, HashedEmbedder(embed_dim))
         self.bm25 = BM25Index(self.corpus)
         self.reranker = OverlapReranker(self.corpus)
@@ -71,13 +78,23 @@ class RagPipeline:
 
     def retrieve(self, query: str) -> RetrievalResult:
         """Retrieve the context for ``query`` through all three stages."""
-        dense_ids = [i for i, _ in self.dense.search(query, self.candidate_k)]
-        bm25_ids = [i for i, _ in self.bm25.search(query, self.candidate_k)]
-        fused = reciprocal_rank_fusion([dense_ids, bm25_ids])[: self.candidate_k]
-        reranked = self.reranker.rerank(
-            query, [(i, self.corpus[i]) for i in fused], top_k=self.final_k)
+        with self.obs.span("rag.retrieve"):
+            with self.obs.span("rag.dense"):
+                dense_ids = [i for i, _ in
+                             self.dense.search(query, self.candidate_k)]
+            with self.obs.span("rag.bm25"):
+                bm25_ids = [i for i, _ in
+                            self.bm25.search(query, self.candidate_k)]
+            with self.obs.span("rag.fuse"):
+                fused = reciprocal_rank_fusion(
+                    [dense_ids, bm25_ids])[: self.candidate_k]
+            with self.obs.span("rag.rerank"):
+                reranked = self.reranker.rerank(
+                    query, [(i, self.corpus[i]) for i in fused],
+                    top_k=self.final_k)
         chosen = tuple(i for i, _ in reranked)
         context = " ".join(self.corpus[i] for i in chosen)
+        self.obs.registry.counter("rag.queries").inc()
         return RetrievalResult(context, chosen, tuple(fused))
 
     def recall_at_k(self, queries: Sequence[str], golden_ids: Sequence[int],
@@ -111,17 +128,22 @@ class RagAnswerService:
         makes a question burst prefix-cache friendly).
     max_new_tokens:
         Decode budget per answer.
+    obs:
+        Shared :class:`~repro.obs.Observability`; defaults to the
+        pipeline's handle so retrieval and answer spans land in one trace.
     """
 
     def __init__(self, pipeline: RagPipeline, server,
                  instructions: Sequence[str] = (),
-                 max_new_tokens: int = 56) -> None:
+                 max_new_tokens: int = 56,
+                 obs: Optional[Observability] = None) -> None:
         if server.tokenizer is None:
             raise ValueError("RagAnswerService requires a server with a tokenizer")
         self.pipeline = pipeline
         self.server = server
         self.instructions = tuple(instructions)
         self.max_new_tokens = max_new_tokens
+        self.obs = obs if obs is not None else pipeline.obs
 
     def _prompt(self, question: str, context: str) -> str:
         from ..data.prompting import format_prompt
@@ -131,12 +153,13 @@ class RagAnswerService:
 
     def answer(self, question: str) -> str:
         """Retrieve context for one question and generate its answer."""
-        context = self.pipeline.retrieve(question).context
         from ..serve import SamplingParams
 
-        return self.server.complete_text(
-            self._prompt(question, context),
-            params=SamplingParams(max_new_tokens=self.max_new_tokens))
+        with self.obs.span("rag.answer"):
+            context = self.pipeline.retrieve(question).context
+            return self.server.complete_text(
+                self._prompt(question, context),
+                params=SamplingParams(max_new_tokens=self.max_new_tokens))
 
     def answer_many(self, questions: Sequence[str]) -> List[str]:
         """Answer a burst of questions through one batched decode run.
@@ -146,9 +169,11 @@ class RagAnswerService:
         """
         from ..serve import SamplingParams
 
-        results = self.pipeline.retrieve_many(questions)
-        params = SamplingParams(max_new_tokens=self.max_new_tokens)
-        ids = [self.server.submit_text(self._prompt(q, r.context), params=params)
-               for q, r in zip(questions, results)]
-        self.server.run_until_idle()
-        return [(self.server.result(rid).text or "") for rid in ids]
+        with self.obs.span("rag.answer_many", questions=len(questions)):
+            results = self.pipeline.retrieve_many(questions)
+            params = SamplingParams(max_new_tokens=self.max_new_tokens)
+            ids = [self.server.submit_text(self._prompt(q, r.context),
+                                           params=params)
+                   for q, r in zip(questions, results)]
+            self.server.run_until_idle()
+            return [(self.server.result(rid).text or "") for rid in ids]

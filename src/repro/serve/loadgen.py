@@ -121,9 +121,11 @@ def run_serve_benchmark(model, spec: WorkloadSpec = WorkloadSpec(),
                         eos_id: Optional[int] = None) -> Dict[str, Dict[str, float]]:
     """Serial baseline vs. batched+prefix-cached serving on one workload.
 
-    Returns ``{"spec": …, "serial": …, "served": …, "speedup": x}``.  The
-    serial baseline reuses the *single-sequence* engine inside the server's
-    batched engine, so both paths run identical weights.
+    Returns ``{"serial": …, "served": …, "speedup": x, "registry": …}``
+    where ``registry`` is the served path's full
+    :class:`~repro.obs.MetricRegistry` snapshot (counters, gauges, latency
+    histograms).  The serial baseline reuses the *single-sequence* engine
+    inside the server's batched engine, so both paths run identical weights.
     """
     config = config or ServeConfig(max_batch_size=min(8, spec.n_requests))
     server = InProcessServer(model, config=config, eos_id=eos_id)
@@ -131,7 +133,8 @@ def run_serve_benchmark(model, spec: WorkloadSpec = WorkloadSpec(),
     served = run_served(server, spec)
     speedup = (served["tokens_per_second"] / serial["tokens_per_second"]
                if serial["tokens_per_second"] > 0 else 0.0)
-    return {"serial": serial, "served": served, "speedup": speedup}
+    return {"serial": serial, "served": served, "speedup": speedup,
+            "registry": server.obs.registry.snapshot()}
 
 
 def format_benchmark_report(result: Dict[str, Dict[str, float]],

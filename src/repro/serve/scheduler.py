@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..nn.sampling import sample_next
+from ..obs import Observability
 from .cache import PrefixCachePool
 from .engine import DECODE_MODES, BatchedEngine, SequenceHandle
 from .metrics import ServerMetrics
@@ -92,21 +93,30 @@ class Scheduler:
     eos_id:
         End-of-sequence token id (usually the tokenizer's); ``None``
         disables eos stopping regardless of per-request ``stop_on_eos``.
+    obs:
+        Shared :class:`~repro.obs.Observability`; the scheduler records
+        ``serve.*`` counters into its registry and spans
+        (``serve.step`` → ``serve.prefill`` / ``serve.decode_step`` /
+        ``serve.expire``) into its tracer.  A private instance is created
+        when none is supplied, so independent servers never mix metrics.
     """
 
     def __init__(self, engine: BatchedEngine, config: ServeConfig = ServeConfig(),
                  clock: Callable[[], float] = time.monotonic,
-                 eos_id: Optional[int] = None) -> None:
+                 eos_id: Optional[int] = None,
+                 obs: Optional[Observability] = None) -> None:
         self.engine = engine
         self.config = config
         self.clock = clock
         self.eos_id = eos_id
+        self.obs = obs if obs is not None else Observability(clock=clock)
         self.prefix_pool: Optional[PrefixCachePool] = (
             PrefixCachePool(max_entries=config.prefix_cache_entries,
                             min_match_tokens=config.prefix_min_tokens)
             if config.prefix_cache else None)
         self.sessions = SessionStore(capacity=config.session_capacity)
-        self.metrics = ServerMetrics(config.max_batch_size)
+        self.metrics = ServerMetrics(config.max_batch_size,
+                                     registry=self.obs.registry, clock=clock)
         self._queue: List[Tuple[int, int, Request]] = []  # (-priority, seqno, req)
         self._seqno = 0
         self._submitted_at: Dict[str, float] = {}
@@ -166,11 +176,14 @@ class Scheduler:
         """Run one scheduler iteration; returns completions it produced."""
         before = len(self._completions)
         now = self.clock()
-        self._expire(now)
-        self._admit(now)
-        if self._running:
-            self.metrics.record_step(len(self._queue), len(self._running))
-            self._decode_step()
+        with self.obs.span("serve.step"):
+            self._expire(now)
+            self._admit(now)
+            if self._running:
+                self.metrics.record_step(len(self._queue), len(self._running))
+                with self.obs.span("serve.decode_step",
+                                   batch=len(self._running)):
+                    self._decode_step()
         if self.idle:
             self.metrics.mark_idle(self.clock())
         return self._completions[before:]
@@ -187,25 +200,32 @@ class Scheduler:
 
     # ------------------------------------------------------------------
     def _expire(self, now: float) -> None:
-        live = []
-        for item in self._queue:
-            request = item[2]
-            if request.deadline is not None and now > request.deadline:
-                self.metrics.requests_expired += 1
-                self._complete(request, RequestStatus.EXPIRED,
-                               FinishReason.DEADLINE)
-            else:
-                live.append(item)
-        if len(live) != len(self._queue):
-            self._queue = live
-            heapq.heapify(self._queue)
-        for seq in list(self._running):
-            deadline = seq.request.deadline
-            if deadline is not None and now > deadline:
-                self._running.remove(seq)
-                self.metrics.requests_expired += 1
-                self._finish_seq(seq, RequestStatus.EXPIRED,
-                                 FinishReason.DEADLINE)
+        def stale(request: Request) -> bool:
+            return request.deadline is not None and now > request.deadline
+
+        n_stale = (sum(stale(item[2]) for item in self._queue)
+                   + sum(stale(seq.request) for seq in self._running))
+        if not n_stale:
+            return
+        with self.obs.span("serve.expire", evicted=n_stale):
+            live = []
+            for item in self._queue:
+                request = item[2]
+                if stale(request):
+                    self.metrics.requests_expired += 1
+                    self._complete(request, RequestStatus.EXPIRED,
+                                   FinishReason.DEADLINE)
+                else:
+                    live.append(item)
+            if len(live) != len(self._queue):
+                self._queue = live
+                heapq.heapify(self._queue)
+            for seq in list(self._running):
+                if stale(seq.request):
+                    self._running.remove(seq)
+                    self.metrics.requests_expired += 1
+                    self._finish_seq(seq, RequestStatus.EXPIRED,
+                                     FinishReason.DEADLINE)
 
     def _admit(self, now: float) -> None:
         max_ctx = self.engine.config.max_seq_len
@@ -218,18 +238,21 @@ class Scheduler:
                     request.session_id, prompt)
             if reused == 0 and self.prefix_pool is not None:
                 reused, reused_kv = self.prefix_pool.lookup(prompt)
-            caches = self.engine.new_caches()
-            logits = self.engine.prefill(prompt, caches, reused_kv)
-            if self.prefix_pool is not None:
-                self.prefix_pool.insert(
-                    prompt, [(c.k, c.v) for c in caches])
-            seq = _Sequence(request, prompt, self.engine.bind(caches), reused)
+            with self.obs.span("serve.prefill", tokens=len(prompt) - reused,
+                               reused=reused):
+                caches = self.engine.new_caches()
+                logits = self.engine.prefill(prompt, caches, reused_kv)
+                if self.prefix_pool is not None:
+                    self.prefix_pool.insert(
+                        prompt, [(c.k, c.v) for c in caches])
+                seq = _Sequence(request, prompt, self.engine.bind(caches),
+                                reused)
             self.metrics.prefill_tokens += len(prompt) - reused
             self.metrics.cached_prefix_tokens += reused
             submitted = self._submitted_at[request.request_id]
-            self.metrics.queue_waits.append(now - submitted)
+            self.metrics.record_queue_wait(now - submitted)
             seq.first_token_at = now
-            self.metrics.ttfts.append(now - submitted)
+            self.metrics.record_ttft(now - submitted)
             if self._advance(seq, logits):
                 self._running.append(seq)
 

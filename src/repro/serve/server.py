@@ -48,11 +48,14 @@ class InProcessServer:
     eos_id:
         Overrides the tokenizer's eos id (or provides one without a
         tokenizer).
+    obs:
+        Shared :class:`~repro.obs.Observability` for metrics and spans;
+        private to this server when omitted.
     """
 
     def __init__(self, model, tokenizer=None, config: ServeConfig = ServeConfig(),
                  clock: Callable[[], float] = time.monotonic,
-                 eos_id: Optional[int] = None) -> None:
+                 eos_id: Optional[int] = None, obs=None) -> None:
         self.engine = BatchedEngine(model, decode_mode=config.decode_mode,
                                     max_batch_size=config.max_batch_size)
         self.tokenizer = tokenizer
@@ -60,7 +63,8 @@ class InProcessServer:
             eos_id = tokenizer.eos_id
         self.config = config
         self.scheduler = Scheduler(self.engine, config=config, clock=clock,
-                                   eos_id=eos_id)
+                                   eos_id=eos_id, obs=obs)
+        self.obs = self.scheduler.obs
         self._ids = itertools.count()
         self._results: Dict[str, Completion] = {}
 
@@ -142,10 +146,15 @@ class InProcessServer:
 
     # ------------------------------------------------------------------
     def metrics_snapshot(self) -> Dict[str, float]:
-        """Instrumentation snapshot (tokens/sec, TTFT, hit rates, …)."""
+        """Instrumentation snapshot (tokens/sec, TTFT, hit rates, …).
+
+        Taken against the scheduler clock, so a snapshot mid-burst folds
+        the open busy span in and reports live throughput.
+        """
         pool = self.scheduler.prefix_pool
         return self.scheduler.metrics.snapshot(
-            pool.stats() if pool is not None else None)
+            pool.stats() if pool is not None else None,
+            now=self.scheduler.clock())
 
     def _collect(self, completions: List[Completion]) -> List[Completion]:
         out = []

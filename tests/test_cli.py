@@ -26,8 +26,24 @@ def test_parser_has_all_commands():
     parser = build_parser()
     text = parser.format_help()
     for command in ("merge", "merge-many", "sweep", "zoo", "chat", "table",
-                    "merge-sweep", "serve-bench"):
+                    "merge-sweep", "serve-bench", "obs-report"):
         assert command in text
+
+
+def test_obs_report_command(capsys, tmp_path):
+    """obs-report runs the end-to-end flow and prints the span tree plus
+    registry snapshot; the fake clock makes the trace deterministic."""
+    jsonl = tmp_path / "spans.jsonl"
+    code = main(["obs-report", "--fake-clock", "--epochs", "2",
+                 "--items", "2", "--jsonl", str(jsonl)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "== span tree ==" in out
+    assert "obs_report.flow" in out and "serve.decode_step" in out
+    assert "== metric registry ==" in out
+    assert '"merge.plans": 1' in out
+    assert "== flow summary ==" in out
+    assert jsonl.exists() and "obs_report.flow" in jsonl.read_text()
 
 
 def test_merge_command(checkpoints, capsys):

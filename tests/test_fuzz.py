@@ -84,6 +84,86 @@ def test_tokenizer_decode_never_crashes(ids):
     assert isinstance(text, str)
 
 
+# ---------------------------------------------------------------------------
+# obs-aware server fuzzing: registry conservation invariants
+# ---------------------------------------------------------------------------
+
+#: One fuzzed request: (prompt, priority, deadline-offset-or-None, cancel?).
+_REQUEST = st.tuples(
+    st.lists(st.integers(1, 23), min_size=1, max_size=6),
+    st.integers(0, 3),
+    st.sampled_from((None, 1.5, 100.0)),
+    st.booleans(),
+)
+
+
+def _fuzz_model():
+    return _shared_zoo().get("nano", "base")
+
+
+@given(st.lists(_REQUEST, min_size=1, max_size=8), st.integers(1, 4))
+@settings(max_examples=25, deadline=None)
+def test_server_fuzz_registry_conservation(specs, max_batch):
+    """Random request streams (priorities, deadlines, cancellations) must
+    leave the metric registry conserved: every submitted request is
+    accounted for exactly once, and the token counter equals the sum of
+    completion lengths across *all* terminal states (cancelled and expired
+    sequences keep their partial decodes)."""
+    from repro.obs import Observability
+    from repro.serve import InProcessServer, SamplingParams, ServeConfig
+
+    class Clock:
+        t = 0.0
+
+        def __call__(self):
+            return self.t
+
+    clock = Clock()
+    obs = Observability(clock=clock)
+    server = InProcessServer(_fuzz_model(),
+                             config=ServeConfig(max_batch_size=max_batch),
+                             clock=clock, obs=obs)
+    ids = []
+    for prompt, priority, deadline, cancel in specs:
+        rid = server.submit(prompt, params=SamplingParams(max_new_tokens=4),
+                            priority=priority,
+                            deadline=None if deadline is None
+                            else clock.t + deadline)
+        ids.append(rid)
+        clock.t += 0.5
+    server.step()  # admit a first wave so some cancellations hit running work
+    for rid, (_, _, _, cancel) in zip(ids, specs):
+        if cancel:
+            # May return False if the request already finished or expired
+            # during the first step — that is valid, not a lost request.
+            server.cancel(rid)
+    steps = 0
+    while not server.idle:
+        server.step()
+        clock.t += 1.0  # eventually trips every finite deadline
+        steps += 1
+        assert steps < 1000, "scheduler failed to drain the fuzzed stream"
+
+    snap = obs.registry.snapshot()
+    completions = [server.result(rid) for rid in ids]
+    assert all(c is not None for c in completions)
+    assert snap["serve.requests_submitted"] == len(specs)
+    assert (snap["serve.requests_finished"] + snap["serve.requests_expired"]
+            + snap["serve.requests_cancelled"]) == len(specs)
+    assert snap["serve.tokens_generated"] == sum(
+        len(c.token_ids) for c in completions)
+    assert snap["serve.prefill_tokens"] + snap["serve.cached_prefix_tokens"] \
+        <= sum(len(prompt) for prompt, _, _, _ in specs)
+    # The span tree mirrors the counters: one prefill span per admitted
+    # request, one decode span per decode step.
+    prefills = [span for _, span in obs.tracer.walk()
+                if span.name == "serve.prefill"]
+    decodes = [span for _, span in obs.tracer.walk()
+               if span.name == "serve.decode_step"]
+    assert len(decodes) == snap["serve.decode_steps"]
+    assert len(prefills) <= len(specs)
+
+
 @given(st.integers(1, 3), st.integers(1, 16))
 @settings(max_examples=15, deadline=None)
 def test_inference_engine_fuzz_parity(n_tokens, seed):

@@ -5,6 +5,8 @@ from collections import OrderedDict
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.geodesic import geodesic_merge
 from repro.core.layerwise import LambdaSchedule, merge_state_dicts_layerwise
@@ -77,6 +79,77 @@ def test_fork_fanout_matches_serial():
     forked = GeodesicMergeEngine(a, b, n_workers=3).sweep(LAMS)
     for s, f in zip(serial, forked):
         assert_state_dicts_close(f, s, rtol=0.0, atol=0.0)  # byte-identical
+
+
+# ---------------------------------------------------------------------------
+# property-based sweep: randomized model-shaped state dicts
+# ---------------------------------------------------------------------------
+
+#: λ grid for the property sweep: both endpoints plus an interior pair, one
+#: of them deliberately "ugly" (not a round fraction of the unit interval).
+PROPERTY_LAMS = (0.0, 0.31, 0.5, 1.0)
+
+
+def random_model_like_pair(seed, dim, vocab, tied):
+    """Random state dicts shaped like a toy LM: 2-D matmul weights, 1-D
+    norm weights clustered near 1 (so the pair is nearly parallel — the
+    small-angle regime), and optionally a tied embedding whose ndarray
+    object is shared between the embedding and lm-head keys."""
+    rng = np.random.default_rng(seed)
+    pair = []
+    for _ in range(2):
+        sd = OrderedDict()
+        emb = rng.normal(size=(vocab, dim))
+        sd["embed.weight"] = emb
+        sd["blocks.0.attn.w"] = rng.normal(size=(dim, dim))
+        sd["blocks.0.norm.weight"] = 1.0 + 0.05 * rng.normal(size=dim)
+        sd["lm_head.weight"] = emb if tied else rng.normal(size=(vocab, dim))
+        pair.append(sd)
+    return pair
+
+
+@given(seed=st.integers(0, 10**6), dim=st.integers(2, 8),
+       vocab=st.integers(3, 12), tied=st.booleans())
+@settings(max_examples=30, deadline=None)
+def test_property_engine_matches_naive_reference(seed, dim, vocab, tied):
+    """The engine is numerically indistinguishable (rtol 1e-10) from the
+    raw per-tensor geodesic_merge on randomized model-shaped inputs."""
+    chip, instruct = random_model_like_pair(seed, dim, vocab, tied)
+    engine = GeodesicMergeEngine(chip, instruct)
+    for lam in PROPERTY_LAMS:
+        merged = engine.merge(lam)
+        for key in chip:
+            ref = geodesic_merge(chip[key], instruct[key], lam)
+            assert np.allclose(merged[key], ref, rtol=1e-10, atol=1e-13), \
+                (key, lam)
+
+
+@given(seed=st.integers(0, 10**6), tied=st.booleans())
+@settings(max_examples=30, deadline=None)
+def test_property_endpoints_recover_inputs(seed, tied):
+    """SLERP endpoint invariant: λ=1 reproduces the chip model and λ=0 the
+    instruct model (up to the unit-projection float round trip)."""
+    chip, instruct = random_model_like_pair(seed, 5, 7, tied)
+    engine = GeodesicMergeEngine(chip, instruct)
+    assert_state_dicts_close(engine.merge(1.0), chip)
+    assert_state_dicts_close(engine.merge(0.0), instruct)
+
+
+@given(seed=st.integers(0, 10**6),
+       lam=st.floats(0.0, 1.0, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_property_merged_norm_is_geometric_mean(seed, lam):
+    """SLERP norm invariant: after interpolating on the unit sphere the
+    merged tensor's Frobenius norm is restored to the weighted geometric
+    mean ‖chip‖^λ · ‖instruct‖^(1−λ)."""
+    rng = np.random.default_rng(seed)
+    a, b = rng.normal(size=(4, 6)), rng.normal(size=(4, 6))
+    merged = geodesic_merge(a, b, lam)
+    want = np.linalg.norm(a) ** lam * np.linalg.norm(b) ** (1.0 - lam)
+    assert np.isclose(np.linalg.norm(merged), want, rtol=1e-9)
+    # The engine restores the identical norm.
+    engine = GeodesicMergeEngine({"w": a}, {"w": b})
+    assert np.isclose(np.linalg.norm(engine.merge(lam)["w"]), want, rtol=1e-9)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,473 @@
+"""Observability layer tests: registry, tracer, profiler, and the wired
+subsystems — all on fake clocks, so every duration and counter value is
+asserted exactly and nothing ever sleeps."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (MAX_SPANS, MetricRegistry, Observability, Profiler,
+                       Tracer, merge_snapshots, profiled, tensor_bytes)
+from repro.serve.metrics import ServerMetrics
+
+
+class FakeClock:
+    """Every read advances by ``tick`` — deterministic span durations."""
+
+    def __init__(self, tick=1.0):
+        self.t = 0.0
+        self.tick = tick
+
+    def __call__(self):
+        now = self.t
+        self.t += self.tick
+        return now
+
+
+class SettableClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+# ---------------------------------------------------------------------------
+# metric registry
+# ---------------------------------------------------------------------------
+
+
+def test_counter_is_monotonic():
+    registry = MetricRegistry()
+    counter = registry.counter("c")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+    counter.set(9)
+    with pytest.raises(ValueError):
+        counter.set(3)
+    # Same name returns the same instrument.
+    assert registry.counter("c") is counter
+
+
+def test_gauge_last_write_wins():
+    gauge = MetricRegistry().gauge("g")
+    gauge.set(2.5)
+    gauge.set(-1.0)
+    assert gauge.value == -1.0
+    gauge.inc(0.5)
+    assert gauge.value == -0.5
+
+
+def test_histogram_buckets_and_summary():
+    hist = MetricRegistry().histogram("h", buckets=(1.0, 10.0))
+    for value in (0.5, 0.7, 5.0, 100.0):
+        hist.observe(value)
+    snap = hist.to_dict()
+    assert snap["count"] == 4
+    assert snap["sum"] == pytest.approx(106.2)
+    assert snap["min"] == 0.5 and snap["max"] == 100.0
+    assert snap["bounds"] == [1.0, 10.0]
+    # Cumulative (Prometheus-style): <=1: 2, <=10: 3, +inf: 4.
+    assert snap["cumulative"] == [2, 3, 4]
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(ValueError):
+        MetricRegistry().histogram("h", buckets=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        MetricRegistry().histogram("h2", buckets=(1.0, 1.0))
+
+
+def test_registry_name_type_conflicts_raise():
+    registry = MetricRegistry()
+    registry.counter("x")
+    with pytest.raises(ValueError):
+        registry.gauge("x")
+    with pytest.raises(ValueError):
+        registry.histogram("x")
+
+
+def test_registry_snapshot_and_json_roundtrip():
+    registry = MetricRegistry()
+    registry.counter("a.count").inc(3)
+    registry.gauge("a.gauge").set(1.5)
+    registry.histogram("a.hist", buckets=(1.0,)).observe(0.2)
+    snap = registry.snapshot()
+    assert list(snap) == sorted(snap)  # deterministic ordering
+    assert snap["a.count"] == 3 and snap["a.gauge"] == 1.5
+    assert json.loads(registry.to_json()) == json.loads(
+        json.dumps(snap))  # JSON-serialisable throughout
+
+
+def test_registry_merge_adds_counters_and_histograms():
+    a, b = MetricRegistry(), MetricRegistry()
+    a.counter("n").inc(2)
+    b.counter("n").inc(5)
+    a.gauge("g").set(1.0)
+    b.gauge("g").set(9.0)
+    a.histogram("h", buckets=(1.0,)).observe(0.5)
+    b.histogram("h", buckets=(1.0,)).observe(2.0)
+    merged = a.merge(b)
+    assert merged is a
+    assert a.counter("n").value == 7
+    assert a.gauge("g").value == 9.0  # later wins
+    hist = a.histogram("h").to_dict()
+    assert hist["count"] == 2 and hist["cumulative"] == [1, 2]
+
+
+def test_merge_snapshots_function():
+    a = {"tokens": 10, "lat": {"count": 1, "sum": 0.5, "mean": 0.5,
+                               "min": 0.5, "max": 0.5, "bounds": [1.0],
+                               "cumulative": [1, 1]}}
+    b = {"tokens": 5, "lat": {"count": 1, "sum": 1.5, "mean": 1.5,
+                              "min": 1.5, "max": 1.5, "bounds": [1.0],
+                              "cumulative": [0, 1]}}
+    merged = merge_snapshots([a, b])
+    assert merged["tokens"] == 15
+    assert merged["lat"]["count"] == 2
+    assert merged["lat"]["mean"] == pytest.approx(1.0)
+    assert merged["lat"]["cumulative"] == [1, 2]
+    # Inputs were not mutated.
+    assert a["lat"]["count"] == 1
+
+
+def test_merge_snapshots_rejects_mismatched_bounds():
+    hist = {"count": 1, "sum": 0.5, "mean": 0.5, "min": 0.5, "max": 0.5,
+            "bounds": [1.0], "cumulative": [1, 1]}
+    other = dict(hist, bounds=[2.0])
+    with pytest.raises(ValueError):
+        merge_snapshots([{"h": hist}, {"h": other}])
+
+
+# ---------------------------------------------------------------------------
+# tracer
+# ---------------------------------------------------------------------------
+
+
+def test_span_nesting_and_exact_durations():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("outer", kind="root"):
+        with tracer.span("inner.a"):
+            pass
+        with tracer.span("inner.b"):
+            pass
+    assert len(tracer.roots) == 1
+    outer = tracer.roots[0]
+    assert outer.name == "outer"
+    assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+    # FakeClock reads: outer.start=0, a=(1,2), b=(3,4), outer.end=5.
+    assert outer.children[0].start == 1.0 and outer.children[0].end == 2.0
+    assert outer.children[1].duration == 1.0
+    assert outer.duration == 5.0
+    assert outer.meta == {"kind": "root"}
+
+
+def test_span_stack_unwinds_on_exception():
+    tracer = Tracer(clock=FakeClock())
+    with pytest.raises(RuntimeError):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                raise RuntimeError("boom")
+    assert tracer.current is None
+    # Both spans were still recorded, correctly nested.
+    assert [span.name for _, span in tracer.walk()] == ["outer", "inner"]
+
+
+def test_tracer_find_and_current():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("a"):
+        assert tracer.current.name == "a"
+        with tracer.span("b"):
+            assert tracer.current.name == "b"
+        with tracer.span("b"):
+            pass
+    assert tracer.current is None
+    assert len(tracer.find("b")) == 2
+    assert tracer.roots[0].find("b") == tracer.find("b")
+
+
+def test_tracer_max_spans_cap_counts_drops():
+    tracer = Tracer(clock=FakeClock(), max_spans=3)
+    for _ in range(5):
+        with tracer.span("s"):
+            pass
+    assert len(tracer.roots) == 3
+    assert tracer.dropped == 2
+    assert "2 spans dropped" in tracer.render()
+
+
+def test_disabled_tracer_is_noop():
+    tracer = Tracer(clock=FakeClock(), enabled=False)
+    with tracer.span("ignored"):
+        with tracer.span("ignored.child"):
+            pass
+    assert tracer.roots == []
+    assert tracer.render() == ""
+    # A disabled tracer never reads its clock.
+    assert tracer.clock.t == 0.0
+
+
+def test_render_shows_durations_meta_and_elision():
+    tracer = Tracer(clock=FakeClock(tick=0.001))
+    for i in range(6):
+        with tracer.span("step", index=i):
+            pass
+    text = tracer.render(max_roots=4)
+    assert "... 2 more root spans ..." in text
+    assert "[index=0]" in text and "[index=5]" in text
+    assert "[index=3]" not in text  # elided from the middle
+    assert "1.000 ms" in text
+
+
+def test_jsonl_export_has_paths_and_depths(tmp_path):
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("root"):
+        with tracer.span("child", lam=0.5):
+            pass
+    records = [json.loads(line) for line in tracer.to_jsonl().splitlines()]
+    assert [r["name"] for r in records] == ["root", "child"]
+    assert records[1]["path"] == "root/child"
+    assert records[1]["depth"] == 1
+    assert records[1]["meta"] == {"lam": 0.5}
+    assert records[1]["duration"] == 1.0
+    path = tmp_path / "spans.jsonl"
+    assert tracer.write_jsonl(path) == 2
+    assert path.read_text().count("\n") == 2
+
+
+def test_tracer_reset():
+    tracer = Tracer(clock=FakeClock(), max_spans=1)
+    for _ in range(3):
+        with tracer.span("s"):
+            pass
+    tracer.reset()
+    assert tracer.roots == [] and tracer.dropped == 0
+    with tracer.span("fresh"):
+        pass
+    assert [root.name for root in tracer.roots] == ["fresh"]
+
+
+# ---------------------------------------------------------------------------
+# profiler
+# ---------------------------------------------------------------------------
+
+
+def test_tensor_bytes_walks_structures():
+    arr = np.zeros((2, 3), dtype=np.float64)
+
+    class Tensorish:
+        data = np.zeros(4, dtype=np.float32)
+
+    assert tensor_bytes(arr) == 48
+    assert tensor_bytes({"a": arr, "b": [arr, arr]}) == 144
+    assert tensor_bytes(Tensorish()) == 16
+    assert tensor_bytes("not a tensor") == 0
+
+
+def test_profiler_aggregates_calls():
+    profiler = Profiler(clock=FakeClock())
+    profiler.record("f", 0.25, nbytes=100)
+    profiler.record("f", 0.75, nbytes=100)
+    profiler.record("g", 1.0)
+    snap = profiler.snapshot()
+    assert snap["f"]["calls"] == 2
+    assert snap["f"]["seconds"] == pytest.approx(1.0)
+    assert snap["f"]["mean_seconds"] == pytest.approx(0.5)
+    assert snap["f"]["max_seconds"] == pytest.approx(0.75)
+    assert snap["f"]["bytes"] == 200
+    assert "g" in profiler.report() and "call site" in profiler.report()
+
+
+def test_profiled_decorator_with_explicit_profiler():
+    profiler = Profiler(clock=FakeClock())
+
+    @profiled("work", profiler=profiler)
+    def work(n):
+        return np.zeros(n)
+
+    work(10)
+    work(10)
+    stat = profiler.snapshot()["work"]
+    assert stat["calls"] == 2
+    assert stat["seconds"] == 2.0  # one tick per call under FakeClock
+    assert stat["bytes"] == 2 * 10 * 8
+
+
+def test_profiled_decorator_resolves_self_obs():
+    obs = Observability(clock=FakeClock())
+
+    class Component:
+        def __init__(self, obs):
+            self.obs = obs
+
+        @profiled("component.run")
+        def run(self):
+            return np.ones(3)
+
+    Component(obs).run()
+    assert obs.profiler.snapshot()["component.run"]["calls"] == 1
+    # And the aggregate surfaces in the unified snapshot under profile.*.
+    assert obs.snapshot()["profile.component.run"]["bytes"] == 24
+
+
+# ---------------------------------------------------------------------------
+# the unified handle
+# ---------------------------------------------------------------------------
+
+
+def test_observability_shares_one_clock():
+    clock = FakeClock()
+    obs = Observability(clock=clock)
+    assert obs.clock is clock
+    assert obs.tracer.clock is clock and obs.profiler.clock is clock
+
+
+def test_observability_private_by_default():
+    a, b = Observability(), Observability()
+    a.registry.counter("n").inc()
+    assert b.registry.snapshot() == {}
+    assert a.registry is not b.registry and a.tracer is not b.tracer
+
+
+def test_observability_report_sections():
+    obs = Observability(clock=FakeClock())
+    with obs.span("stage"):
+        pass
+    obs.registry.counter("n").inc(2)
+    obs.profiler.record("f", 0.5)
+    report = obs.report()
+    assert "== span tree ==" in report
+    assert "== metric registry ==" in report
+    assert "== profiled call sites ==" in report
+    assert '"n": 2' in report
+    obs.reset()
+    assert obs.tracer.roots == [] and obs.registry.snapshot() == {}
+
+
+# ---------------------------------------------------------------------------
+# busy-span accounting (regression: mid-span snapshots undercounted)
+# ---------------------------------------------------------------------------
+
+
+def test_busy_seconds_folds_open_span_without_closing_it():
+    clock = SettableClock()
+    metrics = ServerMetrics(max_batch_size=4, clock=clock)
+    metrics.mark_busy(10.0)
+    metrics.tokens_generated += 30
+    clock.t = 13.0
+    # Mid-burst snapshot: the open span counts...
+    snap = metrics.snapshot()
+    assert snap["busy_seconds"] == pytest.approx(3.0)
+    assert snap["tokens_per_second"] == pytest.approx(10.0)
+    # ...and is NOT closed: a later mark_idle accounts the full span
+    # exactly once (no double count, no reset to zero).
+    clock.t = 20.0
+    metrics.mark_idle(20.0)
+    assert metrics.busy_seconds == pytest.approx(10.0)
+    assert metrics.snapshot()["tokens_per_second"] == pytest.approx(3.0)
+    # Re-marking busy opens a new span from the new timestamp.
+    metrics.mark_busy(25.0)
+    clock.t = 26.0
+    assert metrics.busy_seconds == pytest.approx(11.0)
+
+
+def test_busy_seconds_with_explicit_now_and_no_clock():
+    metrics = ServerMetrics(max_batch_size=1)
+    metrics.mark_busy(0.0)
+    # Without a clock or an explicit now, only the closed accumulation shows.
+    assert metrics.busy_seconds == 0.0
+    assert metrics.busy_seconds_at(4.0) == pytest.approx(4.0)
+    assert metrics.snapshot(now=4.0)["busy_seconds"] == pytest.approx(4.0)
+    metrics.mark_idle(6.0)
+    assert metrics.busy_seconds == pytest.approx(6.0)
+
+
+def test_server_metrics_attribute_api_is_registry_backed():
+    registry = MetricRegistry()
+    metrics = ServerMetrics(max_batch_size=2, registry=registry)
+    metrics.tokens_generated += 5
+    metrics.requests_submitted += 1
+    metrics.record_ttft(0.003)
+    assert registry.snapshot()["serve.tokens_generated"] == 5
+    assert registry.snapshot()["serve.requests_submitted"] == 1
+    assert registry.snapshot()["serve.ttft_s"]["count"] == 1
+    assert metrics.tokens_generated == 5
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: the wired subsystems under one fake clock
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def flow():
+    from repro.obs.report import run_obs_flow
+
+    obs, summary = run_obs_flow(obs=Observability(clock=FakeClock(tick=0.001)),
+                                epochs=2, items=2, decode_tokens=4)
+    return obs, summary
+
+
+def test_obs_flow_span_tree_structure(flow):
+    obs, _ = flow
+    (root,) = obs.tracer.roots
+    assert root.name == "obs_report.flow"
+    assert [c.name for c in root.children] == [
+        "obs_report.train", "obs_report.merge", "obs_report.serve",
+        "obs_report.eval", "obs_report.rag"]
+    # Exact nesting: train.fit holds one train.epoch per epoch.
+    (fit,) = root.find("train.fit")
+    assert [c.name for c in fit.children] == ["train.epoch", "train.epoch"]
+    assert fit.meta == {"epochs": 2, "sequences": 8}
+    # The merge stage planned once and evaluated once.
+    assert len(root.find("merge.plan")) == 1
+    (evaluate,) = root.find("merge.evaluate")
+    assert evaluate.meta == {"lam": 0.6}
+    # Serving: every decode step span carries the batch size, and the
+    # prefill spans account cached-prefix reuse.
+    decode_spans = root.find("serve.decode_step")
+    assert decode_spans and all(s.meta["batch"] >= 1 for s in decode_spans)
+    prefills = root.find("serve.prefill")
+    assert len(prefills) == 4  # one per served prompt
+    assert sum(s.meta["reused"] for s in prefills) > 0
+    # Eval + RAG stages nested their per-item / per-phase spans.
+    assert len(root.find("eval.openroad.item")) == 2
+    for name in ("rag.dense", "rag.bm25", "rag.fuse", "rag.rerank"):
+        assert len(root.find(name)) == 1, name
+
+
+def test_obs_flow_registry_exact_counts(flow):
+    obs, summary = flow
+    snap = obs.registry.snapshot()
+    assert snap["train.epochs"] == 2
+    assert snap["train.steps"] == summary["train_steps"]
+    assert snap["merge.plans"] == 1
+    assert snap["merge.evaluations"] == 1
+    assert snap["merge.tensors_merged"] == summary["merged_tensors"]
+    # 2 endpoints x float64 x params processed in one evaluation.
+    assert snap["merge.bytes_processed"] == 16 * snap["merge.params_planned"]
+    assert snap["serve.requests_submitted"] == 4
+    assert snap["serve.requests_finished"] == 4
+    assert snap["serve.tokens_generated"] == summary["served_tokens"]
+    assert snap["serve.ttft_s"]["count"] == 4
+    assert snap["eval.openroad.items"] == 2
+    assert snap["eval.openroad.rouge_l"] == summary["eval_rouge_l"]
+    assert snap["rag.queries"] == 1
+
+
+def test_obs_flow_is_deterministic_under_fake_clock():
+    """Two runs under identical fake clocks produce byte-identical span
+    trees and registry snapshots — the obs-report CLI contract."""
+    from repro.obs.report import run_obs_flow
+
+    def run():
+        obs, _ = run_obs_flow(
+            obs=Observability(clock=FakeClock(tick=0.001)),
+            epochs=2, items=2, decode_tokens=4)
+        return obs.tracer.to_jsonl(), obs.registry.to_json()
+
+    assert run() == run()

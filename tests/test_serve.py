@@ -122,6 +122,70 @@ def test_batched_engine_rejects_overflow(model):
 
 
 # ---------------------------------------------------------------------------
+# differential parity sweep: exact vs fused decode
+# ---------------------------------------------------------------------------
+
+
+PARITY_BATCH_SIZES = (1, 3, len(MIXED_PROMPTS))
+PARITY_SAMPLERS = (
+    ("greedy", {}),
+    ("top_k", {"temperature": 0.8, "top_k": 3}),
+    ("top_p", {"temperature": 0.9, "top_p": 0.85}),
+)
+#: Long shared prefix (>= prefix_min_tokens) so the cached variant takes the
+#: prefix-cache *hit* path; MIXED_PROMPTS share only the BOS token, so their
+#: cached variant exercises the *miss* path.
+PARITY_SHARED_PROMPTS = tuple((1, 7, 8, 9, 10, 11) + (t,)
+                              for t in (7, 8, 9, 5, 6, 10))
+
+
+def _parity_burst(model, prompts, decode_mode, prefix_cache, batch, kwargs):
+    server = InProcessServer(model, config=ServeConfig(
+        decode_mode=decode_mode, prefix_cache=prefix_cache,
+        prefix_min_tokens=4, max_batch_size=batch), eos_id=2)
+    ids = [server.submit(p, params=SamplingParams(max_new_tokens=8,
+                                                  seed=300 + i, **kwargs))
+           for i, p in enumerate(prompts)]
+    server.run_until_idle()
+    outs = [list(server.result(r).token_ids) for r in ids]
+    return outs, server.metrics_snapshot()
+
+
+@pytest.mark.parametrize("batch", PARITY_BATCH_SIZES)
+@pytest.mark.parametrize("sampler,kwargs", PARITY_SAMPLERS,
+                         ids=[name for name, _ in PARITY_SAMPLERS])
+def test_differential_exact_vs_fused_parity(model, batch, sampler, kwargs):
+    """Differential sweep: fused decode must be token-identical to exact
+    decode for every batch size x sampler x prefix-cache combination.
+
+    Exact mode replays the single-sequence math and is the ground truth;
+    fused mode shares one batched forward, so this pins down the claim that
+    its float-tolerance drift never flips a sampled token on a trained
+    model.  Sampled runs draw from per-request seeded RNGs, so the streams
+    are comparable draw-for-draw across modes.
+    """
+    for prompts, want_hits in ((MIXED_PROMPTS, False),
+                               (PARITY_SHARED_PROMPTS, True)):
+        exact_uncached, _ = _parity_burst(
+            model, prompts, "exact", False, batch, kwargs)
+        results = {}
+        for mode in ("exact", "fused"):
+            results[mode], snap = _parity_burst(
+                model, prompts, mode, True, batch, kwargs)
+            if want_hits:
+                assert snap["cached_prefix_tokens"] > 0, (mode, batch, sampler)
+            else:
+                assert snap["cached_prefix_tokens"] == 0, (mode, batch, sampler)
+        # Fused == exact under identical cache behaviour, and the cache
+        # itself never changes tokens relative to the uncached ground truth.
+        assert results["fused"] == results["exact"], (batch, sampler)
+        assert results["exact"] == exact_uncached, (batch, sampler)
+        # The sweep must exercise real decodes, not a wall of instant-EOS
+        # completions.
+        assert sum(len(out) for out in results["exact"]) >= len(prompts)
+
+
+# ---------------------------------------------------------------------------
 # prefix cache
 # ---------------------------------------------------------------------------
 
@@ -391,11 +455,16 @@ def test_run_serve_benchmark_structure(model):
                         seed=1)
     result = run_serve_benchmark(model, spec,
                                  config=ServeConfig(max_batch_size=4))
-    assert set(result) == {"serial", "served", "speedup"}
+    assert set(result) == {"serial", "served", "speedup", "registry"}
     assert result["serial"]["tokens"] > 0
     assert result["served"]["tokens"] > 0
     assert result["speedup"] > 0
     assert len(synthetic_prompts(spec)) == 4
+    # The registry snapshot mirrors the classic metrics snapshot.
+    assert result["registry"]["serve.requests_finished"] == 4
+    assert (result["registry"]["serve.tokens_generated"]
+            == result["served"]["tokens"])
+    assert result["registry"]["serve.ttft_s"]["count"] == 4
 
 
 def test_request_validation():

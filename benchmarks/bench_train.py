@@ -1,0 +1,59 @@
+"""Training — fused single-node kernels vs. the composed autograd graph.
+
+The acceptance workload from the fused-kernel design: >= 10 optimiser steps
+at the ``grande`` backbone (the largest preset, playing LLaMA2-70B's role)
+on fixed-length synthetic batches.  Both sides start from identical weights
+and consume identical batches; they differ only in ``use_fused``, so the
+loss curves must agree to float32 tolerance while the fused side finishes
+each step roughly twice as fast (fused attention with a recomputation-free
+backward, whole-head fused loss, folded RMSNorm weights, workspace reuse).
+
+Timing rounds are interleaved (fused fit, composed fit, repeated) with the
+min taken per side, which discards co-tenant load spikes without favouring
+either arm.  The report — steps/sec, tokens/sec, speedup, loss divergence,
+and the fused run's kernel-counter registry — is written to
+``BENCH_train.json`` at the repo root as the first perf-trajectory snapshot.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from benchmarks.conftest import FULL, print_result
+from repro.nn.train_bench import (format_train_report, run_train_benchmark,
+                                  write_snapshot)
+
+#: Where the perf-trajectory snapshot lands (repo root, committed).
+SNAPSHOT = Path(__file__).resolve().parent.parent / "BENCH_train.json"
+
+#: Speedup floor asserted against the composed path.  The headline target is
+#: 2x; CI machines are noisy and share cores, so the hard gate leaves margin
+#: while the committed snapshot records the measured number.
+MIN_SPEEDUP = 1.5
+
+
+def test_fused_training_speedup_and_parity(benchmark):
+    result = run_train_benchmark(
+        backbone="grande", steps=10, batch_size=8, vocab=256,
+        repeats=4 if FULL else 2, seed=0)
+    print_result("Training: fused kernels vs composed graph (grande backbone)",
+                 format_train_report(result))
+    print_result("Training: fused-kernel registry snapshot",
+                 json.dumps(result["registry"], indent=2, sort_keys=True))
+    if os.environ.get("REPRO_BENCH_SNAPSHOT", "0") == "1":
+        write_snapshot(result, SNAPSHOT)
+
+    assert result["parity_ok"], (
+        f"fused/composed loss curves diverged: max |diff| = "
+        f"{result['loss_max_abs_diff']:.2e}")
+    assert result["speedup"] >= MIN_SPEEDUP, (
+        f"expected >= {MIN_SPEEDUP}x per-step speedup, "
+        f"got {result['speedup']:.2f}x")
+    # The fused run must actually have gone through the kernels.
+    registry = result["registry"]
+    assert any(name.startswith("kernels.") for name in registry), (
+        f"no kernel counters in registry: {sorted(registry)}")
+
+    benchmark(lambda: run_train_benchmark(
+        backbone="grande", steps=2, batch_size=4, vocab=256, repeats=1,
+        seed=0))

@@ -9,6 +9,7 @@ Subcommands mirror how an adopter would actually use the release:
 * ``table``   — regenerate one of the paper's tables or figures;
 * ``merge-sweep`` — time a λ sweep, naive loop vs the merge engine;
 * ``serve-bench`` — serial vs. batched+prefix-cached serving throughput;
+* ``bench-train`` — fused-kernel vs. composed-graph training-step timing;
 * ``obs-report`` — end-to-end train→merge→serve→eval→rag flow with the
   observability layer on: span tree + metric registry snapshot.
 """
@@ -243,6 +244,26 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_train(args: argparse.Namespace) -> int:
+    from .nn.train_bench import (format_train_report, run_train_benchmark,
+                                 write_snapshot)
+
+    try:
+        result = run_train_benchmark(
+            backbone=args.backbone, steps=args.steps,
+            batch_size=args.batch_size, seq_len=args.seq_len,
+            vocab=args.vocab, repeats=args.repeats, seed=args.seed,
+            lr=args.lr)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_train_report(result))
+    if args.json:
+        write_snapshot(result, args.json)
+        print(f"snapshot written to {args.json}")
+    return 0 if result["parity_ok"] else 1
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     from .obs import Observability
     from .obs.report import run_obs_flow
@@ -358,6 +379,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="model vocabulary size (random weights)")
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.set_defaults(fn=_cmd_serve_bench)
+
+    p_btrain = sub.add_parser(
+        "bench-train",
+        help="time training steps with fused kernels on vs off")
+    p_btrain.add_argument("--backbone", default="grande",
+                          choices=("nano", "micro", "grande"))
+    p_btrain.add_argument("--steps", type=int, default=10,
+                          help="optimiser steps per timed fit")
+    p_btrain.add_argument("--batch-size", type=int, default=8,
+                          help="sequences per step")
+    p_btrain.add_argument("--seq-len", type=int, default=None,
+                          help="tokens per sequence (default: context window)")
+    p_btrain.add_argument("--vocab", type=int, default=256,
+                          help="model vocabulary size (random weights)")
+    p_btrain.add_argument("--repeats", type=int, default=3,
+                          help="interleaved timing rounds (min per side)")
+    p_btrain.add_argument("--lr", type=float, default=1e-3)
+    p_btrain.add_argument("--seed", type=int, default=0)
+    p_btrain.add_argument("--json", type=Path, default=None,
+                          help="also write the report as a JSON snapshot")
+    p_btrain.set_defaults(fn=_cmd_bench_train)
 
     p_obs = sub.add_parser(
         "obs-report",

@@ -7,7 +7,12 @@ assume.  See DESIGN.md §1 for the substitution rationale.
 from .tensor import Tensor, no_grad, cat, stack, where
 from .module import Module, ModuleList, Parameter
 from .layers import Dropout, Embedding, FeedForward, LayerNorm, Linear, RMSNorm
-from .attention import MultiHeadSelfAttention, causal_mask
+from .attention import MultiHeadSelfAttention, RopeTable, causal_mask
+from .kernels import (attention_nograd, fused_attention, fused_attention_qkv,
+                      fused_attn_block, fused_cross_entropy, fused_gateup,
+                      fused_linear, fused_lm_loss, fused_mlp_block,
+                      fused_rms_norm, fused_swiglu, kernel_observability,
+                      kernel_workspace, set_kernel_observability)
 from .transformer import TransformerConfig, TransformerLM, preset_config
 from .tokenizer import BPETokenizer, WordTokenizer
 from .optim import SGD, Adam, AdamW, CosineSchedule, clip_grad_norm
@@ -23,7 +28,11 @@ __all__ = [
     "Tensor", "no_grad", "cat", "stack", "where",
     "Module", "ModuleList", "Parameter",
     "Dropout", "Embedding", "FeedForward", "LayerNorm", "Linear", "RMSNorm",
-    "MultiHeadSelfAttention", "causal_mask",
+    "MultiHeadSelfAttention", "RopeTable", "causal_mask",
+    "attention_nograd", "fused_attention", "fused_attention_qkv",
+    "fused_attn_block", "fused_cross_entropy", "fused_gateup", "fused_linear",
+    "fused_lm_loss", "fused_mlp_block", "fused_rms_norm", "fused_swiglu",
+    "kernel_observability", "kernel_workspace", "set_kernel_observability",
     "TransformerConfig", "TransformerLM", "preset_config",
     "BPETokenizer", "WordTokenizer",
     "SGD", "Adam", "AdamW", "CosineSchedule", "clip_grad_norm",

@@ -2,19 +2,19 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from . import functional as F
+from . import kernels
+from .kernels import causal_mask  # re-exported; cached per seq length
 from .layers import Linear
 from .module import Module
 from .tensor import Tensor, cat
 
-
-def causal_mask(seq_len: int) -> np.ndarray:
-    """Boolean mask that is True at positions a query may NOT attend to."""
-    return np.triu(np.ones((seq_len, seq_len), dtype=bool), k=1)
+__all__ = ["MultiHeadSelfAttention", "RopeTable", "apply_rope",
+           "causal_mask", "rope_cache"]
 
 
 def rope_cache(seq_len: int, head_dim: int, base: float = 10000.0):
@@ -32,6 +32,47 @@ def rope_cache(seq_len: int, head_dim: int, base: float = 10000.0):
     cos = np.concatenate([np.cos(angles), np.cos(angles)], axis=-1)
     sin = np.concatenate([np.sin(angles), np.sin(angles)], axis=-1)
     return cos, sin
+
+
+class RopeTable:
+    """RoPE cos/sin tables grown geometrically with per-dtype cast caching.
+
+    The float64 master tables cover the next power of two ``>= seq``, so a
+    sequence one token longer than the last regrow does not rebuild the
+    trigonometry again; repeated forwards at mixed lengths just slice.  Casts
+    to the model dtype happen once per (dtype, capacity) rather than per
+    forward.
+    """
+
+    def __init__(self, head_dim: int, base: float = 10000.0,
+                 initial_len: int = 0) -> None:
+        self.head_dim = head_dim
+        self.base = base
+        self.capacity = 0
+        self._cos64: Optional[np.ndarray] = None
+        self._sin64: Optional[np.ndarray] = None
+        self._cast: Dict[np.dtype, Tuple[np.ndarray, np.ndarray]] = {}
+        if initial_len:
+            self._grow(initial_len)
+
+    def _grow(self, needed: int) -> None:
+        capacity = 1
+        while capacity < needed:
+            capacity *= 2
+        self._cos64, self._sin64 = rope_cache(capacity, self.head_dim, self.base)
+        self.capacity = capacity
+        self._cast.clear()
+
+    def get(self, seq_len: int, dtype) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(cos, sin)`` views of shape ``(seq_len, head_dim)``."""
+        if seq_len > self.capacity:
+            self._grow(seq_len)
+        key = np.dtype(dtype)
+        pair = self._cast.get(key)
+        if pair is None:
+            pair = (self._cos64.astype(key), self._sin64.astype(key))
+            self._cast[key] = pair
+        return pair[0][:seq_len], pair[1][:seq_len]
 
 
 def apply_rope(x: Tensor, cos: np.ndarray, sin: np.ndarray) -> Tensor:
@@ -56,10 +97,17 @@ class MultiHeadSelfAttention(Module):
     absolute-position variant (positions must then come from an external
     positional embedding).  Projections are bias-free, matching the
     LLaMA-family architectures whose weights the paper merges.
+
+    With ``use_fused=True`` (the default) the RoPE rotation, head split,
+    score/mask/softmax/@V chain and head merge run as a single autograd node
+    (:func:`repro.nn.kernels.fused_attention`); ``use_fused=False`` keeps the
+    composed-op graph, which the fused kernel is differentially tested
+    against.
     """
 
     def __init__(self, dim: int, n_heads: int, seed: Optional[int] = None,
-                 rope: bool = True, max_seq_len: int = 4096) -> None:
+                 rope: bool = True, max_seq_len: int = 4096,
+                 use_fused: bool = True) -> None:
         super().__init__()
         if dim % n_heads != 0:
             raise ValueError(f"dim={dim} must be divisible by n_heads={n_heads}")
@@ -67,37 +115,62 @@ class MultiHeadSelfAttention(Module):
         self.n_heads = n_heads
         self.head_dim = dim // n_heads
         self.rope = rope
+        self.use_fused = use_fused
         rng = np.random.default_rng(seed)
         seeds = rng.integers(0, 2 ** 31 - 1, size=4)
-        self.q_proj = Linear(dim, dim, bias=False, seed=int(seeds[0]))
-        self.k_proj = Linear(dim, dim, bias=False, seed=int(seeds[1]))
-        self.v_proj = Linear(dim, dim, bias=False, seed=int(seeds[2]))
-        self.o_proj = Linear(dim, dim, bias=False, seed=int(seeds[3]))
-        if rope:
-            self._cos, self._sin = rope_cache(max_seq_len, self.head_dim)
-        else:
-            self._cos = self._sin = None
+        self.q_proj = Linear(dim, dim, bias=False, seed=int(seeds[0]),
+                             use_fused=use_fused)
+        self.k_proj = Linear(dim, dim, bias=False, seed=int(seeds[1]),
+                             use_fused=use_fused)
+        self.v_proj = Linear(dim, dim, bias=False, seed=int(seeds[2]),
+                             use_fused=use_fused)
+        self.o_proj = Linear(dim, dim, bias=False, seed=int(seeds[3]),
+                             use_fused=use_fused)
+        self._rope_table = (RopeTable(self.head_dim, initial_len=max_seq_len)
+                            if rope else None)
 
     def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
         # (B, T, D) -> (B, H, T, Dh)
         return x.reshape(batch, seq, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
 
+    def _plain_qkv(self) -> bool:
+        """Whether q/k/v are unwrapped bias-free Linears (packable weights)."""
+        return all(type(p) is Linear and p.bias is None
+                   for p in (self.q_proj, self.k_proj, self.v_proj))
+
     def forward(self, x: Tensor) -> Tensor:
         batch, seq, _ = x.shape
-        q = self._split_heads(self.q_proj(x), batch, seq)
-        k = self._split_heads(self.k_proj(x), batch, seq)
-        v = self._split_heads(self.v_proj(x), batch, seq)
-
+        cos = sin = None
         if self.rope:
-            if seq > self._cos.shape[0]:
-                self._cos, self._sin = rope_cache(seq, self.head_dim)
-            cos = self._cos[:seq].astype(q.data.dtype)
-            sin = self._sin[:seq].astype(q.data.dtype)
+            cos, sin = self._rope_table.get(seq, x.data.dtype)
+
+        if self.use_fused and self._plain_qkv():
+            # Projections and attention in one node: one packed QKV GEMM.
+            ctx = kernels.fused_attention_qkv(
+                x, self.q_proj.weight, self.k_proj.weight, self.v_proj.weight,
+                self.n_heads, rope_cos=cos, rope_sin=sin)
+            return self.o_proj(ctx)
+
+        q = self.q_proj(x)
+        k = self.k_proj(x)
+        v = self.v_proj(x)
+
+        if self.use_fused:
+            # Wrapped projections (e.g. LoRA adapters): project through the
+            # modules, keep the attention core fused.
+            ctx = kernels.fused_attention(q, k, v, self.n_heads,
+                                          rope_cos=cos, rope_sin=sin)
+            return self.o_proj(ctx)
+
+        # Composed reference path: every op is its own autograd node.
+        q = self._split_heads(q, batch, seq)
+        k = self._split_heads(k, batch, seq)
+        v = self._split_heads(v, batch, seq)
+        if self.rope:
             q = apply_rope(q, cos, sin)
             k = apply_rope(k, cos, sin)
-
         scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
-        scores = F.masked_fill(scores, causal_mask(seq), -1e30)
+        scores = F.masked_fill(scores, causal_mask(seq), kernels.MASK_VALUE)
         attn = F.softmax(scores, axis=-1)
         ctx = attn @ v  # (B, H, T, Dh)
         merged = ctx.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from .attention import rope_cache
+from .kernels import attention_nograd
 from .sampling import sample_next, softmax as _softmax
 from .transformer import TransformerLM
 
@@ -163,16 +164,10 @@ class InferenceEngine:
             q = self._apply_rope(q, start)
             k = self._apply_rope(k, start)
             cache.append(k, v)
-            scores = q @ cache.k.transpose(0, 2, 1) / np.sqrt(self.head_dim)
-            total = cache.length
-            if t > 1:
-                # Causal mask within the new block (earlier cache is fully visible).
-                mask = np.triu(np.ones((t, t), dtype=bool), k=1)
-                full = np.zeros((t, total), dtype=bool)
-                full[:, total - t:] = mask
-                scores = np.where(full, -1e30, scores)
-            attn = _softmax(scores, axis=-1)
-            ctx = (attn @ cache.v).transpose(1, 0, 2).reshape(t, -1)
+            # Fused no-grad attention: mask only the new block (the earlier
+            # cache is fully visible), softmax in the scores buffer.
+            ctx = attention_nograd(q, cache.k, cache.v,
+                                   causal_tail=t).transpose(1, 0, 2).reshape(t, -1)
             x = x + ctx @ layer["o"].T
             h = _rms_norm(x, layer["mlp_norm"])
             x = x + (_silu(h @ layer["gate"].T) * (h @ layer["up"].T)) @ layer["down"].T

@@ -16,19 +16,29 @@ def _init_rng(seed: Optional[int]) -> np.random.Generator:
 
 
 class Linear(Module):
-    """Affine map ``y = x W^T + b`` with Kaiming-style initialisation."""
+    """Affine map ``y = x W^T + b`` with Kaiming-style initialisation.
+
+    The projection runs through :func:`repro.nn.kernels.fused_linear` — one
+    autograd node whose weight gradient is a single batch-collapsed GEMM —
+    unless ``use_fused=False`` selects the composed transpose/matmul/add
+    reference graph the kernel is differentially tested against.
+    """
 
     def __init__(self, in_features: int, out_features: int, bias: bool = True,
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None, use_fused: bool = True) -> None:
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
+        self.use_fused = use_fused
         rng = _init_rng(seed)
         scale = 1.0 / np.sqrt(in_features)
         self.weight = Parameter(rng.uniform(-scale, scale, size=(out_features, in_features)))
         self.bias = Parameter(np.zeros(out_features)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
+        if self.use_fused:
+            from .kernels import fused_linear
+            return fused_linear(x, self.weight, self.bias)
         out = x @ self.weight.swapaxes(0, 1)
         if self.bias is not None:
             out = out + self.bias
@@ -74,15 +84,25 @@ class LayerNorm(Module):
 
 
 class RMSNorm(Module):
-    """Root-mean-square normalisation (LLaMA-style; no mean subtraction)."""
+    """Root-mean-square normalisation (LLaMA-style; no mean subtraction).
 
-    def __init__(self, dim: int, eps: float = 1e-6) -> None:
+    ``use_fused=True`` (default) computes the whole normalisation as a single
+    autograd node (:func:`repro.nn.kernels.fused_rms_norm`) saving only the
+    per-row inverse RMS; ``use_fused=False`` keeps the composed-op reference
+    graph (~6 nodes) the kernel is differentially tested against.
+    """
+
+    def __init__(self, dim: int, eps: float = 1e-6, use_fused: bool = True) -> None:
         super().__init__()
         self.dim = dim
         self.eps = eps
+        self.use_fused = use_fused
         self.weight = Parameter(np.ones(dim))
 
     def forward(self, x: Tensor) -> Tensor:
+        if self.use_fused:
+            from .kernels import fused_rms_norm
+            return fused_rms_norm(x, self.weight, self.eps)
         ms = (x ** 2.0).mean(axis=-1, keepdims=True)
         return x * (ms + self.eps) ** -0.5 * self.weight
 
@@ -100,15 +120,35 @@ class Dropout(Module):
 
 
 class FeedForward(Module):
-    """Gated MLP block (SwiGLU-style), matching LLaMA-family transformer blocks."""
+    """Gated MLP block (SwiGLU-style), matching LLaMA-family transformer blocks.
 
-    def __init__(self, dim: int, hidden_dim: int, seed: Optional[int] = None) -> None:
+    ``use_fused=True`` (default) computes ``silu(gate) * up`` as a single
+    autograd node (:func:`repro.nn.kernels.fused_swiglu`); the projections
+    stay composed matmuls either way.
+    """
+
+    def __init__(self, dim: int, hidden_dim: int, seed: Optional[int] = None,
+                 use_fused: bool = True) -> None:
         super().__init__()
         rng = _init_rng(seed)
         seeds = rng.integers(0, 2 ** 31 - 1, size=3)
-        self.gate_proj = Linear(dim, hidden_dim, bias=False, seed=int(seeds[0]))
-        self.up_proj = Linear(dim, hidden_dim, bias=False, seed=int(seeds[1]))
-        self.down_proj = Linear(hidden_dim, dim, bias=False, seed=int(seeds[2]))
+        self.use_fused = use_fused
+        self.gate_proj = Linear(dim, hidden_dim, bias=False, seed=int(seeds[0]),
+                                use_fused=use_fused)
+        self.up_proj = Linear(dim, hidden_dim, bias=False, seed=int(seeds[1]),
+                              use_fused=use_fused)
+        self.down_proj = Linear(hidden_dim, dim, bias=False, seed=int(seeds[2]),
+                                use_fused=use_fused)
 
     def forward(self, x: Tensor) -> Tensor:
+        if self.use_fused:
+            gate, up = self.gate_proj, self.up_proj
+            if type(gate) is Linear and gate.bias is None \
+                    and type(up) is Linear and up.bias is None:
+                # Plain projections: pack both into one GEMM + gate node.
+                from .kernels import fused_gateup
+                return self.down_proj(fused_gateup(x, gate.weight, up.weight))
+            # Wrapped projections (e.g. LoRA): fuse only the gating.
+            from .kernels import fused_swiglu
+            return self.down_proj(fused_swiglu(gate(x), up(x)))
         return self.down_proj(F.silu(self.gate_proj(x)) * self.up_proj(x))

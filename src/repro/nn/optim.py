@@ -60,22 +60,37 @@ class Adam(Optimizer):
         self.t = 0
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        # Per-parameter scratch reused every step — the update itself
+        # allocates nothing.
+        self._s1 = [np.empty_like(p.data) for p in self.params]
+        self._s2 = [np.empty_like(p.data) for p in self.params]
 
-    def _update(self, p: Parameter, m: np.ndarray, v: np.ndarray) -> np.ndarray:
+    def _update(self, p: Parameter, m: np.ndarray, v: np.ndarray,
+                s1: np.ndarray, s2: np.ndarray) -> np.ndarray:
+        # Operation order (and therefore rounding) matches the textbook form
+        # lr·m̂ / (√v̂ + ε) exactly.
+        g = p.grad
         m *= self.beta1
-        m += (1 - self.beta1) * p.grad
+        m += (1 - self.beta1) * g
         v *= self.beta2
-        v += (1 - self.beta2) * p.grad ** 2
-        m_hat = m / (1 - self.beta1 ** self.t)
-        v_hat = v / (1 - self.beta2 ** self.t)
-        return self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        np.multiply(g, g, out=s2)
+        s2 *= 1 - self.beta2
+        v += s2
+        np.divide(v, 1 - self.beta2 ** self.t, out=s1)
+        np.sqrt(s1, out=s1)
+        s1 += self.eps
+        np.divide(m, 1 - self.beta1 ** self.t, out=s2)
+        s2 *= self.lr
+        np.divide(s2, s1, out=s2)
+        return s2
 
     def step(self) -> None:
         self.t += 1
-        for p, m, v in zip(self.params, self._m, self._v):
+        for p, m, v, s1, s2 in zip(self.params, self._m, self._v,
+                                   self._s1, self._s2):
             if p.grad is None:
                 continue
-            p.data -= self._update(p, m, v)
+            p.data -= self._update(p, m, v, s1, s2)
 
 
 class AdamW(Adam):
@@ -88,11 +103,12 @@ class AdamW(Adam):
 
     def step(self) -> None:
         self.t += 1
-        for p, m, v in zip(self.params, self._m, self._v):
+        for p, m, v, s1, s2 in zip(self.params, self._m, self._v,
+                                   self._s1, self._s2):
             if p.grad is None:
                 continue
             p.data -= self.lr * self.weight_decay * p.data
-            p.data -= self._update(p, m, v)
+            p.data -= self._update(p, m, v, s1, s2)
 
 
 class CosineSchedule:
@@ -128,7 +144,9 @@ class CosineSchedule:
 def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
     """Clip gradients in place to a global L2 norm; returns the pre-clip norm."""
     params = [p for p in params if p.grad is not None]
-    total = math.sqrt(sum(float((p.grad ** 2).sum()) for p in params))
+    total = math.sqrt(sum(
+        float(np.dot(g, g)) for p in params
+        for g in (p.grad.reshape(-1),)))
     if total > max_norm and total > 0:
         scale = max_norm / total
         for p in params:

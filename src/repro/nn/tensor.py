@@ -177,6 +177,23 @@ class Tensor:
         else:
             self.grad += grad
 
+    def _accumulate_owned(self, grad: np.ndarray) -> None:
+        """Accumulate a gradient buffer the caller hands over.
+
+        Skips :meth:`_accumulate`'s defensive copy, so it must only be called
+        with freshly allocated arrays that nothing else aliases (the fused
+        kernels' hand-derived backwards qualify; views of another tensor's
+        ``.grad`` do not — a later in-place ``+=`` would corrupt them).
+        """
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            if grad.dtype != self.data.dtype:
+                grad = grad.astype(self.data.dtype)
+            self.grad = grad
+        else:
+            self.grad += grad
+
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
         """Run reverse-mode autodiff from this tensor.
 

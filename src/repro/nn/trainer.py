@@ -14,6 +14,7 @@ import numpy as np
 
 from ..obs import Observability
 from . import functional as F
+from . import kernels
 from .module import Parameter
 from .optim import AdamW, CosineSchedule, clip_grad_norm
 from .transformer import TransformerLM
@@ -37,6 +38,9 @@ class TrainConfig:
     # Group similar-length sequences into batches (minimises padding waste);
     # batch order is still shuffled every epoch.
     bucket_by_length: bool = True
+    # Use the single-node fused cross-entropy kernel for the loss; False
+    # keeps the composed reference implementation (differential testing).
+    use_fused: bool = True
 
 
 @dataclass
@@ -139,6 +143,20 @@ class Trainer:
         self.model.train()
         lengths = np.array([len(s) for s in sequences])
         registry = self.obs.registry
+        # Route fused-kernel spans and saved-bytes counters into this
+        # trainer's observability for the duration of the fit.
+        prev_kernel_obs = kernels.set_kernel_observability(self.obs)
+        try:
+            result = self._fit_epochs(sequences, masks, cfg, rng, schedule,
+                                      lengths, registry, result, total_steps)
+        finally:
+            kernels.set_kernel_observability(prev_kernel_obs)
+        self.model.eval()
+        return result
+
+    def _fit_epochs(self, sequences, masks, cfg, rng, schedule, lengths,
+                    registry, result, total_steps) -> TrainResult:
+        n = len(sequences)
         step = 0
         with self.obs.span("train.fit", epochs=cfg.epochs, sequences=n):
             for epoch in range(cfg.epochs):
@@ -167,20 +185,21 @@ class Trainer:
                         if n_tok == 0:
                             continue
                         schedule.apply(self.optimizer, step)
-                        logits = self.model(inputs)
-                        loss = F.cross_entropy(logits, targets,
-                                               ignore_index=IGNORE_INDEX)
+                        loss = self._loss(inputs, targets)
                         self.optimizer.zero_grad()
                         loss.backward()
                         clip_grad_norm(self.optimizer.params, cfg.grad_clip)
                         self.optimizer.step()
-                        result.losses.append(loss.item())
-                        epoch_losses.append(loss.item())
+                        # One scalar pull per step; .item() is the kind of
+                        # device-sync read that must not run three times.
+                        loss_val = loss.item()
+                        result.losses.append(loss_val)
+                        epoch_losses.append(loss_val)
                         epoch_tokens += n_tok
                         step += 1
                         if cfg.log_every and step % cfg.log_every == 0:
                             print(f"epoch {epoch} step {step}/{total_steps} "
-                                  f"loss {loss.item():.4f}")
+                                  f"loss {loss_val:.4f}")
                 elapsed = self.obs.clock() - epoch_started
                 registry.counter("train.steps").inc(len(epoch_losses))
                 registry.counter("train.tokens").inc(epoch_tokens)
@@ -191,8 +210,21 @@ class Trainer:
                 registry.gauge("train.tokens_per_second").set(
                     epoch_tokens / elapsed if elapsed > 0 else 0.0)
         result.steps = step
-        self.model.eval()
         return result
+
+    def _loss(self, inputs: np.ndarray, targets: np.ndarray):
+        """Batch loss through the fused whole-head node when available.
+
+        With ``config.use_fused`` and a model exposing :meth:`loss` (e.g.
+        :class:`TransformerLM`), the final norm, LM head and cross-entropy
+        run as one autograd node; otherwise the logits are materialized and
+        fed to the (fused or composed) cross-entropy.
+        """
+        if self.config.use_fused and hasattr(self.model, "loss"):
+            return self.model.loss(inputs, targets, ignore_index=IGNORE_INDEX)
+        logits = self.model(inputs)
+        return F.cross_entropy(logits, targets, ignore_index=IGNORE_INDEX,
+                               use_fused=self.config.use_fused)
 
     def evaluate_loss(self, sequences: Sequence[Sequence[int]],
                       masks: Optional[Sequence[Sequence[int]]] = None) -> float:
@@ -210,8 +242,7 @@ class Trainer:
                 n_tok = int((targets != IGNORE_INDEX).sum())
                 if n_tok == 0:
                     continue
-                logits = self.model(inputs)
-                loss = F.cross_entropy(logits, targets, ignore_index=IGNORE_INDEX)
+                loss = self._loss(inputs, targets)
                 total += loss.item() * n_tok
                 count += n_tok
         if count == 0:

@@ -41,7 +41,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..nn.infer import InferenceEngine, _LayerCache, _rms_norm, _silu, _softmax
+from ..nn.infer import InferenceEngine, _LayerCache, _rms_norm, _silu
+from ..nn.kernels import attention_nograd
 from .cache import LayerKV
 
 DECODE_MODES = ("fused", "exact")
@@ -240,10 +241,10 @@ class BatchedEngine(InferenceEngine):
             # One vectorised gather per buffer (ragged rows padded to Tmax).
             k_all = self._slot_k[li][slots, :, :t_max]  # (B, H, Tmax, Dh)
             v_all = self._slot_v[li][slots, :, :t_max]
-            scores = np.matmul(q[:, :, None, :], k_all.transpose(0, 1, 3, 2)) * scale
-            scores = np.where(invalid[:, None, None, :], -1e30, scores)
-            attn = _softmax(scores, axis=-1)
-            ctx = np.matmul(attn, v_all)[:, :, 0, :].reshape(batch, -1)
+            # Fused no-grad attention: mask, softmax and @V in one buffer.
+            ctx = attention_nograd(q[:, :, None, :], k_all, v_all, scale=scale,
+                                   invalid=invalid[:, None, None, :])
+            ctx = ctx[:, :, 0, :].reshape(batch, -1)
             x = x + ctx @ layer["o"].T
             h = _rms_norm(x, layer["mlp_norm"])
             gate_up = h @ self._fused_w[li]["gate_up"].T  # (B, 2*ffn)

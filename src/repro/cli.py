@@ -10,6 +10,7 @@ Subcommands mirror how an adopter would actually use the release:
 * ``merge-sweep`` — time a λ sweep, naive loop vs the merge engine;
 * ``serve-bench`` — serial vs. batched+prefix-cached serving throughput;
 * ``bench-train`` — fused-kernel vs. composed-graph training-step timing;
+* ``bench-parallel`` — WorkerPool eval fan-out vs. the serial item loop;
 * ``obs-report`` — end-to-end train→merge→serve→eval→rag flow with the
   observability layer on: span tree + metric registry snapshot.
 """
@@ -264,6 +265,31 @@ def _cmd_bench_train(args: argparse.Namespace) -> int:
     return 0 if result["parity_ok"] else 1
 
 
+def _cmd_bench_parallel(args: argparse.Namespace) -> int:
+    from .parallel import parallel_available
+    from .parallel.bench import (format_parallel_report,
+                                 run_parallel_benchmark, write_snapshot)
+
+    if not parallel_available():
+        print("error: this platform cannot fork worker processes",
+              file=sys.stderr)
+        return 2
+    try:
+        result = run_parallel_benchmark(
+            backbone=args.backbone, workers=args.workers,
+            n_items=args.items, max_new_tokens=args.max_new_tokens,
+            repeats=args.repeats, seed=args.seed)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_parallel_report(result))
+    if args.json:
+        write_snapshot(result, args.json)
+        print(f"snapshot written to {args.json}")
+    ok = result["parity_ok"] and not result["leaked_segments"]
+    return 0 if ok else 1
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     from .obs import Observability
     from .obs.report import run_obs_flow
@@ -400,6 +426,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_btrain.add_argument("--json", type=Path, default=None,
                           help="also write the report as a JSON snapshot")
     p_btrain.set_defaults(fn=_cmd_bench_train)
+
+    p_bpar = sub.add_parser(
+        "bench-parallel",
+        help="time the OpenROAD QA eval with a worker pool vs serially")
+    p_bpar.add_argument("--backbone", default="grande",
+                        choices=("nano", "micro", "grande"))
+    p_bpar.add_argument("--workers", type=int, default=4,
+                        help="pool size for the parallel arm")
+    p_bpar.add_argument("--items", type=int, default=None,
+                        help="cap on eval items (default: all 90)")
+    p_bpar.add_argument("--max-new-tokens", type=int, default=24,
+                        help="decode budget per answer")
+    p_bpar.add_argument("--repeats", type=int, default=3,
+                        help="interleaved timing rounds (min per side)")
+    p_bpar.add_argument("--seed", type=int, default=0)
+    p_bpar.add_argument("--json", type=Path, default=None,
+                        help="also write the report as a JSON snapshot")
+    p_bpar.set_defaults(fn=_cmd_bench_parallel)
 
     p_obs = sub.add_parser(
         "obs-report",

@@ -26,11 +26,15 @@ and the geometric-mean rescale :math:`\\mathrm{Norm}_{chip}^{\\lambda}
    projections, no norms, no angles.
 
 A whole sweep evaluates all L λ points tensor-at-a-time into one
-``(L, n)`` row block per tensor.  For very large state dicts the sweep can
-fan tensors out
-across ``fork``-ed worker processes (``n_workers``), and
-:meth:`GeodesicMergeEngine.isweep` can reuse one set of preallocated output
-buffers across λ points to cap peak memory at a single merged model.
+``(L, n)`` row block per tensor.  With ``n_workers > 1`` the plan's
+buffers are published once into a shared-memory
+:class:`~repro.parallel.TensorArena` and evaluated by a fault-tolerant
+:class:`~repro.parallel.WorkerPool` attached to zero-copy views of that
+plan — :meth:`GeodesicMergeEngine.sweep` fans out tensors (keeping each
+one-pass GEMM intact), :meth:`GeodesicMergeEngine.isweep` fans out λ
+points and streams merged models back in λ order.  Serial ``isweep`` can
+instead reuse one set of preallocated output buffers across λ points to
+cap peak memory at a single merged model.
 
 Numerical contract: evaluation performs the same float64 operations as
 :func:`repro.core.geodesic.geodesic_merge` up to re-association of the
@@ -46,7 +50,6 @@ engine.
 from __future__ import annotations
 
 import fnmatch
-import os
 from collections import OrderedDict
 from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
                     Sequence, Tuple)
@@ -145,15 +148,20 @@ class TensorPlan:
 
     def coefficient_matrix(self, lams: np.ndarray) -> np.ndarray:
         """The ``(L, 2)`` coefficient rows for a whole sweep at once
-        (``KIND_SLERP`` / ``KIND_LINEAR`` only)."""
+        (``KIND_SLERP`` / ``KIND_LINEAR`` only).
+
+        Rows are computed λ-at-a-time with the scalar :meth:`coefficients`
+        path rather than vectorised ufuncs: numpy's SIMD ``sin``/``pow``
+        loops pick different code paths for different array lengths and
+        drift by an ULP, which would make a sweep's bits depend on how its
+        λ points were blocked across workers.  The scalars are O(L) against
+        an O(L·n) GEMM, so the cost is noise.
+        """
         lams = np.asarray(lams, dtype=np.float64)
         if self.kind == KIND_LINEAR:
             return np.stack([lams, 1.0 - lams], axis=1)
-        scale = self.norm_chip ** lams * self.norm_instruct ** (1.0 - lams)
-        coeff_chip = np.sin(lams * self.theta) / self.sin_theta
-        coeff_instruct = np.sin((1.0 - lams) * self.theta) / self.sin_theta
-        return np.stack([scale * coeff_chip / self.norm_chip,
-                         scale * coeff_instruct / self.norm_instruct], axis=1)
+        return np.asarray([self.coefficients(float(lam)) for lam in lams],
+                          dtype=np.float64)
 
     def evaluate_sweep(self, lams: np.ndarray) -> np.ndarray:
         """All sweep points as an ``(L, n)`` matrix.
@@ -250,20 +258,60 @@ def _plan_tensor(key: str, w_chip: np.ndarray, w_instruct: np.ndarray) -> Tensor
 
 
 # ---------------------------------------------------------------------------
-# multiprocessing fan-out (fork-only; the plan is inherited by the children)
+# multiprocessing fan-out: the plan's buffers live in a shared-memory
+# TensorArena; workers attach zero-copy views and evaluate λ chunks.
 # ---------------------------------------------------------------------------
 
-_ACTIVE_PLAN: Optional[MergePlan] = None
+#: Worker-side plan rebuilt over arena views by :func:`_sweep_worker_init`.
+_WORKER_PLAN: Optional[MergePlan] = None
+_WORKER_VIEW = None
 
 
-def _sweep_chunk(args: Tuple[List[str], np.ndarray]) -> Dict[str, np.ndarray]:
-    keys, lams = args
-    assert _ACTIVE_PLAN is not None
-    return {key: _ACTIVE_PLAN.tensors[key].evaluate_sweep(lams) for key in keys}
+def _sweep_worker_init(handle, metas) -> None:
+    """Pool initializer: attach the arena and rebuild the plan over views.
+
+    ``metas`` carries the λ-independent scalars (kind, shape, norms, Θ);
+    the (2, n) stacked buffers and excluded raw tensors are read straight
+    out of shared memory — the plan crosses the process border as a few
+    hundred bytes however large the models are.
+    """
+    global _WORKER_PLAN, _WORKER_VIEW
+    _WORKER_VIEW = handle.attach()
+    tensors: "OrderedDict[str, TensorPlan]" = OrderedDict()
+    for (key, kind, shape, norm_chip, norm_instruct, theta, sin_theta,
+         has_stacked, has_raw) in metas:
+        stacked = _WORKER_VIEW.get(f"stacked.{key}") if has_stacked else None
+        raw = _WORKER_VIEW.get(f"raw.{key}") if has_raw else None
+        tensors[key] = TensorPlan(key, kind, tuple(shape), stacked=stacked,
+                                  norm_chip=norm_chip,
+                                  norm_instruct=norm_instruct, theta=theta,
+                                  sin_theta=sin_theta, raw_chip=raw)
+    _WORKER_PLAN = MergePlan(tensors)
 
 
-def _fork_available() -> bool:
-    return hasattr(os, "fork")
+def _sweep_tensor_key(key: str) -> np.ndarray:
+    """Evaluate one tensor's full λ sweep against the shared plan.
+
+    The sweep's λ points ride the fork-inherited task context rather than
+    each task's payload.  Parallelising over *tensors* (not λ blocks) keeps
+    every ``(L, n)`` GEMM identical to the serial call — BLAS picks
+    different kernels for different row counts (a lone λ row goes through
+    GEMV and drifts by an ULP), so splitting L would break bit-parity.
+    """
+    from ..parallel import get_task_context
+
+    assert _WORKER_PLAN is not None, "worker initializer did not run"
+    lams = np.asarray(get_task_context()["sweep_lams"], dtype=np.float64)
+    return _WORKER_PLAN.tensors[key].evaluate_sweep(lams)
+
+
+def _merge_point(lam: float) -> "OrderedDict[str, np.ndarray]":
+    """Evaluate one λ against the shared plan: a full merged state dict."""
+    assert _WORKER_PLAN is not None, "worker initializer did not run"
+    merged: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for plan in _WORKER_PLAN:
+        merged[plan.key] = plan.evaluate(float(lam))
+    return merged
 
 
 class GeodesicMergeEngine:
@@ -277,10 +325,12 @@ class GeodesicMergeEngine:
         fnmatch patterns; matching tensors are copied from ``chip`` unmerged
         (mirrors :func:`~repro.core.merge.merge_state_dicts`).
     n_workers:
-        Default process fan-out for :meth:`sweep`.  ``None``/``1`` keeps
-        everything in-process; >1 forks workers that each evaluate a chunk
-        of tensors (worth it only for large state dicts — results are
-        pickled back).  Ignored where ``fork`` is unavailable.
+        Default process fan-out for :meth:`sweep` / :meth:`isweep`.
+        ``None``/``1`` keeps everything in-process; >1 publishes the plan
+        into a shared-memory arena and forks a worker pool that evaluates
+        λ blocks against zero-copy views (worth it only for large state
+        dicts — results are pickled back).  Ignored where ``fork`` is
+        unavailable.
     obs:
         Shared :class:`~repro.obs.Observability`; planning and every
         evaluation record ``merge.*`` spans and counters (tensors and
@@ -313,12 +363,62 @@ class GeodesicMergeEngine:
                 else:
                     tensors[key] = _plan_tensor(key, chip[key], instruct[key])
         self.plan = MergePlan(tensors)
+        self._arena = None
+        self._arena_metas: Optional[List[Tuple]] = None
         registry = self.obs.registry
         registry.counter("merge.plans").inc()
         registry.counter("merge.tensors_planned").inc(len(tensors))
         registry.counter("merge.params_planned").inc(self.plan.total_params)
         #: Bytes one λ evaluation streams: the (2, n) float64 row blocks.
         self._eval_bytes = self.plan.total_params * 2 * 8
+
+    def _shared_plan(self):
+        """Publish the plan into a shared-memory arena (once, lazily).
+
+        Returns a picklable ``(handle, metas)`` pair for the pool
+        initializer; the arena itself stays owned by the engine and is
+        reused across sweeps until :meth:`close`.
+        """
+        if self._arena is None:
+            from ..parallel import TensorArena
+
+            arena = TensorArena()
+            metas: List[Tuple] = []
+            with self.obs.span("merge.arena_publish", tensors=len(self.plan)):
+                for plan in self.plan:
+                    if plan.stacked is not None:
+                        arena.publish(f"stacked.{plan.key}", plan.stacked)
+                    if plan.raw_chip is not None:
+                        arena.publish(f"raw.{plan.key}", plan.raw_chip)
+                    metas.append((plan.key, plan.kind, tuple(plan.shape),
+                                  plan.norm_chip, plan.norm_instruct,
+                                  plan.theta, plan.sin_theta,
+                                  plan.stacked is not None,
+                                  plan.raw_chip is not None))
+            self._arena = arena
+            self._arena_metas = metas
+            self.obs.registry.counter("merge.arena_bytes").inc(arena.nbytes)
+        return self._arena.handle(), self._arena_metas
+
+    def close(self) -> None:
+        """Release the shared-memory arena, if one was published
+        (idempotent; the engine stays usable for serial evaluation)."""
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+            self._arena_metas = None
+
+    def __enter__(self) -> "GeodesicMergeEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def _account_evaluations(self, n_points: int) -> None:
         """Counter bookkeeping for ``n_points`` λ evaluations."""
@@ -388,16 +488,21 @@ class GeodesicMergeEngine:
 
         Each tensor's whole sweep lands in one ``(L, n)`` row block; the
         returned dicts hold row views into those per-tensor results (no
-        per-λ copies).  With ``n_workers > 1`` tensors are fanned out
-        across forked worker processes.
+        per-λ copies).  With ``n_workers > 1`` tensors are evaluated by a
+        worker pool against the shared-memory plan; results are
+        bit-identical to the serial path (per-λ parallelism with ordered
+        streaming is :meth:`isweep`'s job).
         """
+        from ..parallel import effective_workers
+
         lam_arr = np.asarray([self._check_lam(lam) for lam in lams],
                              dtype=np.float64)
-        workers = self.n_workers if n_workers is None else n_workers
+        workers = effective_workers(
+            self.n_workers if n_workers is None else n_workers)
         with self.obs.span("merge.sweep", points=len(lam_arr),
-                           workers=workers or 1):
-            if workers and workers > 1 and _fork_available() and len(self.plan) > 1:
-                rows = self._sweep_parallel(lam_arr, int(workers))
+                           workers=workers):
+            if workers > 1 and len(self.plan) > 1:
+                rows = self._sweep_parallel(lam_arr, workers)
             else:
                 rows = {plan.key: plan.evaluate_sweep(lam_arr)
                         for plan in self.plan}
@@ -411,6 +516,7 @@ class GeodesicMergeEngine:
         return results
 
     def isweep(self, lams: Sequence[float], reuse_buffers: bool = False,
+               n_workers: Optional[int] = None,
                ) -> Iterator[Tuple[float, "OrderedDict[str, np.ndarray]"]]:
         """Yield ``(lam, merged_state_dict)`` lazily, one λ at a time.
 
@@ -418,30 +524,58 @@ class GeodesicMergeEngine:
         preallocated buffers — peak memory stays at one merged model no
         matter how long the sweep, at the price that each yielded dict is
         invalidated by the next step (consume it before advancing).
+
+        With ``n_workers > 1`` the λ points are evaluated against the
+        shared-memory plan by a worker pool and stream back **in λ order**
+        as they complete; results are bit-identical to the serial path.
+        Incompatible with ``reuse_buffers`` (each yielded dict is a fresh
+        result shipped from a worker, not a view into engine buffers).
         """
+        from ..parallel import effective_workers
+
+        workers = effective_workers(
+            self.n_workers if n_workers is None else n_workers)
+        lam_list = [self._check_lam(lam) for lam in lams]
+        if workers > 1 and len(lam_list) > 1:
+            if reuse_buffers:
+                raise ValueError(
+                    "reuse_buffers is incompatible with n_workers > 1: "
+                    "pooled results arrive as fresh arrays, not buffer views")
+            yield from self._isweep_parallel(lam_list, workers)
+            return
         out = self.new_buffers() if reuse_buffers else None
-        for lam in lams:
-            lam = self._check_lam(lam)
+        for lam in lam_list:
             yield lam, self.merge(lam, out=out)
+
+    def _pool(self, workers: int):
+        from ..parallel import WorkerPool
+
+        handle, metas = self._shared_plan()
+        return WorkerPool(workers, initializer=_sweep_worker_init,
+                          initargs=(handle, metas), obs=self.obs)
 
     def _sweep_parallel(self, lam_arr: np.ndarray,
                         workers: int) -> Dict[str, np.ndarray]:
-        import multiprocessing
+        """Fan tensors out to a pool evaluating against the shared plan.
 
-        global _ACTIVE_PLAN
+        Each worker computes whole ``(L, n)`` row blocks — the same GEMM
+        the serial path runs — so results are bit-identical however the
+        tensors land on workers (see :func:`_sweep_tensor_key`).
+        """
+        from ..parallel import task_context
+
         keys = self.plan.keys
-        workers = min(workers, len(keys))
-        # Round-robin so each chunk gets a mix of large and small tensors.
-        chunks = [keys[start::workers] for start in range(workers)]
-        _ACTIVE_PLAN = self.plan
-        try:
-            ctx = multiprocessing.get_context("fork")
-            with ctx.Pool(processes=workers) as pool:
-                parts = pool.map(_sweep_chunk,
-                                 [(chunk, lam_arr) for chunk in chunks])
-        finally:
-            _ACTIVE_PLAN = None
-        rows: Dict[str, np.ndarray] = {}
-        for part in parts:
-            rows.update(part)
-        return rows
+        with task_context(sweep_lams=tuple(float(lam) for lam in lam_arr)):
+            with self._pool(min(workers, len(keys))) as pool:
+                parts = pool.map_chunked(_sweep_tensor_key, keys)
+        return dict(zip(keys, parts))
+
+    def _isweep_parallel(self, lam_list: List[float], workers: int,
+                         ) -> Iterator[Tuple[float, "OrderedDict[str, np.ndarray]"]]:
+        with self._pool(min(workers, len(lam_list))) as pool:
+            with self.obs.span("merge.isweep", points=len(lam_list),
+                               workers=workers):
+                for index, results in pool.imap_chunked(
+                        _merge_point, lam_list, chunk_size=1):
+                    self._account_evaluations(1)
+                    yield lam_list[index], results[0]

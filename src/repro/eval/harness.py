@@ -16,6 +16,8 @@ from ..obs import Observability
 from ..data.openroad_qa import CATEGORIES as OPENROAD_CATEGORIES
 from ..data.openroad_qa import QATriplet
 from ..data.prompting import format_prompt
+from ..parallel import (WorkerPool, effective_workers, get_task_context,
+                        task_context, task_obs, worker_obs)
 from .ifeval.instructions import Instruction, StartWith
 from .judge import JudgeVerdict, ReferenceJudge
 from .rouge import rouge_l
@@ -136,6 +138,49 @@ class LMAnswerer(Answerer):
 
 
 # ---------------------------------------------------------------------------
+# per-item work functions (shared by the serial and parallel paths)
+# ---------------------------------------------------------------------------
+#
+# Each benchmark driver reduces to "run this item function over a list of
+# plain-data tasks".  The answerer/judge/instructions ride in the fork-
+# inherited task context (never pickled); tasks and results are small plain
+# data.  Serial mode runs the same function inline under ``task_obs``, so
+# the two paths are bit-identical by construction.
+
+
+def _openroad_item(task: Tuple[str, Optional[str], str, str]) -> Tuple[str, float]:
+    """Generate + ROUGE-score one OpenROAD QA triplet."""
+    question, context, category, reference = task
+    ctx = get_task_context()
+    with worker_obs().span("eval.openroad.item", category=category):
+        response = ctx["answerer"].answer(question, context=context,
+                                          instructions=ctx["instructions"])
+    return response, rouge_l(response, reference).fmeasure
+
+
+def _industrial_item(task) -> Tuple[str, JudgeVerdict]:
+    """Generate + judge one industrial QA item (single- or multi-turn)."""
+    question, context, golden, history, judge_question = task
+    ctx = get_task_context()
+    instructions = ctx["instructions"]
+    response = ctx["answerer"].answer(question, context=context,
+                                      instructions=instructions,
+                                      history=history)
+    verdict = ctx["judge"].grade(response, golden, context, judge_question)
+    verdict = _apply_compliance_cap(verdict, response, instructions)
+    return response, verdict
+
+
+def _run_items(fn, tasks, workers: int, obs: Observability) -> List:
+    """Run an item function over tasks — pooled, or inline when serial."""
+    if workers > 1:
+        with WorkerPool(workers, obs=obs) as pool:
+            return pool.map_chunked(fn, tasks)
+    with task_obs(obs):
+        return [fn(task) for task in tasks]
+
+
+# ---------------------------------------------------------------------------
 # OpenROAD QA (Table 1)
 # ---------------------------------------------------------------------------
 
@@ -153,13 +198,19 @@ class OpenRoadReport:
 def run_openroad(answerer: Answerer, triplets: Sequence[QATriplet],
                  context_mode: str = "golden", rag_pipeline=None,
                  instructions: Sequence[InstructionLike] = OPENROAD_INSTRUCTIONS,
-                 obs: Optional[Observability] = None) -> OpenRoadReport:
+                 obs: Optional[Observability] = None,
+                 workers: Optional[int] = None) -> OpenRoadReport:
     """Evaluate an answerer on OpenROAD QA triplets with ROUGE-L.
 
     ``context_mode='golden'`` supplies each item's golden paragraph;
     ``'rag'`` retrieves the context with the supplied pipeline, matching the
     paper's two Table-1 regimes.  ``obs`` (optional) records a per-benchmark
     timing span plus item/score gauges under ``eval.openroad.*``.
+
+    ``workers`` > 1 fans per-item generation + scoring out to a
+    :class:`~repro.parallel.WorkerPool` (retrieval stays in the parent —
+    the pipeline's index is not shared).  Scores, responses, and eval
+    counters are bit-identical to the serial path.
     """
     if context_mode not in ("golden", "rag"):
         raise ValueError(f"context_mode must be 'golden' or 'rag', got {context_mode!r}")
@@ -168,24 +219,28 @@ def run_openroad(answerer: Answerer, triplets: Sequence[QATriplet],
     if not triplets:
         raise ValueError("empty evaluation set")
     obs = obs if obs is not None else Observability()
-    responses: List[str] = []
-    references: List[str] = []
-    scores: Dict[str, List[float]] = {c: [] for c in OPENROAD_CATEGORIES}
+    workers = effective_workers(workers)
     with obs.span("eval.openroad", items=len(triplets),
-                  context_mode=context_mode, answerer=answerer.name):
+                  context_mode=context_mode, answerer=answerer.name,
+                  workers=workers):
+        tasks = []
+        references: List[str] = []
         for triplet in triplets:
             if context_mode == "golden":
                 context = triplet.context
             else:
                 context = rag_pipeline.retrieve(triplet.question).context
-            with obs.span("eval.openroad.item", category=triplet.category):
-                response = answerer.answer(triplet.question, context=context,
-                                           instructions=instructions)
             reference = golden_reference(triplet.answer, instructions)
-            responses.append(response)
             references.append(reference)
-            scores[triplet.category].append(
-                rouge_l(response, reference).fmeasure)
+            tasks.append((triplet.question, context, triplet.category,
+                          reference))
+        with task_context(answerer=answerer,
+                          instructions=tuple(instructions)):
+            results = _run_items(_openroad_item, tasks, workers, obs)
+    responses = [response for response, _ in results]
+    scores: Dict[str, List[float]] = {c: [] for c in OPENROAD_CATEGORIES}
+    for triplet, (_, fmeasure) in zip(triplets, results):
+        scores[triplet.category].append(fmeasure)
     by_category = {c: (sum(v) / len(v) if v else 0.0) for c, v in scores.items()}
     flat = [s for v in scores.values() for s in v]
     overall = sum(flat) / len(flat)
@@ -209,70 +264,76 @@ class IndustrialReport:
     responses: List[str] = field(default_factory=list)
 
 
+def _industrial_report(items, results, obs: Observability,
+                       benchmark: str) -> IndustrialReport:
+    """Assemble the report + counters shared by both industrial drivers."""
+    scores: Dict[str, List[int]] = {}
+    verdicts: List[JudgeVerdict] = []
+    responses: List[str] = []
+    for item, (response, verdict) in zip(items, results):
+        verdicts.append(verdict)
+        responses.append(response)
+        scores.setdefault(item.category, []).append(verdict.score)
+    by_category = {c: sum(v) / len(v) for c, v in scores.items()}
+    flat = [s for v in scores.values() for s in v]
+    overall = sum(flat) / len(flat)
+    obs.registry.counter(f"eval.{benchmark}.items").inc(len(items))
+    obs.registry.gauge(f"eval.{benchmark}.score").set(overall)
+    return IndustrialReport(by_category, overall, verdicts, responses)
+
+
 def run_industrial(answerer: Answerer, items: Sequence[IndustrialItem],
                    judge: Optional[ReferenceJudge] = None,
                    instructions: Sequence[InstructionLike] = INDUSTRIAL_INSTRUCTIONS,
-                   obs: Optional[Observability] = None) -> IndustrialReport:
-    """Single-turn industrial QA with GPT-4-style judge scoring."""
+                   obs: Optional[Observability] = None,
+                   workers: Optional[int] = None) -> IndustrialReport:
+    """Single-turn industrial QA with GPT-4-style judge scoring.
+
+    ``workers`` > 1 runs generation + judging per item in a worker pool;
+    scores and verdicts are bit-identical to the serial path.
+    """
     if not items:
         raise ValueError("empty evaluation set")
     judge = judge or ReferenceJudge()
     obs = obs if obs is not None else Observability()
-    scores: Dict[str, List[int]] = {}
-    verdicts: List[JudgeVerdict] = []
-    responses: List[str] = []
-    with obs.span("eval.industrial", items=len(items), answerer=answerer.name):
-        for item in items:
-            response = answerer.answer(item.question, context=item.context,
-                                       instructions=instructions)
-            golden = golden_reference(item.answer, instructions)
-            verdict = judge.grade(response, golden, item.context, item.question)
-            verdict = _apply_compliance_cap(verdict, response, instructions)
-            verdicts.append(verdict)
-            responses.append(response)
-            scores.setdefault(item.category, []).append(verdict.score)
-    by_category = {c: sum(v) / len(v) for c, v in scores.items()}
-    flat = [s for v in scores.values() for s in v]
-    overall = sum(flat) / len(flat)
-    obs.registry.counter("eval.industrial.items").inc(len(items))
-    obs.registry.gauge("eval.industrial.score").set(overall)
-    return IndustrialReport(by_category, overall, verdicts, responses)
+    workers = effective_workers(workers)
+    with obs.span("eval.industrial", items=len(items), answerer=answerer.name,
+                  workers=workers):
+        tasks = [(item.question, item.context,
+                  golden_reference(item.answer, instructions), (),
+                  item.question) for item in items]
+        with task_context(answerer=answerer, judge=judge,
+                          instructions=tuple(instructions)):
+            results = _run_items(_industrial_item, tasks, workers, obs)
+    return _industrial_report(items, results, obs, "industrial")
 
 
 def run_industrial_multiturn(answerer: Answerer, items: Sequence[MultiTurnItem],
                              judge: Optional[ReferenceJudge] = None,
                              instructions: Sequence[InstructionLike] = INDUSTRIAL_INSTRUCTIONS,
                              obs: Optional[Observability] = None,
+                             workers: Optional[int] = None,
                              ) -> IndustrialReport:
     """Multi-turn industrial QA: models are scored on the follow-up answer.
 
     The first turn's golden answer is injected as conversation history (so
     every model is graded on the same second-turn task, isolating follow-up
-    ability from first-turn quality).
+    ability from first-turn quality).  ``workers`` as in
+    :func:`run_industrial`.
     """
     if not items:
         raise ValueError("empty evaluation set")
     judge = judge or ReferenceJudge()
     obs = obs if obs is not None else Observability()
-    scores: Dict[str, List[int]] = {}
-    verdicts: List[JudgeVerdict] = []
-    responses: List[str] = []
+    workers = effective_workers(workers)
     with obs.span("eval.industrial_multiturn", items=len(items),
-                  answerer=answerer.name):
-        for item in items:
-            response = answerer.answer(
-                item.question, context=item.context, instructions=instructions,
-                history=[(item.first_question, item.first_answer)])
-            golden = golden_reference(item.answer, instructions)
-            verdict = judge.grade(response, golden, item.context,
-                                  item.question + " " + item.first_question)
-            verdict = _apply_compliance_cap(verdict, response, instructions)
-            verdicts.append(verdict)
-            responses.append(response)
-            scores.setdefault(item.category, []).append(verdict.score)
-    by_category = {c: sum(v) / len(v) for c, v in scores.items()}
-    flat = [s for v in scores.values() for s in v]
-    overall = sum(flat) / len(flat)
-    obs.registry.counter("eval.industrial_multiturn.items").inc(len(items))
-    obs.registry.gauge("eval.industrial_multiturn.score").set(overall)
-    return IndustrialReport(by_category, overall, verdicts, responses)
+                  answerer=answerer.name, workers=workers):
+        tasks = [(item.question, item.context,
+                  golden_reference(item.answer, instructions),
+                  ((item.first_question, item.first_answer),),
+                  item.question + " " + item.first_question)
+                 for item in items]
+        with task_context(answerer=answerer, judge=judge,
+                          instructions=tuple(instructions)):
+            results = _run_items(_industrial_item, tasks, workers, obs)
+    return _industrial_report(items, results, obs, "industrial_multiturn")

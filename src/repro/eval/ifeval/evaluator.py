@@ -65,12 +65,40 @@ def evaluate_responses(prompts: Sequence,
                         inst_strict / inst_total, inst_loose / inst_total)
 
 
+def _ifeval_item(prompt_text: str) -> str:
+    """Worker-side greedy generation for one IFEval prompt."""
+    from ...nn.infer import generate_text_fast
+    from ...parallel import get_task_context
+
+    ctx = get_task_context()
+    return generate_text_fast(ctx["engine"], ctx["tokenizer"], prompt_text,
+                              max_new_tokens=ctx["max_new_tokens"])
+
+
 def evaluate_model(model, tokenizer, prompts: Sequence,
-                   max_new_tokens: int = 40) -> IFEvalResult:
-    """Generate a response per prompt (greedy, like the paper) and score."""
+                   max_new_tokens: int = 40, workers=None,
+                   obs=None) -> IFEvalResult:
+    """Generate a response per prompt (greedy, like the paper) and score.
+
+    ``workers`` > 1 generates responses in a
+    :class:`~repro.parallel.WorkerPool` (engine fork-inherited); greedy
+    decoding makes the responses — and all four accuracies — bit-identical
+    to the serial path.
+    """
     from ...nn.infer import InferenceEngine, generate_text_fast
+    from ...parallel import WorkerPool, effective_workers, task_context
 
     engine = InferenceEngine(model)
-    responses = [generate_text_fast(engine, tokenizer, p.prompt,
-                                    max_new_tokens=max_new_tokens) for p in prompts]
+    workers = effective_workers(workers)
+    if workers > 1:
+        with task_context(engine=engine, tokenizer=tokenizer,
+                          max_new_tokens=max_new_tokens):
+            pool_kwargs = {} if obs is None else {"obs": obs}
+            with WorkerPool(workers, **pool_kwargs) as pool:
+                responses = pool.map_chunked(_ifeval_item,
+                                             [p.prompt for p in prompts])
+    else:
+        responses = [generate_text_fast(engine, tokenizer, p.prompt,
+                                        max_new_tokens=max_new_tokens)
+                     for p in prompts]
     return evaluate_responses(prompts, responses)

@@ -17,6 +17,8 @@ import numpy as np
 from ..data.mcq import DOMAINS, MCQItem
 from ..data.prompting import format_prompt
 from ..nn.generation import continuation_logprob
+from ..parallel import (WorkerPool, effective_workers, get_task_context,
+                        task_context)
 
 
 @dataclass(frozen=True)
@@ -44,15 +46,35 @@ def choose(model, tokenizer, item: MCQItem) -> int:
     return int(np.argmax(scores))
 
 
-def evaluate_mcq(model, tokenizer, items: Sequence[MCQItem]) -> MCQResult:
-    """Accuracy of the model over ``items``, reported per domain."""
+def _mcq_item(item: MCQItem) -> int:
+    """Worker-side scoring: model/tokenizer ride the fork-inherited context."""
+    ctx = get_task_context()
+    return choose(ctx["model"], ctx["tokenizer"], item)
+
+
+def evaluate_mcq(model, tokenizer, items: Sequence[MCQItem],
+                 workers=None, obs=None) -> MCQResult:
+    """Accuracy of the model over ``items``, reported per domain.
+
+    ``workers`` > 1 scores items in a :class:`~repro.parallel.WorkerPool`
+    (model weights fork-inherited, never pickled); accuracies are
+    bit-identical to the serial path.
+    """
     if not items:
         raise ValueError("empty MCQ item set")
+    workers = effective_workers(workers)
+    if workers > 1:
+        with task_context(model=model, tokenizer=tokenizer):
+            pool_kwargs = {} if obs is None else {"obs": obs}
+            with WorkerPool(workers, **pool_kwargs) as pool:
+                chosen = pool.map_chunked(_mcq_item, list(items))
+    else:
+        chosen = [choose(model, tokenizer, item) for item in items]
     correct: Dict[str, int] = {}
     total: Dict[str, int] = {}
-    for item in items:
+    for item, pick in zip(items, chosen):
         total[item.domain] = total.get(item.domain, 0) + 1
-        if choose(model, tokenizer, item) == item.answer_idx:
+        if pick == item.answer_idx:
             correct[item.domain] = correct.get(item.domain, 0) + 1
     by_domain = {d: correct.get(d, 0) / total[d] for d in total}
     return MCQResult(by_domain)

@@ -77,6 +77,28 @@ class Observability:
             snap[f"profile.{name}"] = stat
         return snap
 
+    def export(self) -> Dict[str, object]:
+        """Plain-data (picklable) bundle of metrics + spans for shipping
+        across a process border; ``absorb`` on the receiving side is the
+        inverse.  The ``id`` is the registry uid — the idempotence key that
+        keeps a twice-delivered worker snapshot from double-counting."""
+        return {
+            "id": self.registry.uid,
+            "metrics": self.registry.export(),
+            "spans": self.tracer.export_spans(),
+        }
+
+    def absorb(self, exported: Dict[str, object]) -> bool:
+        """Fold a worker's :meth:`export` into this handle, exactly once.
+
+        Returns ``False`` (and changes nothing) when the bundle's id was
+        already absorbed.  Spans nest under the currently open span.
+        """
+        if not self.registry.absorb(exported["metrics"], key=exported["id"]):
+            return False
+        self.tracer.absorb(exported.get("spans", ()))
+        return True
+
     def report(self, max_roots: Optional[int] = 40) -> str:
         """Human-readable span tree + metric snapshot + profile table."""
         import json

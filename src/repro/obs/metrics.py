@@ -20,12 +20,31 @@ from __future__ import annotations
 
 import json
 import math
+import os
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 Number = Union[int, float]
 
 #: Default histogram bucket upper bounds (seconds-flavoured, log-spaced).
 DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0)
+
+_UID_LOCK = threading.Lock()
+_UID_COUNTER = 0
+
+
+def _new_uid() -> str:
+    """Process-unique registry id: pid + monotonic counter + random salt.
+
+    The pid term keeps ids distinct across forked workers that inherit the
+    parent's counter state; the salt keeps them distinct across processes
+    that happen to share a pid after recycling.
+    """
+    global _UID_COUNTER
+    with _UID_LOCK:
+        _UID_COUNTER += 1
+        count = _UID_COUNTER
+    return f"{os.getpid():x}-{count:x}-{os.urandom(4).hex()}"
 
 
 class Counter:
@@ -129,12 +148,20 @@ class MetricRegistry:
     A name is bound to exactly one instrument type for the registry's
     lifetime; asking for the same name as a different type raises, which
     catches subsystems silently stomping each other's metrics.
+
+    Every registry carries a process-unique :attr:`uid` that travels with
+    its :meth:`export`; :meth:`absorb` and :meth:`merge` use it as an
+    idempotence key, so folding the same worker snapshot twice (a retried
+    task whose first result arrives late, a replayed message) cannot
+    double-count.
     """
 
     def __init__(self) -> None:
+        self.uid = _new_uid()
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._absorbed_keys: set = set()
 
     # ------------------------------------------------------------------
     def _check_free(self, name: str, want: Dict[str, object]) -> None:
@@ -188,28 +215,77 @@ class MetricRegistry:
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
-    def merge(self, other: "MetricRegistry") -> "MetricRegistry":
+    def export(self) -> Dict[str, object]:
+        """Typed, plain-data snapshot safe to pickle across process borders.
+
+        Unlike :meth:`snapshot` (flat, presentation-oriented), the export
+        keeps the counter/gauge/histogram distinction so :meth:`absorb` can
+        apply the correct merge rule per instrument, and carries raw
+        (non-cumulative) histogram bucket counts so merges are plain
+        element-wise adds.  ``min``/``max`` are ``None`` for empty
+        histograms (no infinities in the wire format).
+        """
+        histograms: Dict[str, object] = {}
+        for name, h in self._histograms.items():
+            histograms[name] = {
+                "bounds": list(h.bounds),
+                "bucket_counts": list(h.bucket_counts),
+                "count": h.count,
+                "sum": h.total,
+                "min": h.min if h.count else None,
+                "max": h.max if h.count else None,
+            }
+        return {
+            "uid": self.uid,
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": histograms,
+        }
+
+    def absorb(self, exported: Dict[str, object],
+               key: Optional[str] = None) -> bool:
+        """Fold an :meth:`export` dict into this registry, exactly once.
+
+        ``key`` defaults to the export's ``uid``; a key already absorbed is
+        skipped (idempotence guard for retried/replayed worker snapshots).
+        Returns ``True`` if the snapshot was applied, ``False`` if skipped.
+        Counters and histograms add; gauges take the exported value.
+        """
+        key = key if key is not None else exported.get("uid")
+        if key is not None:
+            if key in self._absorbed_keys:
+                return False
+            self._absorbed_keys.add(key)
+        for name, value in exported.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in exported.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in exported.get("histograms", {}).items():
+            bounds = tuple(float(b) for b in data["bounds"])
+            mine = self.histogram(name, bounds)
+            if mine.bounds != bounds:
+                raise ValueError(f"histogram {name!r} bucket bounds differ: "
+                                 f"{mine.bounds} vs {bounds}")
+            mine.count += data["count"]
+            mine.total += data["sum"]
+            if data["min"] is not None:
+                mine.min = min(mine.min, data["min"])
+            if data["max"] is not None:
+                mine.max = max(mine.max, data["max"])
+            for i, raw in enumerate(data["bucket_counts"]):
+                mine.bucket_counts[i] += raw
+        return True
+
+    def merge(self, other: "MetricRegistry",
+              key: Optional[str] = None) -> "MetricRegistry":
         """Fold another registry into this one (in place; returns self).
 
         Counters and histograms add; gauges take the other side's value
         (they are point-in-time, so "later wins" is the only coherent rule).
-        Histograms must share bucket bounds.
+        Histograms must share bucket bounds.  Merging the same registry (or
+        the same explicit ``key``) twice is a no-op — see :meth:`absorb`.
         """
-        for name, counter in other._counters.items():
-            self.counter(name).inc(counter.value)
-        for name, gauge in other._gauges.items():
-            self.gauge(name).set(gauge.value)
-        for name, histogram in other._histograms.items():
-            mine = self.histogram(name, histogram.bounds)
-            if mine.bounds != histogram.bounds:
-                raise ValueError(f"histogram {name!r} bucket bounds differ: "
-                                 f"{mine.bounds} vs {histogram.bounds}")
-            mine.count += histogram.count
-            mine.total += histogram.total
-            mine.min = min(mine.min, histogram.min)
-            mine.max = max(mine.max, histogram.max)
-            for i, raw in enumerate(histogram.bucket_counts):
-                mine.bucket_counts[i] += raw
+        self.absorb(other.export(), key=key)
         return self
 
 

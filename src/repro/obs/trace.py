@@ -24,6 +24,13 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 MAX_SPANS = 100_000
 
 
+def _sanitize_meta(value: object) -> object:
+    """JSON-scalar metadata passes through; anything else becomes repr."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return repr(value)
+
+
 class Span:
     """One timed, named interval; children are spans opened inside it."""
 
@@ -199,6 +206,66 @@ class Tracer:
             lines.append(f"... {self.dropped} spans dropped (max_spans="
                          f"{self.max_spans}) ...")
         return "\n".join(lines)
+
+    def export_spans(self) -> List[Dict[str, object]]:
+        """The span forest as nested plain dicts, safe to pickle or JSON.
+
+        Metadata values outside the JSON scalar types are replaced with
+        their ``repr`` so a worker process can always ship its trace back
+        to the parent, whatever objects landed in span metadata.
+        :meth:`absorb` is the inverse.
+        """
+        def export(span: Span) -> Dict[str, object]:
+            record: Dict[str, object] = {"name": span.name, "start": span.start,
+                                         "end": span.end}
+            if span.meta:
+                record["meta"] = {k: _sanitize_meta(v)
+                                  for k, v in span.meta.items()}
+            if span.children:
+                record["children"] = [export(c) for c in span.children]
+            return record
+
+        return [export(root) for root in self.roots]
+
+    def absorb(self, spans: List[Dict[str, object]]) -> int:
+        """Graft an :meth:`export_spans` forest into this tracer.
+
+        Absorbed roots become children of the innermost *open* span when
+        one is active (so worker traces nest under the parent's fan-out
+        span), or new roots otherwise.  The stored-span cap applies: spans
+        past ``max_spans`` are counted in :attr:`dropped`, children-first,
+        the same budget live recording uses.  Returns the number stored.
+        """
+        stored = 0
+
+        def subtree_size(record: Dict[str, object]) -> int:
+            return 1 + sum(subtree_size(c) for c in record.get("children", ()))
+
+        def rebuild(record: Dict[str, object]) -> Optional[Span]:
+            nonlocal stored
+            if self._recorded >= self.max_spans:
+                self.dropped += subtree_size(record)
+                return None
+            self._recorded += 1
+            stored += 1
+            span = Span(record["name"], float(record["start"]),
+                        dict(record["meta"]) if record.get("meta") else None)
+            span.end = float(record["end"])
+            span.children = [c for c in (rebuild(child) for child in
+                                         record.get("children", ()))
+                             if c is not None]
+            return span
+
+        parent = self._stack[-1] if self._stack else None
+        for record in spans:
+            span = rebuild(record)
+            if span is None:
+                continue
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                self.roots.append(span)
+        return stored
 
     def to_jsonl(self) -> str:
         """One JSON object per span (depth-first), with ancestry paths."""

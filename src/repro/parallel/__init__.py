@@ -1,0 +1,29 @@
+"""Process-parallel execution layer: shared-memory tensors + worker pool.
+
+Two halves, designed to be used together:
+
+* :class:`TensorArena` — publish numpy arrays (model state dicts, merge-plan
+  buffers) into ``multiprocessing.shared_memory`` once; workers attach the
+  picklable :class:`ArenaHandle` and read zero-copy, read-only views.
+* :class:`WorkerPool` — fork-based work-stealing pool with per-task
+  timeouts, automatic respawn of dead workers, bounded retries, and
+  deterministic (input-order) results; per-task observability snapshots
+  ship back with each result and fold into the parent handle exactly once.
+
+Every ``workers=`` knob in the repo (eval harness, merge-engine λ-sweeps,
+model zoo, RAG indexing) resolves through :func:`effective_workers` and
+falls back to the serial code path when parallelism is unavailable or not
+requested — results are bit-identical either way.
+"""
+
+from .arena import ALIGN, ArenaHandle, ArenaView, TensorArena, TensorSpec
+from .pool import (MAX_RETRIES, POLL_INTERVAL, ParallelTaskError, WorkerPool,
+                   effective_workers, get_task_context, parallel_available,
+                   task_context, task_obs, worker_obs)
+
+__all__ = [
+    "ALIGN", "ArenaHandle", "ArenaView", "TensorArena", "TensorSpec",
+    "MAX_RETRIES", "POLL_INTERVAL", "ParallelTaskError", "WorkerPool",
+    "effective_workers", "get_task_context", "parallel_available",
+    "task_context", "task_obs", "worker_obs",
+]

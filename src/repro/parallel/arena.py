@@ -1,0 +1,246 @@
+"""Shared-memory tensor plane: publish numpy arrays once, read everywhere.
+
+A :class:`TensorArena` copies arrays into ``multiprocessing.shared_memory``
+segments and hands out a small, picklable :class:`ArenaHandle` describing
+where each tensor lives (segment name, byte offset, shape, dtype).  Worker
+processes :meth:`~ArenaHandle.attach` the handle and get **zero-copy,
+read-only** numpy views — a full model state dict or a
+:class:`~repro.core.merge_engine.MergePlan`'s stacked buffers cross the
+process border as a few hundred bytes of metadata instead of tens of MB of
+pickle per task.
+
+Lifecycle contract: the publishing process owns the segments and must
+:meth:`~TensorArena.close` them (``with`` blocks do); attached views only
+unmap, never unlink.  ``TensorArena.live_segments()`` lists segments still
+owned by this process — the leak check the benchmark and CI smoke assert
+against.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+#: Byte alignment of every tensor inside a segment (cache-line friendly,
+#: and keeps numpy views aligned for any dtype).
+ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + ALIGN - 1) // ALIGN * ALIGN
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Where one published tensor lives: picklable, a few dozen bytes."""
+
+    segment: str
+    offset: int
+    shape: Tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+class ArenaView:
+    """Attached, read-only view of an arena (worker side).
+
+    Opens each referenced segment lazily on first use and caches the
+    mapping; :meth:`close` unmaps everything (it never unlinks — the
+    publishing process owns segment lifetime).
+    """
+
+    def __init__(self, specs: Mapping[str, TensorSpec]) -> None:
+        self._specs = dict(specs)
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._closed = False
+
+    def _segment(self, name: str) -> shared_memory.SharedMemory:
+        if self._closed:
+            raise ValueError("arena view is closed")
+        seg = self._segments.get(name)
+        if seg is None:
+            seg = self._segments[name] = shared_memory.SharedMemory(name=name)
+        return seg
+
+    def keys(self) -> List[str]:
+        return list(self._specs)
+
+    def get(self, name: str) -> np.ndarray:
+        """Zero-copy read-only ndarray over the published bytes."""
+        spec = self._specs.get(name)
+        if spec is None:
+            raise KeyError(f"tensor {name!r} not published in this arena")
+        seg = self._segment(spec.segment)
+        view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype),
+                          buffer=seg.buf, offset=spec.offset)
+        view.flags.writeable = False
+        return view
+
+    def get_dict(self, prefix: str) -> "OrderedDict[str, np.ndarray]":
+        """All tensors published under ``prefix.`` as an ordered dict
+        (publication order), keys with the prefix stripped."""
+        marker = prefix + "."
+        out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for name in self._specs:
+            if name.startswith(marker):
+                out[name[len(marker):]] = self.get(name)
+        if not out:
+            raise KeyError(f"no tensors published under prefix {prefix!r}")
+        return out
+
+    def close(self) -> None:
+        for seg in self._segments.values():
+            seg.close()
+        self._segments.clear()
+        self._closed = True
+
+    def __enter__(self) -> "ArenaView":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass(frozen=True)
+class ArenaHandle:
+    """Picklable description of everything an arena has published.
+
+    This is what crosses the process border (in a worker initializer or a
+    task payload); :meth:`attach` turns it back into live views.
+    """
+
+    specs: Tuple[Tuple[str, TensorSpec], ...]
+
+    def attach(self) -> ArenaView:
+        return ArenaView(OrderedDict(self.specs))
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+
+class TensorArena:
+    """Owner side of the tensor plane: publish arrays, hand out handles.
+
+    Notes
+    -----
+    Publishing copies the array once into shared memory (unavoidable — the
+    source lives in private pages); every subsequent reader is zero-copy.
+    Segments are unlinked in :meth:`close`; the class-level live-segment
+    registry exists so tests and benchmarks can assert nothing leaked.
+    """
+
+    #: Names of segments created and not yet unlinked by this process.
+    _LIVE: set = set()
+
+    def __init__(self) -> None:
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._specs: "OrderedDict[str, TensorSpec]" = OrderedDict()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def live_segments(cls) -> List[str]:
+        """Segment names this process still owns (leak check)."""
+        return sorted(cls._LIVE)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(seg.size for seg in self._segments)
+
+    def keys(self) -> List[str]:
+        return list(self._specs)
+
+    # ------------------------------------------------------------------
+    def _new_segment(self, size: int) -> shared_memory.SharedMemory:
+        if self._closed:
+            raise ValueError("arena is closed")
+        seg = shared_memory.SharedMemory(create=True, size=max(size, 1))
+        self._segments.append(seg)
+        TensorArena._LIVE.add(seg.name)
+        return seg
+
+    def _place(self, name: str, array: np.ndarray,
+               seg: shared_memory.SharedMemory, offset: int) -> None:
+        if name in self._specs:
+            raise ValueError(f"tensor {name!r} already published")
+        dest = np.ndarray(array.shape, dtype=array.dtype, buffer=seg.buf,
+                          offset=offset)
+        dest[...] = array
+        self._specs[name] = TensorSpec(seg.name, offset, tuple(array.shape),
+                                       array.dtype.str)
+
+    def publish(self, name: str, array: np.ndarray) -> TensorSpec:
+        """Copy one array into its own shared segment."""
+        array = np.ascontiguousarray(array)
+        seg = self._new_segment(array.nbytes)
+        self._place(name, array, seg, 0)
+        return self._specs[name]
+
+    def publish_dict(self, prefix: str,
+                     tensors: Mapping[str, np.ndarray]) -> List[str]:
+        """Copy a whole mapping (e.g. a state dict) into one segment.
+
+        Tensors land back-to-back (64-byte aligned) under keys
+        ``{prefix}.{key}``; readers recover the mapping with
+        :meth:`ArenaView.get_dict`.
+        """
+        if not tensors:
+            raise ValueError("cannot publish an empty tensor dict")
+        arrays = OrderedDict((key, np.ascontiguousarray(value))
+                             for key, value in tensors.items())
+        total = 0
+        for array in arrays.values():
+            total = _aligned(total) + array.nbytes
+        seg = self._new_segment(total)
+        offset = 0
+        names = []
+        for key, array in arrays.items():
+            offset = _aligned(offset)
+            name = f"{prefix}.{key}"
+            self._place(name, array, seg, offset)
+            names.append(name)
+            offset += array.nbytes
+        return names
+
+    # ------------------------------------------------------------------
+    def handle(self) -> ArenaHandle:
+        """Picklable handle over everything published so far."""
+        return ArenaHandle(tuple(self._specs.items()))
+
+    def view(self) -> ArenaView:
+        """An in-process reader view (same API the workers see)."""
+        return self.handle().attach()
+
+    def close(self) -> None:
+        """Unmap and unlink every segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for seg in self._segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:
+                pass
+            TensorArena._LIVE.discard(seg.name)
+        self._segments = []
+        self._specs = OrderedDict()
+
+    def __enter__(self) -> "TensorArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core import merge_engine as merge_engine_mod
 from ..core.merge_engine import GeodesicMergeEngine
 from ..core.registry import merge as registry_merge
 from ..data import (eda_domain, industrial_qa, openroad_qa)
@@ -264,7 +265,8 @@ class ModelZoo:
         self._models[key] = model
         return model
 
-    def merged_sweep(self, family: str, lams) -> List[TransformerLM]:
+    def merged_sweep(self, family: str, lams,
+                     n_workers: Optional[int] = None) -> List[TransformerLM]:
         """ChipAlign-merged models for every λ in ``lams`` in one pass.
 
         The whole sweep shares one :meth:`merge_engine` plan and evaluates
@@ -272,6 +274,8 @@ class ModelZoo:
         style λ studies cost one plan plus L coefficient evaluations
         instead of L full merges.  Results land in the same memo cache
         :meth:`merged` uses, so mixed call patterns never re-merge.
+        ``n_workers`` forwards to the engine's pooled sweep (bit-identical
+        to serial).
         """
         lams = [float(lam) for lam in lams]
         missing = [lam for lam in lams
@@ -280,7 +284,8 @@ class ModelZoo:
         if missing:
             engine = self.merge_engine(family)
             config = self.chip_model(family).config
-            for lam, merged_sd in zip(missing, engine.sweep(missing)):
+            for lam, merged_sd in zip(missing,
+                                      engine.sweep(missing, n_workers=n_workers)):
                 model = TransformerLM(config)
                 model.load_state_dict(dict(merged_sd))
                 model.eval()
@@ -288,12 +293,100 @@ class ModelZoo:
                 self._models[key] = model
         return [self.merged(family, "chipalign", lam=lam) for lam in lams]
 
+    def evaluate_candidates(self, family: str, lams,
+                            triplets=None, workers: Optional[int] = None,
+                            max_new_tokens: int = 24,
+                            ) -> List[Tuple[float, float]]:
+        """Score ChipAlign merge candidates at each λ on OpenROAD QA.
+
+        Returns ``[(lam, overall ROUGE-L), ...]`` in λ order.  With
+        ``workers > 1`` each candidate is rebuilt from the family engine's
+        shared-memory plan and evaluated in a worker process; scores are
+        bit-identical to the serial path.
+        """
+        if triplets is None:
+            triplets = openroad_qa.eval_triplets()
+        return evaluate_merged_candidates(
+            self.merge_engine(family), self.chip_model(family).config,
+            self.tokenizer(), triplets, lams, workers=workers,
+            max_new_tokens=max_new_tokens)
+
     def prewarm(self, families=FAMILIES) -> None:
         """Build every trainable variant up front (useful before benchmarks)."""
         for family in families:
             self.get(family, "base")
             self.get(family, "instruct")
             self.chip_model(family)
+
+
+# ---------------------------------------------------------------------------
+# parallel candidate evaluation (zoo-independent so tests can drive it with
+# throwaway engines/models instead of trained checkpoints)
+# ---------------------------------------------------------------------------
+
+
+def _candidate_item(lam: float) -> float:
+    """Build one merged candidate and score it on OpenROAD QA.
+
+    In a pool worker the state dict comes from the shared-memory plan
+    (:func:`repro.core.merge_engine._merge_point`); in the serial fallback
+    from the engine itself.  Both evaluate the identical per-λ math, so
+    scores match bit-for-bit.
+    """
+    from ..eval.harness import LMAnswerer, run_openroad
+    from ..parallel import get_task_context, worker_obs
+
+    ctx = get_task_context()
+    if merge_engine_mod._WORKER_PLAN is not None:
+        merged_sd = merge_engine_mod._merge_point(lam)
+    else:
+        merged_sd = ctx["engine"].merge(lam)
+    model = TransformerLM(ctx["config"])
+    model.load_state_dict(dict(merged_sd))
+    model.eval()
+    answerer = LMAnswerer(model, ctx["tokenizer"],
+                          max_new_tokens=ctx["max_new_tokens"],
+                          name=f"candidate-{lam:g}")
+    report = run_openroad(answerer, ctx["triplets"], obs=worker_obs())
+    return float(report.overall)
+
+
+def evaluate_merged_candidates(engine: GeodesicMergeEngine, config,
+                               tokenizer, triplets, lams: Sequence[float],
+                               workers: Optional[int] = None,
+                               max_new_tokens: int = 24,
+                               ) -> List[Tuple[float, float]]:
+    """Score merge candidates at each λ (overall OpenROAD ROUGE-L).
+
+    With ``workers > 1`` the engine's plan is published to shared memory
+    once and each worker rebuilds + evaluates candidates against zero-copy
+    views; per-candidate eval metrics ship back into ``engine.obs``.
+    """
+    from ..parallel import (WorkerPool, effective_workers, task_context,
+                            task_obs)
+
+    lams = [float(lam) for lam in lams]
+    workers = effective_workers(workers)
+    obs = engine.obs
+    with obs.span("zoo.evaluate_candidates", candidates=len(lams),
+                  workers=workers):
+        with task_context(engine=engine, config=config, tokenizer=tokenizer,
+                          triplets=tuple(triplets),
+                          max_new_tokens=max_new_tokens):
+            if workers > 1 and len(lams) > 1:
+                handle, metas = engine._shared_plan()
+                with WorkerPool(workers,
+                                initializer=merge_engine_mod._sweep_worker_init,
+                                initargs=(handle, metas), obs=obs) as pool:
+                    scores = pool.map_chunked(_candidate_item, lams,
+                                              chunk_size=1)
+                # serial candidates account per merge() call; pooled merges
+                # happen off-engine, so settle the books here.
+                engine._account_evaluations(len(lams))
+            else:
+                with task_obs(obs):
+                    scores = [_candidate_item(lam) for lam in lams]
+    return list(zip(lams, scores))
 
 
 _DEFAULT_ZOO: Optional[ModelZoo] = None

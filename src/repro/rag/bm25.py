@@ -8,7 +8,13 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def _bm25_doc(doc: str) -> Tuple[Counter, int]:
+    """Worker-side term stats for one document: ``(term freqs, length)``."""
+    tokens = BM25Index._tokenize(doc)
+    return Counter(tokens), len(tokens)
 
 
 class BM25Index:
@@ -20,9 +26,15 @@ class BM25Index:
         The corpus; document ids are list indices.
     k1, b:
         Standard BM25 saturation and length-normalisation parameters.
+    workers:
+        >1 computes per-document term statistics in a
+        :class:`~repro.parallel.WorkerPool` and merges the shards in
+        document order (document-frequency ``Counter`` sums are
+        commutative, so the index is bit-identical to a serial build).
     """
 
-    def __init__(self, documents: Sequence[str], k1: float = 1.5, b: float = 0.75) -> None:
+    def __init__(self, documents: Sequence[str], k1: float = 1.5, b: float = 0.75,
+                 workers: Optional[int] = None) -> None:
         if not documents:
             raise ValueError("cannot index an empty corpus")
         if k1 < 0 or not 0 <= b <= 1:
@@ -30,9 +42,9 @@ class BM25Index:
         self.documents = list(documents)
         self.k1 = k1
         self.b = b
-        self._doc_tokens = [doc.split() for doc in self.documents]
-        self._doc_freqs = [Counter(toks) for toks in self._doc_tokens]
-        self._doc_lens = [len(toks) for toks in self._doc_tokens]
+        stats = self._build_stats(workers)
+        self._doc_freqs = [freqs for freqs, _ in stats]
+        self._doc_lens = [length for _, length in stats]
         self._avg_len = sum(self._doc_lens) / len(self._doc_lens)
         df: Counter = Counter()
         for freqs in self._doc_freqs:
@@ -44,14 +56,31 @@ class BM25Index:
             for term, d in df.items()
         }
 
+    def _build_stats(self, workers: Optional[int]) -> List[Tuple[Counter, int]]:
+        from ..parallel import WorkerPool, effective_workers
+
+        if effective_workers(workers) > 1:
+            with WorkerPool(effective_workers(workers)) as pool:
+                return pool.map_chunked(_bm25_doc, self.documents)
+        return [_bm25_doc(doc) for doc in self.documents]
+
+    @staticmethod
+    def _tokenize(text: str) -> List[str]:
+        """The index's single tokenisation rule (documents *and* queries)."""
+        return text.split()
+
     def score(self, query: str, doc_id: int) -> float:
         """BM25 score of one document for the query."""
+        return self._score_terms(self._tokenize(query), doc_id)
+
+    def _score_terms(self, terms: Sequence[str], doc_id: int) -> float:
+        """Score against an already-tokenised query (what ``search`` batches)."""
         if not 0 <= doc_id < len(self.documents):
             raise IndexError(f"doc_id {doc_id} out of range")
         freqs = self._doc_freqs[doc_id]
         length = self._doc_lens[doc_id]
         score = 0.0
-        for term in query.split():
+        for term in terms:
             if term not in freqs:
                 continue
             tf = freqs[term]
@@ -63,10 +92,13 @@ class BM25Index:
     def search(self, query: str, top_k: int = 5) -> List[Tuple[int, float]]:
         """Top-``top_k`` ``(doc_id, score)`` pairs, best first.
 
-        Ties break toward lower doc ids for determinism.
+        Ties break toward lower doc ids for determinism.  The query is
+        tokenised exactly once, not once per document.
         """
         if top_k <= 0:
             raise ValueError(f"top_k must be positive, got {top_k}")
-        scores = [(i, self.score(query, i)) for i in range(len(self.documents))]
+        terms = self._tokenize(query)
+        scores = [(i, self._score_terms(terms, i))
+                  for i in range(len(self.documents))]
         scores.sort(key=lambda pair: (-pair[1], pair[0]))
         return scores[:top_k]

@@ -9,7 +9,7 @@ weights required, which keeps the pipeline fully offline.
 from __future__ import annotations
 
 import hashlib
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,40 +22,109 @@ def _hash_feature(feature: str, dim: int) -> Tuple[int, float]:
     return bucket, sign
 
 
+def _embed_text(text: str) -> np.ndarray:
+    """Worker-side embedding of one text (embedder fork-inherited)."""
+    from ..parallel import get_task_context
+
+    return get_task_context()["rag_embedder"].embed(text)
+
+
 class HashedEmbedder:
-    """Feature-hashing sentence embedder over word unigrams and bigrams."""
+    """Feature-hashing sentence embedder over word unigrams and bigrams.
+
+    Each distinct feature string is hashed once and its ``(bucket, sign)``
+    pair memoised, so repeated vocabulary across a corpus costs one md5
+    digest total rather than one per occurrence.
+    """
 
     def __init__(self, dim: int = 256) -> None:
         if dim <= 0:
             raise ValueError(f"dim must be positive, got {dim}")
         self.dim = dim
+        self._feature_cache: Dict[str, Tuple[int, float]] = {}
+
+    def _feature(self, feature: str) -> Tuple[int, float]:
+        hit = self._feature_cache.get(feature)
+        if hit is None:
+            hit = self._feature_cache[feature] = _hash_feature(feature, self.dim)
+        return hit
+
+    @staticmethod
+    def _features(text: str) -> List[str]:
+        tokens = text.split()
+        features = list(tokens)
+        features.extend(f"{a}_{b}" for a, b in zip(tokens, tokens[1:]))
+        return features
 
     def embed(self, text: str) -> np.ndarray:
         """Embed one text into an L2-normalised vector (zeros if empty)."""
         vec = np.zeros(self.dim, dtype=np.float64)
-        tokens = text.split()
-        features = list(tokens)
-        features.extend(f"{a}_{b}" for a, b in zip(tokens, tokens[1:]))
-        for feature in features:
-            bucket, sign = _hash_feature(feature, self.dim)
-            vec[bucket] += sign
+        features = self._features(text)
+        if features:
+            pairs = [self._feature(f) for f in features]
+            buckets = np.fromiter((b for b, _ in pairs), dtype=np.intp,
+                                  count=len(pairs))
+            signs = np.fromiter((s for _, s in pairs), dtype=np.float64,
+                                count=len(pairs))
+            # ±1 accumulation is exact in float64, so the scatter-add is
+            # bit-identical to the scalar loop regardless of ordering.
+            np.add.at(vec, buckets, signs)
         norm = np.linalg.norm(vec)
         return vec / norm if norm > 0 else vec
 
-    def embed_batch(self, texts: Sequence[str]) -> np.ndarray:
-        """Embed many texts into a ``(n, dim)`` matrix."""
-        return np.stack([self.embed(t) for t in texts]) if texts else np.zeros((0, self.dim))
+    def embed_batch(self, texts: Sequence[str],
+                    workers: Optional[int] = None) -> np.ndarray:
+        """Embed many texts into a ``(n, dim)`` matrix.
+
+        ``workers`` > 1 embeds texts in a
+        :class:`~repro.parallel.WorkerPool` (rows are stacked back in text
+        order, bit-identical to the serial path).  Serially, all texts are
+        accumulated through one vectorised scatter-add.
+        """
+        from ..parallel import WorkerPool, effective_workers, task_context
+
+        texts = list(texts)
+        if not texts:
+            return np.zeros((0, self.dim), dtype=np.float64)
+        workers = effective_workers(workers)
+        if workers > 1:
+            with task_context(rag_embedder=self):
+                with WorkerPool(workers) as pool:
+                    rows = pool.map_chunked(_embed_text, texts)
+            return np.stack(rows)
+        rows_idx: List[int] = []
+        buckets: List[int] = []
+        signs: List[float] = []
+        for row, text in enumerate(texts):
+            for feature in self._features(text):
+                bucket, sign = self._feature(feature)
+                rows_idx.append(row)
+                buckets.append(bucket)
+                signs.append(sign)
+        mat = np.zeros((len(texts), self.dim), dtype=np.float64)
+        if rows_idx:
+            np.add.at(mat,
+                      (np.asarray(rows_idx, dtype=np.intp),
+                       np.asarray(buckets, dtype=np.intp)),
+                      np.asarray(signs, dtype=np.float64))
+        # Sums of squares of small exact integers are exact, so the row
+        # norms (and hence the normalised rows) match per-text embed().
+        norms = np.linalg.norm(mat, axis=1)
+        return mat / np.where(norms > 0, norms, 1.0)[:, None]
 
 
 class DenseRetriever:
     """Cosine-similarity retrieval over pre-embedded documents."""
 
-    def __init__(self, documents: Sequence[str], embedder: HashedEmbedder = None) -> None:
+    def __init__(self, documents: Sequence[str],
+                 embedder: HashedEmbedder = None,
+                 workers: Optional[int] = None) -> None:
         if not documents:
             raise ValueError("cannot index an empty corpus")
         self.documents = list(documents)
         self.embedder = embedder or HashedEmbedder()
-        self._matrix = self.embedder.embed_batch(self.documents)
+        self._matrix = self.embedder.embed_batch(self.documents,
+                                                 workers=workers)
 
     def search(self, query: str, top_k: int = 5) -> List[Tuple[int, float]]:
         """Top-``top_k`` ``(doc_id, cosine)`` pairs, best first."""

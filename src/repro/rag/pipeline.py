@@ -57,19 +57,27 @@ class RagPipeline:
         Shared :class:`~repro.obs.Observability`; each retrieval records a
         ``rag.retrieve`` span with per-stage children (dense / bm25 / fuse /
         rerank) plus a query counter.  Private when omitted.
+    workers:
+        >1 builds both indices in parallel: corpus embeddings fan out
+        across a :class:`~repro.parallel.WorkerPool` and BM25 term
+        statistics are sharded per document and merged.  Both indices are
+        bit-identical to a serial build.
     """
 
     def __init__(self, corpus: Sequence[str], candidate_k: int = 5,
                  final_k: int = 1, embed_dim: int = 256,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 workers: Optional[int] = None) -> None:
         if final_k > candidate_k:
             raise ValueError("final_k cannot exceed candidate_k")
         self.corpus = list(corpus)
         self.candidate_k = candidate_k
         self.final_k = final_k
         self.obs = obs if obs is not None else Observability()
-        self.dense = DenseRetriever(self.corpus, HashedEmbedder(embed_dim))
-        self.bm25 = BM25Index(self.corpus)
+        with self.obs.span("rag.index_build", docs=len(self.corpus)):
+            self.dense = DenseRetriever(self.corpus, HashedEmbedder(embed_dim),
+                                        workers=workers)
+            self.bm25 = BM25Index(self.corpus, workers=workers)
         self.reranker = OverlapReranker(self.corpus)
 
     def retrieve_many(self, queries: Sequence[str]) -> List[RetrievalResult]:

@@ -471,3 +471,74 @@ def test_obs_flow_is_deterministic_under_fake_clock():
         return obs.tracer.to_jsonl(), obs.registry.to_json()
 
     assert run() == run()
+
+
+# ---------------------------------------------------------------------------
+# cross-process export/absorb (the parallel layer's snapshot protocol)
+# ---------------------------------------------------------------------------
+
+
+class TestExportAbsorb:
+    def test_export_is_picklable_plain_data(self):
+        import pickle
+
+        obs = Observability()
+        obs.registry.counter("c").inc(3)
+        obs.registry.gauge("g").set(2.5)
+        obs.registry.histogram("h", (1.0, 10.0)).observe(4.0)
+        with obs.span("work", depth=1):
+            pass
+        exported = obs.export()
+        restored = pickle.loads(pickle.dumps(exported))
+        assert restored == exported
+        assert restored["metrics"]["counters"]["c"] == 3
+
+    def test_absorbing_same_snapshot_twice_counts_once(self):
+        child = Observability()
+        child.registry.counter("items").inc(7)
+        child.registry.histogram("lat", (1.0, 2.0)).observe(1.5)
+        exported = child.export()
+        parent = Observability()
+        assert parent.absorb(exported) is True
+        assert parent.absorb(exported) is False  # idempotence guard
+        snap = parent.registry.snapshot()
+        assert snap["items"] == 7  # not 14
+        assert snap["lat"]["count"] == 1
+
+    def test_absorbing_distinct_children_accumulates(self):
+        parent = Observability()
+        for _ in range(3):
+            child = Observability()
+            child.registry.counter("items").inc(2)
+            assert parent.absorb(child.export()) is True
+        assert parent.registry.snapshot()["items"] == 6
+
+    def test_registry_merge_same_registry_twice_is_noop(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        b.counter("n").inc(5)
+        a.merge(b)
+        a.merge(b)  # keyed by b's uid: second merge is skipped
+        assert a.snapshot()["n"] == 5
+
+    def test_absorb_rejects_mismatched_histogram_bounds(self):
+        child = Observability()
+        child.registry.histogram("h", (1.0, 2.0)).observe(1.0)
+        parent = Observability()
+        parent.registry.histogram("h", (5.0, 6.0))
+        with pytest.raises(ValueError):
+            parent.absorb(child.export())
+
+    def test_absorbed_spans_graft_under_open_span(self):
+        child = Observability()
+        with child.span("child.work"):
+            pass
+        parent = Observability()
+        with parent.span("map"):
+            parent.absorb(child.export())
+        (root,) = parent.tracer.roots
+        assert [s.name for s in root.children] == ["child.work"]
+
+    def test_empty_export_has_no_instruments(self):
+        exported = Observability().export()
+        assert exported["metrics"]["counters"] == {}
+        assert exported["spans"] == []

@@ -205,3 +205,90 @@ class TestPipeline:
         golden_ids = [corpus.index(t.context) for t in triplets]
         recall = pipeline.recall_at_k([t.question for t in triplets], golden_ids)
         assert recall >= 0.6
+
+
+class TestIndexingPerfSatellites:
+    """The parallel-layer PR's retrieval fixes: tokenize-once search,
+    cached+vectorised hashing, and bit-identical parallel index builds."""
+
+    def test_search_tokenizes_query_once(self, monkeypatch):
+        index = BM25Index(CORPUS)
+        calls = {"n": 0}
+        real = BM25Index._tokenize
+
+        def counting(text):
+            calls["n"] += 1
+            return real(text)
+
+        monkeypatch.setattr(BM25Index, "_tokenize", staticmethod(counting))
+        index.search("global placement of the clock tree", top_k=3)
+        assert calls["n"] == 1  # once per search, not once per document
+
+    def test_score_and_search_agree(self):
+        index = BM25Index(CORPUS)
+        for doc_id, score in index.search("clock tree synthesis", top_k=5):
+            assert score == index.score("clock tree synthesis", doc_id)
+
+    def test_parallel_build_is_bit_identical(self):
+        from repro.parallel import parallel_available
+
+        if not parallel_available():
+            pytest.skip("requires os.fork")
+        serial = BM25Index(CORPUS)
+        sharded = BM25Index(CORPUS, workers=2)
+        assert sharded._doc_freqs == serial._doc_freqs
+        assert sharded._doc_lens == serial._doc_lens
+        assert sharded._idf == serial._idf
+        assert list(sharded._idf) == list(serial._idf)  # same term order
+        query = "timing report of the design"
+        assert sharded.search(query, top_k=5) == serial.search(query, top_k=5)
+
+    def test_embedder_matches_scalar_reference(self):
+        from repro.rag.embedder import _hash_feature
+
+        def reference(text, dim):
+            vec = np.zeros(dim)
+            tokens = text.split()
+            feats = list(tokens) + [f"{a}_{b}"
+                                    for a, b in zip(tokens, tokens[1:])]
+            for feat in feats:
+                bucket, sign = _hash_feature(feat, dim)
+                vec[bucket] += sign
+            norm = np.linalg.norm(vec)
+            return vec / norm if norm > 0 else vec
+
+        embedder = HashedEmbedder(64)
+        texts = CORPUS + ["", "repeated repeated repeated"]
+        expected = np.stack([reference(t, 64) for t in texts])
+        singles = np.stack([embedder.embed(t) for t in texts])
+        batch = embedder.embed_batch(texts)
+        assert np.array_equal(singles, expected)  # bit-exact, not approx
+        assert np.array_equal(batch, expected)
+
+    def test_embedder_feature_cache_fills_and_hits(self):
+        embedder = HashedEmbedder(64)
+        embedder.embed("clock tree synthesis")
+        cached = len(embedder._feature_cache)
+        assert cached == 5  # 3 unigrams + 2 bigrams
+        embedder.embed("clock tree synthesis")
+        assert len(embedder._feature_cache) == cached  # all hits, no growth
+
+    def test_embed_batch_parallel_matches_serial(self):
+        from repro.parallel import parallel_available
+
+        if not parallel_available():
+            pytest.skip("requires os.fork")
+        serial = HashedEmbedder(128).embed_batch(CORPUS)
+        parallel = HashedEmbedder(128).embed_batch(CORPUS, workers=2)
+        assert np.array_equal(serial, parallel)
+
+    def test_pipeline_parallel_build_retrieves_identically(self):
+        from repro.parallel import parallel_available
+
+        if not parallel_available():
+            pytest.skip("requires os.fork")
+        serial = RagPipeline(CORPUS, final_k=2)
+        parallel = RagPipeline(CORPUS, final_k=2, workers=2)
+        assert np.array_equal(serial.dense._matrix, parallel.dense._matrix)
+        for query in ["clock tree", "global placement of cells", "cmake"]:
+            assert parallel.retrieve(query) == serial.retrieve(query)

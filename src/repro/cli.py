@@ -245,6 +245,64 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_net(args: argparse.Namespace) -> int:
+    """Run the socket front door in the foreground until SIGINT/SIGTERM,
+    then drain gracefully (finish in-flight work, refuse new work)."""
+    import signal
+    import threading
+
+    from .nn.transformer import preset_config
+    from .serve import ServeConfig
+    from .serve.net import NetServerConfig, NetServerThread, TenantConfig
+
+    config = preset_config(args.backbone, vocab_size=args.vocab, seed=args.seed)
+    model = TransformerLM(config)
+    try:
+        serve_config = ServeConfig(max_batch_size=args.max_batch,
+                                   decode_mode=args.decode_mode)
+        net_config = NetServerConfig(
+            host=args.host, port=args.port,
+            default_tenant=TenantConfig(rate=args.rate, burst=args.burst,
+                                        max_queue=args.max_queue),
+            max_queue_total=args.max_queue_total)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    handle = NetServerThread(model, serve_config=serve_config,
+                             net_config=net_config)
+    host, port = handle.start()
+    print(f"serve-net: {args.backbone} backbone listening on {host}:{port} "
+          f"(max batch {args.max_batch}, decode mode {args.decode_mode})")
+    print("serve-net: SIGINT/SIGTERM drains gracefully")
+
+    stop = threading.Event()
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    stop.wait()
+    print("serve-net: draining (finishing in-flight, refusing new work)...")
+    ledger = handle.drain(grace_s=args.grace)
+    handle.stop()
+    print(f"serve-net: drained — {ledger}")
+    return 0 if ledger.get("conservation_ok") else 1
+
+
+def _cmd_serve_net_bench(args: argparse.Namespace) -> int:
+    from .serve.net.bench import (format_net_report, run_net_benchmark,
+                                  write_net_snapshot)
+
+    try:
+        report = run_net_benchmark(backbone=args.backbone,
+                                   n_requests=args.requests, seed=args.seed)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_net_report(report))
+    if args.json:
+        write_net_snapshot(report, args.json)
+        print(f"snapshot written to {args.json}")
+    return 0 if report["slo_ok"] else 1
+
+
 def _cmd_bench_train(args: argparse.Namespace) -> int:
     from .nn.train_bench import (format_train_report, run_train_benchmark,
                                  write_snapshot)
@@ -405,6 +463,44 @@ def build_parser() -> argparse.ArgumentParser:
                          help="model vocabulary size (random weights)")
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.set_defaults(fn=_cmd_serve_bench)
+
+    p_net = sub.add_parser(
+        "serve-net",
+        help="run the socket front door until SIGTERM, then drain")
+    p_net.add_argument("--backbone", default="nano",
+                       help="model preset to serve (nano/micro/grande)")
+    p_net.add_argument("--host", default="127.0.0.1")
+    p_net.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = ephemeral, printed at startup)")
+    p_net.add_argument("--max-batch", type=int, default=8)
+    p_net.add_argument("--decode-mode", default="fused",
+                       choices=("fused", "exact"))
+    p_net.add_argument("--rate", type=float, default=float("inf"),
+                       help="default tenant token-bucket rate (req/s)")
+    p_net.add_argument("--burst", type=int, default=16,
+                       help="default tenant token-bucket burst size")
+    p_net.add_argument("--max-queue", type=int, default=64,
+                       help="per-tenant admitted-queue bound")
+    p_net.add_argument("--max-queue-total", type=int, default=256,
+                       help="global admitted-queue bound")
+    p_net.add_argument("--grace", type=float, default=60.0,
+                       help="drain grace period in seconds")
+    p_net.add_argument("--vocab", type=int, default=128)
+    p_net.add_argument("--seed", type=int, default=0)
+    p_net.set_defaults(fn=_cmd_serve_net)
+
+    p_nbench = sub.add_parser(
+        "serve-net-bench",
+        help="socket serving SLO benchmark (parity/streaming/fairness/"
+             "overload/drain); exit 1 if any SLO fails")
+    p_nbench.add_argument("--backbone", default="nano")
+    p_nbench.add_argument("--requests", type=int, default=16,
+                          help="streaming-phase workload size")
+    p_nbench.add_argument("--seed", type=int, default=3)
+    p_nbench.add_argument("--json", type=Path, default=None,
+                          help="also write the full report (with replayable "
+                               "arrival schedules) to this path")
+    p_nbench.set_defaults(fn=_cmd_serve_net_bench)
 
     p_btrain = sub.add_parser(
         "bench-train",

@@ -126,6 +126,35 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile (q in [0, 1]) from the bucket counts.
+
+        Linear interpolation within the winning bucket, Prometheus
+        ``histogram_quantile`` style.  The true min/max sidecars clamp the
+        first and +inf buckets, so the estimate never leaves the observed
+        range; exact for the extremes, bucket-resolution otherwise.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        running = 0
+        for i, raw in enumerate(self.bucket_counts):
+            if raw == 0:
+                continue
+            if running + raw >= rank:
+                lo = self.bounds[i - 1] if i > 0 else min(self.min, self.bounds[0])
+                hi = self.bounds[i] if i < len(self.bounds) else self.max
+                lo = max(lo, self.min)
+                hi = min(hi, self.max)
+                if hi <= lo:
+                    return hi
+                frac = (rank - running) / raw
+                return lo + (hi - lo) * max(0.0, min(1.0, frac))
+            running += raw
+        return self.max
+
     def to_dict(self) -> Dict[str, object]:
         cumulative, running = [], 0
         for raw in self.bucket_counts:

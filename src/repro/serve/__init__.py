@@ -21,12 +21,19 @@ Quickstart::
     print(server.metrics_snapshot()["tokens_per_second"])
 
 See DESIGN.md §6 and ``repro serve-bench`` for the benchmark workflow.
+
+The network front door — real sockets, streaming, multi-tenant admission
+control — lives in :mod:`repro.serve.net` (DESIGN.md §9, ``repro
+serve-net`` / ``repro serve-net-bench``).
 """
 
 from .cache import PrefixCachePool, common_prefix_length
 from .engine import BatchedEngine, DECODE_MODES
-from .loadgen import (WorkloadSpec, format_benchmark_report, run_serial_baseline,
-                      run_serve_benchmark, run_served, synthetic_prompts)
+from .loadgen import (ARRIVAL_PROCESSES, WorkloadSpec, arrival_schedule,
+                      format_benchmark_report, percentile,
+                      run_multi_tenant_workload, run_serial_baseline,
+                      run_serve_benchmark, run_served, run_socket_workload,
+                      synthetic_prompts)
 from .metrics import ServerMetrics
 from .request import (Completion, FinishReason, Request, RequestStatus,
                       SamplingParams)
@@ -41,6 +48,8 @@ __all__ = [
     "Scheduler", "ServeConfig", "ServerMetrics",
     "SessionState", "SessionStore",
     "InProcessServer",
-    "WorkloadSpec", "format_benchmark_report", "run_serial_baseline",
-    "run_serve_benchmark", "run_served", "synthetic_prompts",
+    "ARRIVAL_PROCESSES", "WorkloadSpec", "arrival_schedule",
+    "format_benchmark_report", "percentile", "run_multi_tenant_workload",
+    "run_serial_baseline", "run_serve_benchmark", "run_served",
+    "run_socket_workload", "synthetic_prompts",
 ]

@@ -1,0 +1,403 @@
+"""Multi-tenant admission control: rate limits, fair-share queueing, shedding.
+
+The scheduler (`repro.serve.scheduler`) is deliberately tenant-blind — it
+orders by priority and submission time.  This layer sits between the network
+transport and the scheduler and decides, per tenant:
+
+* **rate limiting** — a token bucket per tenant (``rate`` requests/sec,
+  ``burst`` capacity) sheds traffic above the contracted rate with a
+  ``retry_after_s`` hint computed from the bucket deficit;
+* **backpressure** — per-tenant and global queue-depth bounds shed load
+  explicitly (:data:`~repro.serve.net.protocol.SHED_QUEUE_FULL`) instead of
+  letting the queue grow without bound and collapse every tenant's latency;
+* **fair-share queueing** — admitted requests wait in per-tenant FIFOs and
+  are released to the scheduler by weighted start-time fair queueing
+  (virtual-time based, the classic WFQ approximation): each dequeue charges
+  the tenant ``cost / weight`` virtual time, where cost is the request's
+  decode budget, so a tenant with weight 9 gets ~9x the token throughput of
+  a weight-1 tenant under saturation — and an idle tenant's first request
+  never waits behind a backlog it didn't create;
+* **deadline propagation** — a client ``timeout_s`` (clamped to the
+  tenant's ``max_timeout_s``, defaulted from ``default_timeout_s``) becomes
+  an absolute :attr:`~repro.serve.request.Request.deadline` on the server
+  clock, so the scheduler's existing expiry machinery evicts work that can
+  no longer meet its SLO whether it is queued here, queued there, or
+  mid-decode.
+
+Everything takes an injectable clock, so policy tests run on manual time.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ...obs import Observability
+from ..request import Request
+from .protocol import SHED_DRAINING, SHED_QUEUE_FULL, SHED_RATE_LIMITED
+
+#: Retry hint floor — clients should never busy-spin on a 0s hint.
+MIN_RETRY_AFTER_S = 0.05
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Admission contract of one tenant.
+
+    Defaults are permissive (no rate limit, generous queue) so a server
+    configured with nothing but ``TenantConfig()`` behaves like a
+    single-tenant front door.
+    """
+
+    name: str = "default"
+    #: Sustained request rate (requests/sec); ``inf`` disables the bucket.
+    rate: float = math.inf
+    #: Token-bucket capacity (burst size above the sustained rate).
+    burst: int = 16
+    #: Weighted-fair-share weight (relative share under saturation).
+    weight: float = 1.0
+    #: Per-tenant admitted-but-unscheduled queue bound.
+    max_queue: int = 64
+    #: Cap applied to client-supplied ``timeout_s`` (``None`` = no cap).
+    max_timeout_s: Optional[float] = None
+    #: Deadline for requests that supply no ``timeout_s`` (``None`` = none).
+    default_timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("rate must be positive (use inf to disable)")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+
+
+class TokenBucket:
+    """Classic token bucket on an injectable clock.
+
+    The bucket starts full (a tenant may burst immediately); refill is
+    continuous at ``rate`` tokens/sec up to ``burst``.
+    """
+
+    def __init__(self, rate: float, burst: int,
+                 clock: Callable[[], float]) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._refilled_at = clock()
+
+    def _refill(self, now: float) -> None:
+        if math.isinf(self.rate):
+            self._tokens = self.burst
+        else:
+            self._tokens = min(self.burst,
+                               self._tokens + (now - self._refilled_at) * self.rate)
+        self._refilled_at = now
+
+    def try_take(self, cost: float = 1.0) -> Tuple[bool, float]:
+        """Spend ``cost`` tokens if available.
+
+        Returns ``(True, 0.0)`` on success, else ``(False, retry_after_s)``
+        where the hint is the exact time until the deficit refills.
+        """
+        self._refill(self._clock())
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return True, 0.0
+        if math.isinf(self.rate):  # unreachable deficit with an inf rate
+            return True, 0.0
+        retry = (cost - self._tokens) / self.rate
+        return False, max(MIN_RETRY_AFTER_S, retry)
+
+    @property
+    def tokens(self) -> float:
+        self._refill(self._clock())
+        return self._tokens
+
+
+@dataclass
+class AdmissionDecision:
+    """Outcome of one :meth:`AdmissionController.admit` call."""
+
+    admitted: bool
+    shed_code: Optional[str] = None
+    retry_after_s: float = 0.0
+    deadline: Optional[float] = None
+
+
+class _TenantState:
+    """Live queue + accounting of one tenant."""
+
+    __slots__ = ("config", "bucket", "queue", "vtime", "accepted", "shed",
+                 "finished", "expired", "cancelled", "tokens_out")
+
+    def __init__(self, config: TenantConfig,
+                 clock: Callable[[], float]) -> None:
+        self.config = config
+        self.bucket = TokenBucket(config.rate, config.burst, clock)
+        self.queue: Deque[Request] = deque()
+        #: Virtual finish time of the tenant's last released request.
+        self.vtime = 0.0
+        self.accepted = 0
+        self.shed = 0
+        self.finished = 0
+        self.expired = 0
+        self.cancelled = 0
+        self.tokens_out = 0
+
+
+class AdmissionController:
+    """Per-tenant admission + weighted fair release into the scheduler.
+
+    Parameters
+    ----------
+    tenants:
+        Static tenant contracts.  Tenants not listed fall back to
+        ``default_config`` (pass ``None`` to refuse unknown tenants —
+        they shed with :data:`SHED_QUEUE_FULL`).
+    clock:
+        Monotonic time source shared with the scheduler.
+    max_queue_total:
+        Global admitted-but-unscheduled bound across all tenants.
+    obs:
+        Observability handle; per-tenant counters land under
+        ``serve.net.tenant.<name>.*`` and global ones under ``serve.net.*``.
+    """
+
+    def __init__(self, tenants: Tuple[TenantConfig, ...] = (),
+                 clock: Callable[[], float] = None,
+                 max_queue_total: int = 256,
+                 default_config: Optional[TenantConfig] = TenantConfig(),
+                 obs: Optional[Observability] = None) -> None:
+        if clock is None:
+            import time
+            clock = time.monotonic
+        if max_queue_total < 1:
+            raise ValueError("max_queue_total must be >= 1")
+        self.clock = clock
+        self.max_queue_total = max_queue_total
+        self.default_config = default_config
+        self.obs = obs if obs is not None else Observability(clock=clock)
+        self.draining = False
+        self._tenants: Dict[str, _TenantState] = {}
+        if isinstance(tenants, dict):  # mapping name -> config is also fine
+            tenants = tuple(tenants.values())
+        for config in tenants:
+            if config.name in self._tenants:
+                raise ValueError(f"duplicate tenant {config.name!r}")
+            self._tenants[config.name] = _TenantState(config, clock)
+        #: System virtual time: the max virtual start time ever released.
+        self._vclock = 0.0
+        self._queued_total = 0
+        self._by_request: Dict[str, str] = {}  # request_id -> tenant name
+        reg = self.obs.registry
+        self._accepted_total = reg.counter("serve.net.accepted")
+        self._shed_total = reg.counter("serve.net.shed")
+        self._released_total = reg.counter("serve.net.released")
+        self._queue_gauge = reg.gauge("serve.net.admission_queue_depth")
+
+    # ------------------------------------------------------------------
+    @property
+    def queued_total(self) -> int:
+        return self._queued_total
+
+    def tenant(self, name: str) -> Optional[_TenantState]:
+        """The tenant's live state, creating it from the default contract."""
+        state = self._tenants.get(name)
+        if state is None and self.default_config is not None:
+            config = replace(self.default_config, name=name)
+            state = self._tenants[name] = _TenantState(config, self.clock)
+        return state
+
+    def tenant_names(self) -> List[str]:
+        return sorted(self._tenants)
+
+    # ------------------------------------------------------------------
+    def admit(self, tenant_name: str, request: Request,
+              timeout_s: Optional[float] = None) -> AdmissionDecision:
+        """Admit or shed one request; admitted requests enter the tenant FIFO.
+
+        The returned decision carries the propagated absolute deadline; the
+        queued :class:`Request` is rebuilt with it when one was derived.
+        """
+        if self.draining:
+            return self._shed(tenant_name, SHED_DRAINING, MIN_RETRY_AFTER_S)
+        state = self.tenant(tenant_name)
+        if state is None:
+            return self._shed(tenant_name, SHED_QUEUE_FULL, MIN_RETRY_AFTER_S)
+        if self._queued_total >= self.max_queue_total:
+            return self._shed(tenant_name, SHED_QUEUE_FULL,
+                              self._drain_eta(self._queued_total))
+        if len(state.queue) >= state.config.max_queue:
+            return self._shed(tenant_name, SHED_QUEUE_FULL,
+                              self._drain_eta(len(state.queue)))
+        ok, retry = state.bucket.try_take()
+        if not ok:
+            return self._shed(tenant_name, SHED_RATE_LIMITED, retry)
+        deadline = self._propagate_deadline(state.config, request, timeout_s)
+        if deadline is not None and deadline != request.deadline:
+            request = Request(request_id=request.request_id,
+                              prompt_ids=request.prompt_ids,
+                              params=request.params,
+                              priority=request.priority,
+                              deadline=deadline,
+                              session_id=request.session_id)
+        state.queue.append(request)
+        state.accepted += 1
+        self._queued_total += 1
+        self._by_request[request.request_id] = tenant_name
+        self._accepted_total.inc()
+        self.obs.registry.counter(
+            f"serve.net.tenant.{tenant_name}.accepted").inc()
+        self._queue_gauge.set(self._queued_total)
+        return AdmissionDecision(admitted=True, deadline=deadline)
+
+    def _propagate_deadline(self, config: TenantConfig, request: Request,
+                            timeout_s: Optional[float]) -> Optional[float]:
+        if timeout_s is None:
+            timeout_s = config.default_timeout_s
+        if config.max_timeout_s is not None:
+            timeout_s = (config.max_timeout_s if timeout_s is None
+                         else min(timeout_s, config.max_timeout_s))
+        if timeout_s is None:
+            return request.deadline
+        absolute = self.clock() + timeout_s
+        return (absolute if request.deadline is None
+                else min(absolute, request.deadline))
+
+    def _shed(self, tenant_name: str, code: str,
+              retry_after: float) -> AdmissionDecision:
+        state = self._tenants.get(tenant_name)
+        if state is not None:
+            state.shed += 1
+        self._shed_total.inc()
+        self.obs.registry.counter(f"serve.net.tenant.{tenant_name}.shed").inc()
+        self.obs.registry.counter(f"serve.net.shed_{code}").inc()
+        return AdmissionDecision(admitted=False, shed_code=code,
+                                 retry_after_s=max(MIN_RETRY_AFTER_S,
+                                                   retry_after))
+
+    def _drain_eta(self, depth: int) -> float:
+        """Heuristic retry hint for a full queue: scale with the backlog."""
+        return max(MIN_RETRY_AFTER_S, 0.02 * depth)
+
+    # ------------------------------------------------------------------
+    def next_batch(self, n_free: int) -> List[Request]:
+        """Release up to ``n_free`` requests by weighted fair queueing.
+
+        This is the scheduler's refill hook
+        (:attr:`~repro.serve.scheduler.Scheduler.refill`): each scheduler
+        step asks for exactly as many requests as it has free slots, so
+        ordering authority stays here and the scheduler's internal queue
+        never reorders across tenants.
+        """
+        released: List[Request] = []
+        while n_free > 0:
+            state = self._pick_tenant()
+            if state is None:
+                break
+            request = state.queue.popleft()
+            self._queued_total -= 1
+            # Charge virtual time: decode budget over weight.  max(vtime,
+            # vclock) keeps an idle tenant from banking credit while away.
+            cost = request.params.max_new_tokens
+            start = max(state.vtime, self._vclock)
+            state.vtime = start + cost / state.config.weight
+            self._vclock = max(self._vclock, start)
+            released.append(request)
+            self._released_total.inc()
+            n_free -= 1
+        self._queue_gauge.set(self._queued_total)
+        return released
+
+    def _pick_tenant(self) -> Optional[_TenantState]:
+        best: Optional[_TenantState] = None
+        best_key: Optional[Tuple[float, str]] = None
+        for name, state in self._tenants.items():
+            if not state.queue:
+                continue
+            key = (max(state.vtime, self._vclock), name)
+            if best_key is None or key < best_key:
+                best, best_key = state, key
+        return best
+
+    # ------------------------------------------------------------------
+    def cancel_queued(self, request_id: str) -> bool:
+        """Remove an admitted-but-unreleased request from its tenant queue."""
+        tenant_name = self._by_request.get(request_id)
+        if tenant_name is None:
+            return False
+        state = self._tenants.get(tenant_name)
+        if state is None:
+            return False
+        for request in state.queue:
+            if request.request_id == request_id:
+                state.queue.remove(request)
+                self._queued_total -= 1
+                self._queue_gauge.set(self._queued_total)
+                self.record_outcome(request_id, "cancelled")
+                return True
+        return False
+
+    def record_outcome(self, request_id: str, status: str,
+                       tokens: int = 0) -> None:
+        """Account a terminal outcome back to the owning tenant."""
+        tenant_name = self._by_request.pop(request_id, None)
+        if tenant_name is None:
+            return
+        state = self._tenants.get(tenant_name)
+        if state is None:
+            return
+        field = {"finished": "finished", "expired": "expired",
+                 "cancelled": "cancelled"}.get(status)
+        if field is not None:
+            setattr(state, field, getattr(state, field) + 1)
+            self.obs.registry.counter(
+                f"serve.net.tenant.{tenant_name}.{field}").inc()
+        if tokens:
+            state.tokens_out += tokens
+            self.obs.registry.counter(
+                f"serve.net.tenant.{tenant_name}.tokens_out").inc(tokens)
+
+    def tenant_of(self, request_id: str) -> Optional[str]:
+        return self._by_request.get(request_id)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Per-tenant accounting as a JSON-serialisable dict."""
+        tenants = {}
+        for name in sorted(self._tenants):
+            state = self._tenants[name]
+            tenants[name] = {
+                "accepted": state.accepted,
+                "shed": state.shed,
+                "finished": state.finished,
+                "expired": state.expired,
+                "cancelled": state.cancelled,
+                "tokens_out": state.tokens_out,
+                "queued": len(state.queue),
+                "weight": state.config.weight,
+                "rate": (state.config.rate
+                         if not math.isinf(state.config.rate) else None),
+                "bucket_tokens": round(state.bucket.tokens, 3),
+            }
+        return {"queued_total": self._queued_total,
+                "draining": self.draining,
+                "tenants": tenants}
+
+    def conservation_ok(self) -> bool:
+        """Every accepted request is live (queued here or in the scheduler)
+        or reached exactly one terminal outcome."""
+        live: Dict[str, int] = {}
+        for name in self._by_request.values():
+            live[name] = live.get(name, 0) + 1
+        for name, state in self._tenants.items():
+            terminal = state.finished + state.expired + state.cancelled
+            if state.accepted != terminal + live.get(name, 0):
+                return False
+        return True

@@ -1,0 +1,288 @@
+"""Synchronous socket client for the network front door.
+
+:class:`NetClient` speaks the NDJSON protocol over one TCP connection and
+demultiplexes interleaved events (several requests can be in flight at
+once).  It is deliberately synchronous — evaluation harnesses, the load
+generator, and tests are all synchronous code, and the open-loop load
+generator needs *independent* send and receive paths, so:
+
+* sends are guarded by a lock and may come from any thread;
+* receives must come from a single thread (either the one calling
+  :meth:`complete` / :meth:`recv_event`, or a dedicated reader thread as
+  :func:`repro.serve.loadgen.run_socket_workload` runs).
+
+Convenience layers:
+
+* :meth:`complete` — submit one request and block for its terminal event,
+  buffering (and exposing) any token events that streamed in between;
+* :meth:`stream` — generator yielding token events as they arrive,
+  returning on the ``done`` frame;
+* :meth:`health` / :meth:`server_metrics` — probe verbs.
+
+Shed responses surface as :class:`ShedError` carrying the server's
+``retry_after_s`` hint, so callers implement honest backoff with one
+``except``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from . import protocol
+from .protocol import ProtocolError
+
+
+class NetClientError(RuntimeError):
+    """Transport or protocol failure on the client side."""
+
+
+class ShedError(NetClientError):
+    """The server refused the request at admission control."""
+
+    def __init__(self, code: str, retry_after_s: float) -> None:
+        super().__init__(f"shed ({code}); retry after {retry_after_s:.3f}s")
+        self.code = code
+        self.retry_after_s = retry_after_s
+
+
+@dataclass
+class StreamResult:
+    """Client-side record of one completed (or refused) request."""
+
+    client_id: str
+    status: str
+    finish_reason: Optional[str] = None
+    token_ids: Tuple[int, ...] = ()
+    text: Optional[str] = None
+    #: Client-measured seconds from submit to the first streamed token.
+    ttft_s: Optional[float] = None
+    #: Client-measured seconds from submit to the terminal frame.
+    latency_s: Optional[float] = None
+    #: Server-reported timings (scheduler clock).
+    server_ttft_s: Optional[float] = None
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "finished"
+
+
+class NetClient:
+    """One NDJSON connection to a :class:`~repro.serve.net.server.NetServer`."""
+
+    def __init__(self, host: str, port: int, tenant: str = "default",
+                 connect_timeout: float = 10.0,
+                 io_timeout: Optional[float] = 120.0) -> None:
+        self.tenant = tenant
+        self._sock = socket.create_connection((host, port),
+                                              timeout=connect_timeout)
+        self._sock.settimeout(io_timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._send_lock = threading.Lock()
+        self._ids = itertools.count()
+        #: Buffered events for ids other than the one currently awaited.
+        self._pending: Dict[str, List[Dict[str, Any]]] = {}
+        self._submitted_at: Dict[str, float] = {}
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # low-level I/O
+    # ------------------------------------------------------------------
+    def send_frame(self, frame: Dict[str, Any]) -> None:
+        data = protocol.encode_frame(frame)
+        with self._send_lock:
+            try:
+                self._sock.sendall(data)
+            except OSError as exc:
+                raise NetClientError(f"send failed: {exc}") from exc
+
+    def recv_event(self) -> Dict[str, Any]:
+        """Read one event frame (single-reader only)."""
+        try:
+            line = self._rfile.readline()
+        except OSError as exc:
+            raise NetClientError(f"recv failed: {exc}") from exc
+        if not line:
+            raise NetClientError("connection closed by server")
+        try:
+            return protocol.parse_frame(line)
+        except ProtocolError as exc:
+            raise NetClientError(f"bad frame from server: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # verbs
+    # ------------------------------------------------------------------
+    def submit(self, prompt_ids: Optional[Sequence[int]] = None,
+               prompt: Optional[str] = None,
+               params: Optional[Dict[str, Any]] = None,
+               stream: bool = False, timeout_s: Optional[float] = None,
+               session: Optional[str] = None, priority: int = 0,
+               client_id: Optional[str] = None) -> str:
+        """Fire one ``submit``/``stream`` op; returns the client id.
+
+        Does not wait for any response — pair with :meth:`wait`,
+        :meth:`stream_events`, or a dedicated reader thread.
+        """
+        if client_id is None:
+            client_id = f"c{next(self._ids)}"
+        frame: Dict[str, Any] = {"op": "stream" if stream else "submit",
+                                 "id": client_id, "tenant": self.tenant}
+        if prompt_ids is not None:
+            frame["prompt_ids"] = [int(t) for t in prompt_ids]
+        elif prompt is not None:
+            frame["prompt"] = prompt
+        else:
+            raise ValueError("one of prompt_ids or prompt is required")
+        if params:
+            frame["params"] = params
+        if timeout_s is not None:
+            frame["timeout_s"] = timeout_s
+        if session is not None:
+            frame["session"] = session
+        if priority:
+            frame["priority"] = priority
+        self._submitted_at[client_id] = time.perf_counter()
+        self.send_frame(frame)
+        return client_id
+
+    def cancel(self, client_id: str) -> None:
+        self.send_frame({"op": "cancel", "id": client_id})
+
+    def health(self) -> Dict[str, Any]:
+        self.send_frame({"op": "health"})
+        return self._wait_kind("health")["data"]
+
+    def server_metrics(self) -> Dict[str, Any]:
+        self.send_frame({"op": "metrics"})
+        return self._wait_kind("metrics")["data"]
+
+    # ------------------------------------------------------------------
+    # demultiplexed waits
+    # ------------------------------------------------------------------
+    def events_for(self, client_id: str) -> Iterator[Dict[str, Any]]:
+        """Yield events for ``client_id`` until (and including) a terminal
+        one, buffering events that belong to other in-flight ids."""
+        while True:
+            buffered = self._pending.get(client_id)
+            if buffered:
+                event = buffered.pop(0)
+            else:
+                event = self.recv_event()
+                owner = event.get("id")
+                if owner is not None and owner != client_id:
+                    self._pending.setdefault(owner, []).append(event)
+                    continue
+            yield event
+            if event.get("event") in ("done", "shed") or (
+                    event.get("event") == "error"):
+                return
+
+    def wait_accepted(self, client_ids: Sequence[str]) -> List[str]:
+        """Block until every id has an admission outcome; returns the ids
+        that were *accepted* (refusals stay buffered for :meth:`wait`).
+
+        Submits are fire-and-forget bytes in the socket buffer — a caller
+        that needs "the server has admitted these" as a happens-before
+        edge (e.g. before starting a drain) must wait for the ``accepted``
+        frames, not just return from :meth:`submit`.
+        """
+        pending = set(client_ids)
+        accepted: List[str] = []
+        while pending:
+            event = self.recv_event()
+            owner = event.get("id")
+            kind = event.get("event")
+            if owner in pending and kind in ("accepted", "shed", "error",
+                                             "done"):
+                pending.discard(owner)
+                if kind == "accepted":
+                    accepted.append(owner)
+                else:  # refusal is terminal: keep it for wait()
+                    self._pending.setdefault(owner, []).append(event)
+            elif owner is not None:
+                self._pending.setdefault(owner, []).append(event)
+        return accepted
+
+    def wait(self, client_id: str) -> StreamResult:
+        """Block until ``client_id`` reaches a terminal event."""
+        result = StreamResult(client_id=client_id, status="pending")
+        submitted = self._submitted_at.get(client_id)
+        for event in self.events_for(client_id):
+            result.events.append(event)
+            kind = event.get("event")
+            now = time.perf_counter()
+            if kind == "token" and result.ttft_s is None and submitted:
+                result.ttft_s = now - submitted
+            elif kind == "done":
+                result.status = event["status"]
+                result.finish_reason = event.get("finish_reason")
+                result.token_ids = tuple(event.get("token_ids", ()))
+                result.text = event.get("text")
+                result.server_ttft_s = event.get("ttft_s")
+                if submitted:
+                    result.latency_s = now - submitted
+                    if result.ttft_s is None and result.token_ids:
+                        result.ttft_s = result.latency_s
+            elif kind == "shed":
+                raise ShedError(event["code"], event.get("retry_after_s", 0.0))
+            elif kind == "error":
+                raise NetClientError(
+                    f"server error {event.get('code')}: {event.get('message')}")
+        self._submitted_at.pop(client_id, None)
+        return result
+
+    def complete(self, prompt_ids: Optional[Sequence[int]] = None,
+                 prompt: Optional[str] = None,
+                 params: Optional[Dict[str, Any]] = None,
+                 stream: bool = True, timeout_s: Optional[float] = None,
+                 session: Optional[str] = None,
+                 priority: int = 0) -> StreamResult:
+        """Submit one request and block for its result."""
+        client_id = self.submit(prompt_ids, prompt, params, stream=stream,
+                                timeout_s=timeout_s, session=session,
+                                priority=priority)
+        return self.wait(client_id)
+
+    def stream(self, prompt_ids: Optional[Sequence[int]] = None,
+               prompt: Optional[str] = None,
+               params: Optional[Dict[str, Any]] = None,
+               timeout_s: Optional[float] = None,
+               session: Optional[str] = None) -> Iterator[Dict[str, Any]]:
+        """Submit with streaming on and yield every event as it arrives."""
+        client_id = self.submit(prompt_ids, prompt, params, stream=True,
+                                timeout_s=timeout_s, session=session)
+        yield from self.events_for(client_id)
+
+    def _wait_kind(self, kind: str) -> Dict[str, Any]:
+        while True:
+            event = self.recv_event()
+            if event.get("event") == kind:
+                return event
+            owner = event.get("id")
+            if owner is not None:
+                self._pending.setdefault(owner, []).append(event)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self._rfile.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,252 @@
+"""Wire protocol of the network front door: newline-delimited JSON frames.
+
+One frame per line, UTF-8 encoded, ``\n``-terminated.  Client→server frames
+carry an ``op`` verb; server→client frames carry an ``event`` kind.  The
+grammar is deliberately flat (no framing lengths, no binary sections) so a
+frame can be produced and inspected with nothing but ``json`` and a socket —
+``nc localhost 8763`` is a usable debug client.
+
+Client → server verbs
+---------------------
+``submit``
+    Enqueue one generation job.  Fields: ``id`` (client-chosen correlation
+    id, must be unique per connection), ``prompt_ids`` (list of ints) or
+    ``prompt`` (text, requires a server-side tokenizer), optional ``tenant``,
+    ``params`` (a :class:`~repro.serve.request.SamplingParams` dict),
+    ``timeout_s`` (relative deadline), ``session`` and ``priority``.
+``stream``
+    Same as ``submit`` but token events are pushed as they are sampled.
+``cancel``
+    Cancel a previously submitted job by client ``id``.
+``health``
+    Liveness/readiness probe; answered with queue and drain state.
+``metrics``
+    Full server metrics snapshot (scheduler + admission + transport).
+
+Server → client events
+----------------------
+``accepted``
+    The job passed admission control and is queued for scheduling.
+``token``
+    One streamed token: ``id``, ``index`` (0-based), ``token`` (id).
+``done``
+    Terminal record: ``status`` (finished/expired/cancelled), finish
+    reason, full ``token_ids``, optional decoded ``text`` and timings.
+``shed``
+    The job was refused by admission control; carries an error ``code``
+    (:data:`SHED_CODES`) and a ``retry_after_s`` hint.
+``error``
+    Protocol-level failure (unparseable frame, unknown verb, duplicate id);
+    the connection stays open except where noted.
+``cancelled``
+    Acknowledges a ``cancel`` verb (``found`` says whether the job was
+    still live; its ``done`` frame follows if it was).
+``health`` / ``metrics``
+    Responses to the respective probes.
+
+Frames are validated by :func:`parse_frame`; protocol violations raise
+:class:`ProtocolError` with one of the :data:`ERROR_CODES`, which the server
+reflects back as an ``error`` event rather than dropping the connection.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, Optional
+
+#: Client → server verbs.
+OPS = ("submit", "stream", "cancel", "health", "metrics")
+
+#: Server → client event kinds.
+EVENTS = ("accepted", "token", "done", "shed", "error", "cancelled",
+          "health", "metrics")
+
+# Error codes carried by ``error`` frames (protocol-level failures).
+E_PARSE = "parse"              # line is not valid JSON / not an object
+E_PROTOCOL = "protocol"        # missing or ill-typed required field
+E_UNKNOWN_OP = "unknown_op"    # verb not in OPS
+E_DUPLICATE = "duplicate_id"   # client id already in flight on this conn
+E_NOT_FOUND = "not_found"      # cancel for an unknown client id
+E_BAD_PARAMS = "bad_params"    # SamplingParams validation failed
+E_SLOW_CONSUMER = "slow_consumer"  # outbox bound exceeded; connection closed
+
+ERROR_CODES = (E_PARSE, E_PROTOCOL, E_UNKNOWN_OP, E_DUPLICATE, E_NOT_FOUND,
+               E_BAD_PARAMS, E_SLOW_CONSUMER)
+
+# Shed codes carried by ``shed`` frames (admission-control refusals).
+SHED_RATE_LIMITED = "rate_limited"  # tenant token bucket empty
+SHED_QUEUE_FULL = "queue_full"      # tenant or global queue depth bound hit
+SHED_DRAINING = "draining"          # server is draining; not accepting work
+
+SHED_CODES = (SHED_RATE_LIMITED, SHED_QUEUE_FULL, SHED_DRAINING)
+
+#: Hard cap on one frame's wire size; a line longer than this is a protocol
+#: error (it would otherwise let one client balloon server memory).
+MAX_FRAME_BYTES = 1 << 20
+
+
+class ProtocolError(ValueError):
+    """A frame that violates the wire grammar."""
+
+    def __init__(self, code: str, message: str,
+                 client_id: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.client_id = client_id
+
+
+def encode_frame(frame: Dict[str, Any]) -> bytes:
+    """Serialise one frame to its wire form (compact JSON + newline)."""
+    return (json.dumps(frame, separators=(",", ":"), sort_keys=True)
+            + "\n").encode("utf-8")
+
+
+def parse_frame(line: bytes) -> Dict[str, Any]:
+    """Parse and structurally validate one wire line.
+
+    Raises :class:`ProtocolError` (never ``json.JSONDecodeError``) so the
+    server has a single failure type to reflect back to the client.
+    """
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(E_PARSE, f"frame exceeds {MAX_FRAME_BYTES} bytes")
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(E_PARSE, f"unparseable frame: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise ProtocolError(E_PARSE, "frame must be a JSON object")
+    return frame
+
+
+def validate_op(frame: Dict[str, Any]) -> str:
+    """Check the verb of a client frame; returns the op name."""
+    op = frame.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError(E_PROTOCOL, "frame is missing a string 'op'",
+                            client_id=_optional_id(frame))
+    if op not in OPS:
+        raise ProtocolError(E_UNKNOWN_OP, f"unknown op {op!r}",
+                            client_id=_optional_id(frame))
+    return op
+
+
+def validate_submit(frame: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate a ``submit``/``stream`` frame's required fields.
+
+    Returns the frame unchanged on success (the server reads fields off it
+    directly); raises :class:`ProtocolError` naming the offending field.
+    """
+    client_id = frame.get("id")
+    if not isinstance(client_id, str) or not client_id:
+        raise ProtocolError(E_PROTOCOL, "'id' must be a non-empty string")
+    prompt_ids = frame.get("prompt_ids")
+    prompt = frame.get("prompt")
+    if prompt_ids is None and prompt is None:
+        raise ProtocolError(E_PROTOCOL,
+                            "one of 'prompt_ids' or 'prompt' is required",
+                            client_id=client_id)
+    if prompt_ids is not None:
+        if (not isinstance(prompt_ids, list) or not prompt_ids
+                or not all(isinstance(t, int) and not isinstance(t, bool)
+                           for t in prompt_ids)):
+            raise ProtocolError(
+                E_PROTOCOL, "'prompt_ids' must be a non-empty list of ints",
+                client_id=client_id)
+    elif not isinstance(prompt, str) or not prompt:
+        raise ProtocolError(E_PROTOCOL, "'prompt' must be a non-empty string",
+                            client_id=client_id)
+    tenant = frame.get("tenant", "default")
+    if not isinstance(tenant, str) or not tenant:
+        raise ProtocolError(E_PROTOCOL, "'tenant' must be a non-empty string",
+                            client_id=client_id)
+    params = frame.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError(E_PROTOCOL, "'params' must be an object",
+                            client_id=client_id)
+    timeout = frame.get("timeout_s")
+    if timeout is not None and (not isinstance(timeout, (int, float))
+                                or isinstance(timeout, bool) or timeout <= 0):
+        raise ProtocolError(E_PROTOCOL, "'timeout_s' must be a positive number",
+                            client_id=client_id)
+    priority = frame.get("priority", 0)
+    if not isinstance(priority, int) or isinstance(priority, bool):
+        raise ProtocolError(E_PROTOCOL, "'priority' must be an integer",
+                            client_id=client_id)
+    session = frame.get("session")
+    if session is not None and not isinstance(session, str):
+        raise ProtocolError(E_PROTOCOL, "'session' must be a string",
+                            client_id=client_id)
+    return frame
+
+
+def validate_cancel(frame: Dict[str, Any]) -> str:
+    """Validate a ``cancel`` frame; returns the client id to cancel."""
+    client_id = frame.get("id")
+    if not isinstance(client_id, str) or not client_id:
+        raise ProtocolError(E_PROTOCOL, "'id' must be a non-empty string")
+    return client_id
+
+
+def _optional_id(frame: Dict[str, Any]) -> Optional[str]:
+    client_id = frame.get("id")
+    return client_id if isinstance(client_id, str) else None
+
+
+# ---------------------------------------------------------------------------
+# server-side frame constructors (one place defines every event's shape)
+# ---------------------------------------------------------------------------
+
+def accepted_frame(client_id: str, request_id: str,
+                   deadline_s: Optional[float] = None) -> Dict[str, Any]:
+    frame: Dict[str, Any] = {"event": "accepted", "id": client_id,
+                             "request_id": request_id}
+    if deadline_s is not None:
+        frame["timeout_s"] = deadline_s
+    return frame
+
+
+def token_frame(client_id: str, index: int, token: int) -> Dict[str, Any]:
+    return {"event": "token", "id": client_id, "index": index, "token": token}
+
+
+def done_frame(client_id: str, completion, text: Optional[str] = None) -> Dict[str, Any]:
+    return {
+        "event": "done",
+        "id": client_id,
+        "status": completion.status,
+        "finish_reason": completion.finish_reason,
+        "token_ids": list(completion.token_ids),
+        "text": text,
+        "ttft_s": completion.ttft,
+        "queue_wait_s": completion.queue_wait,
+        "prefill_tokens": completion.prefill_tokens,
+        "cached_prefix_tokens": completion.cached_prefix_tokens,
+    }
+
+
+def shed_frame(client_id: str, code: str, retry_after_s: float) -> Dict[str, Any]:
+    if code not in SHED_CODES:
+        raise ValueError(f"unknown shed code {code!r}")
+    return {"event": "shed", "id": client_id, "code": code,
+            "retry_after_s": round(float(retry_after_s), 6)}
+
+
+def error_frame(code: str, message: str,
+                client_id: Optional[str] = None) -> Dict[str, Any]:
+    frame: Dict[str, Any] = {"event": "error", "code": code,
+                             "message": message}
+    if client_id is not None:
+        frame["id"] = client_id
+    return frame
+
+
+def cancelled_frame(client_id: str, found: bool) -> Dict[str, Any]:
+    return {"event": "cancelled", "id": client_id, "found": found}
+
+
+def health_frame(data: Dict[str, Any]) -> Dict[str, Any]:
+    return {"event": "health", "data": data}
+
+
+def metrics_frame(data: Dict[str, Any]) -> Dict[str, Any]:
+    return {"event": "metrics", "data": data}

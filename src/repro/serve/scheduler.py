@@ -61,7 +61,8 @@ class _Sequence:
     """Mutable state of one running request."""
 
     __slots__ = ("request", "handle", "out", "last_token", "rng",
-                 "covered_ids", "prompt", "reused", "first_token_at")
+                 "covered_ids", "prompt", "reused", "first_token_at",
+                 "terminal")
 
     def __init__(self, request: Request, prompt: Tuple[int, ...],
                  handle: SequenceHandle, reused: int) -> None:
@@ -75,6 +76,11 @@ class _Sequence:
         #: Tokens whose KV state the caches currently hold.
         self.covered_ids: List[int] = list(prompt)
         self.first_token_at: Optional[float] = None
+        #: Terminal status once finished/expired/cancelled; the guard that
+        #: makes every sequence produce exactly one terminal outcome even
+        #: when ``cancel`` fires from inside an ``on_token`` callback
+        #: mid-decode-step.
+        self.terminal: Optional[str] = None
 
 
 class Scheduler:
@@ -122,6 +128,17 @@ class Scheduler:
         self._submitted_at: Dict[str, float] = {}
         self._running: List[_Sequence] = []
         self._completions: List[Completion] = []
+        #: Streaming hook: called as ``on_token(request, token, index)`` the
+        #: moment a token is appended to a sequence (prefill's first token
+        #: included).  The callback may call :meth:`cancel` — including for
+        #: the very request being advanced — without corrupting the step.
+        self.on_token: Optional[Callable[[Request, int, int], None]] = None
+        #: Fair-share enqueue hook: called at the top of each step with the
+        #: number of free batch slots; every returned request is submitted.
+        #: An admission layer uses this to keep scheduling order authority
+        #: (weighted fair queueing) outside the scheduler while reusing its
+        #: expiry/metrics machinery unchanged.
+        self.refill: Optional[Callable[[int], List[Request]]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -148,7 +165,15 @@ class Scheduler:
         self.metrics.mark_busy(now)
 
     def cancel(self, request_id: str) -> bool:
-        """Cancel a queued or running request; returns whether it was found."""
+        """Cancel a queued or running request; returns whether it was found.
+
+        Safe to call re-entrantly from an :attr:`on_token` callback while a
+        decode step is in flight (a streaming client disconnecting is
+        exactly this ordering): the sequence is finished exactly once and
+        the in-progress step will not resurrect it.  Cancelling a request
+        that already produced its terminal completion returns ``False`` and
+        records nothing, so every request has exactly one terminal outcome.
+        """
         for i, (_, _, request) in enumerate(self._queue):
             if request.request_id == request_id:
                 del self._queue[i]
@@ -159,7 +184,10 @@ class Scheduler:
                 return True
         for seq in list(self._running):
             if seq.request.request_id == request_id:
-                self._running.remove(seq)
+                if seq.terminal is not None:
+                    return False
+                if seq in self._running:
+                    self._running.remove(seq)
                 self._finish_seq(seq, RequestStatus.CANCELLED,
                                  FinishReason.CANCELLED)
                 self.metrics.requests_cancelled += 1
@@ -171,12 +199,39 @@ class Scheduler:
         done, self._completions = self._completions, []
         return done
 
+    def accounting(self) -> Dict[str, int]:
+        """Request-conservation ledger: every submitted request is either
+        still in flight (queued/running) or reached exactly one terminal
+        outcome.  ``conservation_ok`` is the invariant the fuzz suite and
+        the net server's drain path assert."""
+        counts = {
+            "submitted": int(self.metrics.requests_submitted),
+            "finished": int(self.metrics.requests_finished),
+            "expired": int(self.metrics.requests_expired),
+            "cancelled": int(self.metrics.requests_cancelled),
+            "queued": len(self._queue),
+            "running": len(self._running),
+        }
+        counts["conservation_ok"] = int(
+            counts["submitted"] == counts["finished"] + counts["expired"]
+            + counts["cancelled"] + counts["queued"] + counts["running"])
+        return counts
+
     # ------------------------------------------------------------------
     def step(self) -> List[Completion]:
         """Run one scheduler iteration; returns completions it produced."""
         before = len(self._completions)
         now = self.clock()
         with self.obs.span("serve.step"):
+            # Refill before expiry: a released request whose deadline has
+            # already passed is evicted this very step instead of burning a
+            # prefill first.
+            if self.refill is not None:
+                free = (self.config.max_batch_size - len(self._running)
+                        - len(self._queue))
+                if free > 0:
+                    for request in self.refill(free):
+                        self.submit(request)
             self._expire(now)
             self._admit(now)
             if self._running:
@@ -257,16 +312,17 @@ class Scheduler:
                 self._running.append(seq)
 
     def _decode_step(self) -> None:
-        batch = self._running
+        # Work on a snapshot: an on_token callback may cancel any member of
+        # the batch (mutating self._running) mid-iteration.
+        batch = list(self._running)
         tokens = [seq.last_token for seq in batch]
         for seq in batch:
             seq.covered_ids.append(seq.last_token)
         logits = self.engine.decode(tokens, [seq.handle for seq in batch])
-        survivors = []
         for row, seq in enumerate(batch):
-            if self._advance(seq, logits, row=row):
-                survivors.append(seq)
-        self._running = survivors
+            if seq.terminal is None:  # skip seqs cancelled earlier this step
+                self._advance(seq, logits, row=row)
+        self._running = [seq for seq in batch if seq.terminal is None]
 
     def _advance(self, seq: _Sequence, logits: np.ndarray,
                  row: Optional[int] = None) -> bool:
@@ -286,6 +342,12 @@ class Scheduler:
             return False
         seq.out.append(token)
         self.metrics.tokens_generated += 1
+        if self.on_token is not None:
+            # The callback may cancel this very sequence (streaming client
+            # gone); _finish_seq's terminal guard keeps the outcome single.
+            self.on_token(seq.request, token, len(seq.out) - 1)
+            if seq.terminal is not None:
+                return False
         if len(seq.out) >= params.max_new_tokens:
             self._finish_seq(seq, RequestStatus.FINISHED, FinishReason.LENGTH)
             return False
@@ -297,6 +359,9 @@ class Scheduler:
 
     # ------------------------------------------------------------------
     def _finish_seq(self, seq: _Sequence, status: str, reason: str) -> None:
+        if seq.terminal is not None:  # exactly one terminal outcome
+            return
+        seq.terminal = status
         request = seq.request
         if status == RequestStatus.FINISHED:
             self.metrics.requests_finished += 1

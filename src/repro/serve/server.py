@@ -121,28 +121,42 @@ class InProcessServer:
     # ------------------------------------------------------------------
     def complete(self, prompt_ids: Sequence[int],
                  params: Optional[SamplingParams] = None,
-                 session_id: Optional[str] = None) -> Completion:
-        """Submit one request and run the scheduler until it finishes."""
-        request_id = self.submit(prompt_ids, params=params, session_id=session_id)
+                 session_id: Optional[str] = None,
+                 timeout: Optional[float] = None) -> Completion:
+        """Submit one request and run the scheduler until it finishes.
+
+        ``timeout`` (seconds, relative to now on the server clock) becomes
+        the request's absolute :attr:`~repro.serve.request.Request.deadline`,
+        so a synchronous call with a large token budget surfaces as an
+        ``expired`` completion instead of hanging the caller.
+        """
+        deadline = self.scheduler.clock() + timeout if timeout is not None else None
+        request_id = self.submit(prompt_ids, params=params,
+                                 session_id=session_id, deadline=deadline)
         self.run_until_idle()
         return self._results[request_id]
 
     def complete_text(self, prompt: str,
                       params: Optional[SamplingParams] = None,
-                      session_id: Optional[str] = None) -> str:
+                      session_id: Optional[str] = None,
+                      timeout: Optional[float] = None) -> str:
         """Text-in/text-out completion through the tokenizer."""
         if self.tokenizer is None:
             raise ValueError("complete_text requires a tokenizer")
         ids = self.tokenizer.encode(prompt, add_bos=True)
-        completion = self.complete(ids, params=params, session_id=session_id)
+        completion = self.complete(ids, params=params, session_id=session_id,
+                                   timeout=timeout)
         return completion.text or ""
 
     def chat(self, session_id: str, prompt_ids: Sequence[int],
-             params: Optional[SamplingParams] = None) -> Completion:
+             params: Optional[SamplingParams] = None,
+             timeout: Optional[float] = None) -> Completion:
         """One conversation turn; KV state is reused across calls with the
         same ``session_id`` (the prompt must replay the conversation so far,
-        as the canonical prompt grammar does)."""
-        return self.complete(prompt_ids, params=params, session_id=session_id)
+        as the canonical prompt grammar does).  ``timeout`` bounds the turn
+        like :meth:`complete`."""
+        return self.complete(prompt_ids, params=params, session_id=session_id,
+                             timeout=timeout)
 
     # ------------------------------------------------------------------
     def metrics_snapshot(self) -> Dict[str, float]:

@@ -479,3 +479,145 @@ def test_request_validation():
     request = Request(request_id="r", prompt_ids=[1.0, 2.0],
                       params=SamplingParams())
     assert request.prompt_ids == (1, 2)
+
+
+# ---------------------------------------------------------------------------
+# synchronous timeouts (complete/chat deadline propagation)
+# ---------------------------------------------------------------------------
+
+
+class TickingClock:
+    """Monotonic clock that advances a fixed amount on every read, so a
+    synchronous `complete()` loop experiences passing time without any
+    real sleeping."""
+
+    def __init__(self, tick: float = 0.25):
+        self.t = 0.0
+        self.tick = tick
+
+    def __call__(self):
+        self.t += self.tick
+        return self.t
+
+
+def test_complete_timeout_expires_instead_of_hanging(model):
+    """A synchronous complete() with a huge token budget and a small
+    timeout must return an `expired` completion, not spin forever."""
+    server = InProcessServer(model, config=ServeConfig(max_batch_size=1),
+                             clock=TickingClock())
+    completion = server.complete([1, 7], params=SamplingParams(
+        max_new_tokens=100_000, temperature=0.0), timeout=3.0)
+    assert completion.status == RequestStatus.EXPIRED
+    assert completion.finish_reason == FinishReason.DEADLINE
+    acct = server.scheduler.accounting()
+    assert acct["expired"] == 1 and acct["conservation_ok"] == 1
+
+
+def test_complete_generous_timeout_finishes(model):
+    """Control: the same request with a generous timeout runs to its
+    natural finish — the deadline plumbing must not clip healthy work."""
+    server = InProcessServer(model, config=ServeConfig(max_batch_size=1),
+                             clock=TickingClock())
+    completion = server.complete([1, 7], params=SamplingParams(
+        max_new_tokens=4, temperature=0.0), timeout=1e9)
+    assert completion.status == RequestStatus.FINISHED
+    assert len(completion.token_ids) > 0
+
+
+def test_chat_timeout_bounds_each_turn(model):
+    """chat() threads the per-turn timeout through the same deadline
+    path, and an expired turn does not poison the session for the next."""
+    clock = TickingClock()
+    server = InProcessServer(model, config=ServeConfig(max_batch_size=1),
+                             clock=clock)
+    turn1 = server.chat("s0", [1, 7, 8], params=SamplingParams(
+        max_new_tokens=100_000, temperature=0.0), timeout=3.0)
+    assert turn1.status == RequestStatus.EXPIRED
+    turn2 = server.chat("s0", [1, 7, 8], params=SamplingParams(
+        max_new_tokens=3, temperature=0.0), timeout=1e9)
+    assert turn2.status == RequestStatus.FINISHED
+
+
+# ---------------------------------------------------------------------------
+# cancellation interleavings and request conservation
+# ---------------------------------------------------------------------------
+
+
+def test_cancel_after_terminal_outcome_returns_false(model):
+    """Cancelling a request that already finished records nothing: every
+    request has exactly one terminal outcome."""
+    server = InProcessServer(model, config=ServeConfig(max_batch_size=1))
+    rid = server.submit([1, 7], params=SamplingParams(max_new_tokens=2))
+    server.run_until_idle()
+    assert server.result(rid).status == RequestStatus.FINISHED
+    assert not server.cancel(rid)
+    acct = server.scheduler.accounting()
+    assert acct["cancelled"] == 0
+    assert acct["finished"] == 1 and acct["conservation_ok"] == 1
+
+
+def test_on_token_cancel_mid_decode_single_outcome(model):
+    """A re-entrant cancel from the streaming hook — the request being
+    advanced cancels *itself* mid-step — must finish the sequence exactly
+    once, free its slot, and never resurrect it."""
+    server = InProcessServer(model, config=ServeConfig(max_batch_size=2))
+    seen = []
+
+    def on_token(request, token, index):
+        seen.append((request.request_id, index))
+        if index >= 2:
+            server.scheduler.cancel(request.request_id)
+
+    server.scheduler.on_token = on_token
+    rid = server.submit([1, 7], params=SamplingParams(max_new_tokens=30))
+    steps = 0
+    while not server.idle:
+        server.step()
+        steps += 1
+        assert steps < 100, "cancelled request was resurrected"
+    completion = server.result(rid)
+    assert completion.status == RequestStatus.CANCELLED
+    assert completion.finish_reason == FinishReason.CANCELLED
+    # The hook may observe at most one token past the cancel trigger.
+    assert max(i for _, i in seen) <= 3
+    acct = server.scheduler.accounting()
+    assert acct["cancelled"] == 1 and acct["conservation_ok"] == 1
+    assert len(server.engine._free_slots) == 2
+    # Exactly one terminal completion in the backlog, and draining twice
+    # never yields a duplicate.
+    drained = server.scheduler.drain_completions()
+    assert [c.request_id for c in drained] == [rid]
+    assert server.scheduler.drain_completions() == []
+
+
+def test_cancel_step_interleaving_conservation_fuzz(model):
+    """Randomised submit/cancel/step interleavings: whatever the order,
+    the ledger must balance (each request exactly one terminal outcome)
+    and every batch slot must come back."""
+    rng = np.random.default_rng(1234)
+    for trial in range(8):
+        server = InProcessServer(model, config=ServeConfig(max_batch_size=3))
+        submitted, cancelled_ok = [], 0
+        for _ in range(40):
+            action = rng.integers(0, 3)
+            if action == 0:
+                rid = server.submit(
+                    [1, int(rng.integers(3, 12))],
+                    params=SamplingParams(
+                        max_new_tokens=int(rng.integers(1, 6))))
+                submitted.append(rid)
+            elif action == 1 and submitted:
+                target = submitted[int(rng.integers(0, len(submitted)))]
+                if server.cancel(target):
+                    cancelled_ok += 1
+            else:
+                server.step()
+        server.run_until_idle()
+        acct = server.scheduler.accounting()
+        assert acct["conservation_ok"] == 1, (trial, acct)
+        assert acct["submitted"] == len(submitted)
+        assert acct["cancelled"] == cancelled_ok
+        assert acct["queued"] == 0 and acct["running"] == 0
+        assert len(server.engine._free_slots) == 3
+        for rid in submitted:
+            assert server.result(rid) is not None, rid

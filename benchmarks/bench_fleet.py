@@ -1,0 +1,74 @@
+"""Serving — replica fleet over shared-memory weights vs a single engine.
+
+The fleet's acceptance workload: a multi-prefix-group burst answered by a
+consistent-hash-routed :class:`~repro.serve.fleet.FleetServer` and by a
+single engine.  Phase 1 (exact decode, prefix cache off) must be
+**byte-identical** across the two arms — routing is not allowed to change
+output.  Phase 2 times aggregate tokens/sec in the production
+configuration (fused decode, prefix cache on) for a fleet of one replica
+vs ``replicas`` replicas, interleaved rounds, min per side.
+
+The >= 2x aggregate-throughput target assumes the machine has the cores
+to run the replicas; on starved CI boxes ``target_applies`` is false and
+the gate degrades to a router-overhead sanity bound, while parity, zero
+respawns, and the no-leaked-shared-memory invariant are asserted
+unconditionally.  The report is written to ``BENCH_fleet.json`` at the
+repo root when ``REPRO_BENCH_SNAPSHOT=1``.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import FULL, print_result
+from repro.parallel import parallel_available
+from repro.serve.fleet_bench import (format_fleet_report,
+                                     run_fleet_benchmark,
+                                     write_fleet_snapshot)
+
+#: Where the perf-trajectory snapshot lands (repo root, committed).
+SNAPSHOT = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+
+#: When the core count can't sustain the replicas, the routed arm still
+#: must not collapse under dispatch/IPC overhead: replicas time-slicing a
+#: single core stay within ~3x of the single-replica arm.
+MIN_STARVED_RATIO = 0.33
+
+
+def test_fleet_throughput_and_byte_parity(benchmark):
+    if not parallel_available():
+        pytest.skip("platform cannot fork replica processes")
+    result = run_fleet_benchmark(
+        backbone="nano", replicas=4,
+        requests_per_group=4 if FULL else 2,
+        max_new_tokens=16, repeats=3 if FULL else 2, seed=0)
+    print_result("Serve: 4-replica fleet vs single engine (nano backbone)",
+                 format_fleet_report(result))
+    print_result("Serve: fleet merged registry",
+                 json.dumps(result["merged_registry"], indent=2,
+                            sort_keys=True))
+    if os.environ.get("REPRO_BENCH_SNAPSHOT", "0") == "1":
+        write_fleet_snapshot(result, SNAPSHOT)
+
+    assert result["parity_ok"], \
+        "routed fleet output diverged from the single engine in exact mode"
+    assert result["respawns"] == 0, \
+        f"replicas died during a healthy benchmark: {result['respawns']}"
+    assert result["router"]["conservation_ok"] == 1, result["router"]
+    assert result["leaked_segments"] == [], (
+        f"leaked shared-memory segments: {result['leaked_segments']}")
+    if result["target_applies"]:
+        assert result["speedup"] >= result["speedup_target"], (
+            f"expected >= {result['speedup_target']}x aggregate tokens/sec "
+            f"at {result['replicas']} replicas on {result['cpu_count']} "
+            f"cores, got {result['speedup']:.2f}x")
+    else:
+        assert result["speedup"] >= MIN_STARVED_RATIO, (
+            f"router overhead out of bounds on a starved machine "
+            f"({result['cpu_count']} core(s)): {result['speedup']:.2f}x")
+
+    benchmark(lambda: run_fleet_benchmark(
+        backbone="nano", replicas=2, groups=2, requests_per_group=2,
+        max_new_tokens=8, repeats=1, seed=0))

@@ -286,6 +286,94 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
     return 0 if ledger.get("conservation_ok") else 1
 
 
+def _cmd_serve_fleet(args: argparse.Namespace) -> int:
+    """Run N engine replicas over one shared-memory weight copy behind the
+    socket front door, in the foreground until SIGINT/SIGTERM."""
+    import signal
+    import threading
+
+    from .nn.transformer import preset_config
+    from .parallel import parallel_available
+    from .serve import ServeConfig
+    from .serve.fleet import FleetServer
+    from .serve.net import NetServerConfig, NetServerThread, TenantConfig
+
+    if not parallel_available():
+        print("error: this platform cannot fork replica processes",
+              file=sys.stderr)
+        return 2
+    config = preset_config(args.backbone, vocab_size=args.vocab,
+                           seed=args.seed)
+    model = TransformerLM(config)
+    try:
+        serve_config = ServeConfig(max_batch_size=args.max_batch,
+                                   decode_mode=args.decode_mode)
+        net_config = NetServerConfig(
+            host=args.host, port=args.port,
+            default_tenant=TenantConfig(rate=args.rate, burst=args.burst,
+                                        max_queue=args.max_queue),
+            max_queue_total=args.max_queue_total)
+        fleet = FleetServer(model, n_replicas=args.replicas,
+                            serve_config=serve_config)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    handle = NetServerThread(None, inner=fleet, net_config=net_config)
+    try:
+        host, port = handle.start()
+        print(f"serve-fleet: {args.replicas} x {args.backbone} replicas on "
+              f"one shared weight copy, listening on {host}:{port} "
+              f"(max batch {args.max_batch}/replica, decode mode "
+              f"{args.decode_mode})")
+        print("serve-fleet: SIGINT/SIGTERM drains gracefully")
+
+        stop = threading.Event()
+        signal.signal(signal.SIGINT, lambda *_: stop.set())
+        signal.signal(signal.SIGTERM, lambda *_: stop.set())
+        stop.wait()
+        print("serve-fleet: draining (finishing in-flight, refusing new "
+              "work)...")
+        ledger = handle.drain(grace_s=args.grace)
+        handle.stop()
+        print(f"serve-fleet: drained — {ledger}")
+        return 0 if ledger.get("conservation_ok") else 1
+    finally:
+        handle.stop()
+        fleet.close()
+
+
+def _cmd_serve_fleet_bench(args: argparse.Namespace) -> int:
+    from .parallel import parallel_available
+    from .serve.fleet_bench import (format_fleet_report, run_fleet_benchmark,
+                                    write_fleet_snapshot)
+
+    if not parallel_available():
+        print("error: this platform cannot fork replica processes",
+              file=sys.stderr)
+        return 2
+    try:
+        result = run_fleet_benchmark(
+            backbone=args.backbone, replicas=args.replicas,
+            groups=args.groups, requests_per_group=args.requests_per_group,
+            max_new_tokens=args.max_new_tokens, repeats=args.repeats,
+            seed=args.seed)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_fleet_report(result))
+    if args.json:
+        write_fleet_snapshot(result, args.json)
+        print(f"snapshot written to {args.json}")
+    ok = (result["parity_ok"] and not result["leaked_segments"]
+          and result["respawns"] == 0)
+    if result["target_applies"] and result["speedup"] < result["speedup_target"]:
+        print(f"error: speedup {result['speedup']:.2f}x below the "
+              f"{result['speedup_target']:.1f}x target on "
+              f"{result['cpu_count']} cores", file=sys.stderr)
+        ok = False
+    return 0 if ok else 1
+
+
 def _cmd_serve_net_bench(args: argparse.Namespace) -> int:
     from .serve.net.bench import (format_net_report, run_net_benchmark,
                                   write_net_snapshot)
@@ -345,6 +433,13 @@ def _cmd_bench_parallel(args: argparse.Namespace) -> int:
         write_snapshot(result, args.json)
         print(f"snapshot written to {args.json}")
     ok = result["parity_ok"] and not result["leaked_segments"]
+    # The speedup floor only binds when the machine has the cores to run
+    # the pool; a starved box reports the waiver instead of failing.
+    if result["target_applies"] and result["speedup"] < result["speedup_target"]:
+        print(f"error: speedup {result['speedup']:.2f}x below the "
+              f"{result['speedup_target']:.1f}x target on "
+              f"{result['cpu_count']} cores", file=sys.stderr)
+        ok = False
     return 0 if ok else 1
 
 
@@ -364,6 +459,30 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
         obs = Observability(clock=fake_clock)
     obs, summary = run_obs_flow(obs=obs, epochs=args.epochs, items=args.items,
                                 lam=args.lam)
+    if args.fleet:
+        # Fold a replica fleet's merged registry into the same report: run
+        # a small routed burst and absorb every replica's serve.* counters
+        # alongside the in-process flow's metrics.
+        from .nn.transformer import preset_config
+        from .parallel import parallel_available
+        from .serve import SamplingParams, ServeConfig
+        from .serve.fleet import FleetServer
+
+        if not parallel_available():
+            print("error: --fleet requires os.fork", file=sys.stderr)
+            return 2
+        model = TransformerLM(preset_config("nano", vocab_size=64, seed=0))
+        with obs.span("serve.fleet.flow", replicas=args.fleet):
+            with FleetServer(model, n_replicas=args.fleet,
+                             serve_config=ServeConfig(max_batch_size=4),
+                             obs=obs) as fleet:
+                for i in range(args.fleet * 3):
+                    fleet.submit(tuple(range(2 + i, 12 + i)),
+                                 params=SamplingParams(max_new_tokens=4),
+                                 request_id=f"obs-{i}")
+                fleet.run_until_idle()
+                merged = fleet.fleet_snapshot()["merged"]
+        obs.registry.absorb(merged, key="obs-report-fleet")
     print(obs.report(max_roots=args.max_roots))
     print("== flow summary ==")
     for key, value in summary.items():
@@ -489,6 +608,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_net.add_argument("--seed", type=int, default=0)
     p_net.set_defaults(fn=_cmd_serve_net)
 
+    p_fleet = sub.add_parser(
+        "serve-fleet",
+        help="serve N engine replicas over one shared-memory weight copy "
+             "behind the socket front door")
+    p_fleet.add_argument("--backbone", default="nano",
+                         choices=("nano", "micro", "grande"))
+    p_fleet.add_argument("--replicas", type=int, default=2,
+                         help="engine replica process count")
+    p_fleet.add_argument("--host", default="127.0.0.1")
+    p_fleet.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 = ephemeral, printed at startup)")
+    p_fleet.add_argument("--max-batch", type=int, default=8,
+                         help="continuous-batching slots per replica")
+    p_fleet.add_argument("--decode-mode", default="fused",
+                         choices=("fused", "exact"))
+    p_fleet.add_argument("--rate", type=float, default=float("inf"),
+                         help="default tenant token-bucket rate (req/s)")
+    p_fleet.add_argument("--burst", type=int, default=16,
+                         help="default tenant token-bucket burst size")
+    p_fleet.add_argument("--max-queue", type=int, default=64,
+                         help="per-tenant admitted-queue bound")
+    p_fleet.add_argument("--max-queue-total", type=int, default=256,
+                         help="global admitted-queue bound")
+    p_fleet.add_argument("--grace", type=float, default=60.0,
+                         help="drain grace period in seconds")
+    p_fleet.add_argument("--vocab", type=int, default=128)
+    p_fleet.add_argument("--seed", type=int, default=0)
+    p_fleet.set_defaults(fn=_cmd_serve_fleet)
+
+    p_fbench = sub.add_parser(
+        "serve-fleet-bench",
+        help="benchmark routed replicas vs a single engine; byte parity "
+             "gated, >= 2x aggregate tokens/sec when cores allow")
+    p_fbench.add_argument("--backbone", default="nano",
+                          choices=("nano", "micro", "grande"))
+    p_fbench.add_argument("--replicas", type=int, default=4,
+                          help="replica count for the fleet arm")
+    p_fbench.add_argument("--groups", type=int, default=None,
+                          help="shared-prefix groups (default: 2x replicas)")
+    p_fbench.add_argument("--requests-per-group", type=int, default=4)
+    p_fbench.add_argument("--max-new-tokens", type=int, default=16,
+                          help="decode budget per request")
+    p_fbench.add_argument("--repeats", type=int, default=3,
+                          help="interleaved timing rounds (min per side)")
+    p_fbench.add_argument("--seed", type=int, default=0)
+    p_fbench.add_argument("--json", type=Path, default=None,
+                          help="also write the report as a JSON snapshot")
+    p_fbench.set_defaults(fn=_cmd_serve_fleet_bench)
+
     p_nbench = sub.add_parser(
         "serve-net-bench",
         help="socket serving SLO benchmark (parity/streaming/fairness/"
@@ -554,6 +722,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="root spans shown before eliding the middle")
     p_obs.add_argument("--fake-clock", action="store_true",
                        help="use a deterministic 1ms-per-read clock")
+    p_obs.add_argument("--fleet", type=int, default=0, metavar="N",
+                       help="also run an N-replica serve fleet and fold its "
+                            "merged registry into the report")
     p_obs.add_argument("--jsonl", type=Path, default=None,
                        help="also export the spans as JSONL")
     p_obs.set_defaults(fn=_cmd_obs_report)

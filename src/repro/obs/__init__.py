@@ -88,13 +88,21 @@ class Observability:
             "spans": self.tracer.export_spans(),
         }
 
-    def absorb(self, exported: Dict[str, object]) -> bool:
+    def absorb(self, exported: Dict[str, object],
+               key: Optional[str] = None) -> bool:
         """Fold a worker's :meth:`export` into this handle, exactly once.
 
-        Returns ``False`` (and changes nothing) when the bundle's id was
-        already absorbed.  Spans nest under the currently open span.
+        The idempotence key defaults to the bundle's registry uid; pass an
+        explicit ``key`` when the *logical* identity outlives the registry
+        — e.g. a retried pool task runs each attempt under a fresh registry
+        (fresh uid), so only a stable task key keeps a second attempt's
+        export from double-counting the first.  Returns ``False`` (and
+        changes nothing) when the key was already absorbed.  Spans nest
+        under the currently open span.
         """
-        if not self.registry.absorb(exported["metrics"], key=exported["id"]):
+        if not self.registry.absorb(exported["metrics"],
+                                    key=key if key is not None
+                                    else exported["id"]):
             return False
         self.tracer.absorb(exported.get("spans", ()))
         return True

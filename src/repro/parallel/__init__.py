@@ -17,13 +17,14 @@ requested — results are bit-identical either way.
 """
 
 from .arena import ALIGN, ArenaHandle, ArenaView, TensorArena, TensorSpec
-from .pool import (MAX_RETRIES, POLL_INTERVAL, ParallelTaskError, WorkerPool,
-                   effective_workers, get_task_context, parallel_available,
-                   task_context, task_obs, worker_obs)
+from .pool import (MAX_RETRIES, POLL_INTERVAL, ParallelTaskError,
+                   ProcessSupervisor, WorkerPool, effective_workers,
+                   get_task_context, parallel_available, task_context,
+                   task_obs, worker_obs)
 
 __all__ = [
     "ALIGN", "ArenaHandle", "ArenaView", "TensorArena", "TensorSpec",
-    "MAX_RETRIES", "POLL_INTERVAL", "ParallelTaskError", "WorkerPool",
-    "effective_workers", "get_task_context", "parallel_available",
-    "task_context", "task_obs", "worker_obs",
+    "MAX_RETRIES", "POLL_INTERVAL", "ParallelTaskError", "ProcessSupervisor",
+    "WorkerPool", "effective_workers", "get_task_context",
+    "parallel_available", "task_context", "task_obs", "worker_obs",
 ]

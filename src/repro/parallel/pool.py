@@ -34,6 +34,7 @@ forks (fork inheritance, zero-copy).
 
 from __future__ import annotations
 
+import itertools
 import math
 import multiprocessing
 import os
@@ -183,8 +184,67 @@ def _worker_main(worker_id: int, conn, result_q, initializer, initargs) -> None:
 
 
 # ---------------------------------------------------------------------------
+# process lifecycle (shared with the serve fleet)
+# ---------------------------------------------------------------------------
+
+
+class ProcessSupervisor:
+    """Fork-process lifecycle shared by :class:`WorkerPool` and
+    :class:`repro.serve.fleet.FleetServer`: pipe-oriented spawn, kill+join
+    teardown, and counted respawn.
+
+    :meth:`spawn` builds a one-way parent→child command pipe, starts a
+    daemon process running ``target(proc_id, recv_end, *extra_args)``,
+    closes the child's pipe end in the parent, and returns
+    ``(process, send_conn)`` — the parent dispatches over ``send_conn``.
+    """
+
+    def __init__(self, obs: Optional[Observability] = None,
+                 respawn_counter: str = "parallel.worker_respawns") -> None:
+        if not parallel_available():
+            raise RuntimeError("ProcessSupervisor requires os.fork")
+        self.ctx = multiprocessing.get_context("fork")
+        self.obs = obs if obs is not None else Observability()
+        self.respawn_counter = respawn_counter
+
+    def spawn(self, target: Callable, proc_id: int,
+              extra_args: Tuple = ()) -> Tuple[object, object]:
+        recv_end, send_end = self.ctx.Pipe(duplex=False)
+        # Pipe(False) gives (recv, send): the child reads commands from
+        # recv_end while the parent keeps send_end for dispatch.
+        process = self.ctx.Process(
+            target=target,
+            args=(proc_id, recv_end) + tuple(extra_args),
+            daemon=True)
+        process.start()
+        recv_end.close()  # parent keeps only the sending end
+        return process, send_end
+
+    def terminate(self, process, conn, join_timeout: float = 2.0) -> None:
+        """Kill (if alive), join, and close the dispatch pipe."""
+        if process.is_alive():
+            process.kill()
+        process.join(timeout=join_timeout)
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+    def respawn(self, target: Callable, proc_id: int, extra_args: Tuple,
+                process, conn) -> Tuple[object, object]:
+        """Tear the dead/hung process down and spawn a replacement."""
+        self.terminate(process, conn)
+        replacement = self.spawn(target, proc_id, extra_args)
+        self.obs.registry.counter(self.respawn_counter).inc()
+        return replacement
+
+
+# ---------------------------------------------------------------------------
 # parent-side pool
 # ---------------------------------------------------------------------------
+
+#: Monotonic pool ids making absorb keys unique across pools in a process.
+_POOL_SEQ = itertools.count()
 
 
 class _WorkerSlot:
@@ -254,7 +314,9 @@ class WorkerPool:
         self.task_timeout = task_timeout
         self.max_retries = max_retries
         self.obs = obs if obs is not None else Observability()
-        self._ctx = multiprocessing.get_context("fork")
+        self._supervisor = ProcessSupervisor(obs=self.obs)
+        self._ctx = self._supervisor.ctx
+        self._pool_uid = next(_POOL_SEQ)
         self._result_q = self._ctx.Queue()
         self._initializer = initializer
         self._initargs = initargs
@@ -266,31 +328,20 @@ class WorkerPool:
             self._slots.append(self._spawn(worker_id))
 
     # ------------------------------------------------------------------
+    def _worker_args(self) -> Tuple:
+        return (self._result_q, self._initializer, self._initargs)
+
     def _spawn(self, worker_id: int) -> _WorkerSlot:
-        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
-        # parent writes, child reads: Pipe(False) gives (recv, send) — we
-        # need the opposite orientation, so build it explicitly.
-        recv_end, send_end = parent_conn, child_conn
-        process = self._ctx.Process(
-            target=_worker_main,
-            args=(worker_id, recv_end, self._result_q,
-                  self._initializer, self._initargs),
-            daemon=True)
-        process.start()
-        recv_end.close()  # parent keeps only the sending end
+        process, send_end = self._supervisor.spawn(
+            _worker_main, worker_id, self._worker_args())
         return _WorkerSlot(process, send_end)
 
     def _respawn(self, worker_id: int) -> None:
         slot = self._slots[worker_id]
-        if slot.process.is_alive():
-            slot.process.kill()
-        slot.process.join(timeout=2.0)
-        try:
-            slot.conn.close()
-        except OSError:
-            pass
-        self._slots[worker_id] = self._spawn(worker_id)
-        self.obs.registry.counter("parallel.worker_respawns").inc()
+        process, conn = self._supervisor.respawn(
+            _worker_main, worker_id, self._worker_args(),
+            slot.process, slot.conn)
+        self._slots[worker_id] = _WorkerSlot(process, conn)
 
     # ------------------------------------------------------------------
     def map_chunked(self, fn: Callable, items: Sequence, *,
@@ -408,13 +459,28 @@ class WorkerPool:
             if kind == "done":
                 _, worker_id, task_id, attempt, payload, exported = message
                 self._release_slot(worker_id, task_id)
-                task = self._active.pop(task_id, None)
-                if task is None:
-                    continue  # stale: retried task's first result came late
+                task = self._active.get(task_id)
+                if task is None or attempt != task.attempts:
+                    # Stale: an earlier attempt of a retried task finished
+                    # late (its worker was timed out or presumed dead).
+                    # Only the live attempt's result and obs export count.
+                    continue
+                self._active.pop(task_id)
+                try:
+                    # Completed before its requeued retry was re-dispatched:
+                    # drop the pending copy instead of running it again.
+                    pending.remove(task)
+                except ValueError:
+                    pass
                 completed[task.index] = payload
                 self.obs.registry.counter("parallel.tasks_completed").inc()
                 if exported is not None:
-                    if self.obs.absorb(exported):
+                    # Keyed by stable task identity, not the per-attempt
+                    # registry uid — each attempt runs under a fresh
+                    # registry, so uid keying would let two attempts of one
+                    # task both land and double-count its metrics.
+                    task_key = f"parallel.pool{self._pool_uid}.task{task_id}"
+                    if self.obs.absorb(exported, key=task_key):
                         self.obs.registry.counter(
                             "parallel.snapshots_absorbed").inc()
                 continue
@@ -422,8 +488,8 @@ class WorkerPool:
             _, worker_id, task_id, attempt, trace_text = message
             self._release_slot(worker_id, task_id)
             task = self._active.get(task_id)
-            if task is None:
-                continue
+            if task is None or attempt != task.attempts or task in pending:
+                continue  # stale attempt, or the task is already requeued
             self.obs.registry.counter("parallel.task_errors").inc()
             self._retry_or_fail(task, pending, trace_text)
 

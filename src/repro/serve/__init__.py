@@ -24,7 +24,9 @@ See DESIGN.md §6 and ``repro serve-bench`` for the benchmark workflow.
 
 The network front door — real sockets, streaming, multi-tenant admission
 control — lives in :mod:`repro.serve.net` (DESIGN.md §9, ``repro
-serve-net`` / ``repro serve-net-bench``).
+serve-net`` / ``repro serve-net-bench``).  Multi-process replica serving
+over one shared-memory weight copy lives in :mod:`repro.serve.fleet`
+(DESIGN.md §10, ``repro serve-fleet`` / ``repro serve-fleet-bench``).
 """
 
 from .cache import PrefixCachePool, common_prefix_length

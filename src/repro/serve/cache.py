@@ -59,6 +59,10 @@ class PrefixCachePool:
         self._entries: Dict[Tuple[int, ...], List[LayerKV]] = {}
         self._clock = 0
         self._last_used: Dict[Tuple[int, ...], int] = {}
+        # Lazily rebuilt padded key matrix backing the vectorized lookup
+        # scan; invalidated whenever the entry set changes.
+        self._key_matrix_cache: Optional[
+            Tuple[List[Tuple[int, ...]], np.ndarray]] = None
         self.hits = 0
         self.misses = 0
         self.tokens_reused = 0
@@ -77,13 +81,7 @@ class PrefixCachePool:
         through prefill (the model needs a forward pass to produce logits).
         """
         prompt = tuple(int(i) for i in prompt_ids)
-        limit = len(prompt) - 1
-        best_key: Optional[Tuple[int, ...]] = None
-        best_len = 0
-        for key in self._entries:
-            match = min(common_prefix_length(key, prompt), limit)
-            if match > best_len:
-                best_key, best_len = key, match
+        best_key, best_len = self._scan(prompt)
         if best_key is None or best_len < self.min_match_tokens:
             self.misses += 1
             return 0, None
@@ -94,6 +92,54 @@ class PrefixCachePool:
         kv = [(k[:, :best_len].copy(), v[:, :best_len].copy())
               for k, v in self._entries[best_key]]
         return best_len, kv
+
+    def _scan(self, prompt: Tuple[int, ...]
+              ) -> Tuple[Optional[Tuple[int, ...]], int]:
+        """Longest-common-prefix scan over all entries, vectorized.
+
+        One ``(entries, width)`` comparison against a padded key matrix
+        replaces the per-entry Python loop, so fleet-scale prefill pays
+        numpy time instead of O(entries · prompt_len) interpreter time.
+        Bit-identical to :meth:`_scan_scalar` (asserted in tests),
+        including the first-max-in-insertion-order tie-break.
+        """
+        limit = len(prompt) - 1
+        if not self._entries or limit < 1:
+            return None, 0
+        keys, matrix = self._key_matrix()
+        cmp_len = min(matrix.shape[1], limit)
+        row = np.asarray(prompt[:cmp_len], dtype=np.int64)
+        # Key padding is -1, which never equals a (non-negative) token id,
+        # so a shorter key stops matching exactly at its own length.
+        eq = matrix[:, :cmp_len] == row[None, :]
+        matches = np.logical_and.accumulate(eq, axis=1).sum(axis=1)
+        best_len = int(matches.max())
+        if best_len == 0:
+            return None, 0
+        return keys[int(matches.argmax())], best_len
+
+    def _scan_scalar(self, prompt: Tuple[int, ...]
+                     ) -> Tuple[Optional[Tuple[int, ...]], int]:
+        """Reference Python-loop scan kept as the parity oracle for
+        :meth:`_scan`."""
+        limit = len(prompt) - 1
+        best_key: Optional[Tuple[int, ...]] = None
+        best_len = 0
+        for key in self._entries:
+            match = min(common_prefix_length(key, prompt), limit)
+            if match > best_len:
+                best_key, best_len = key, match
+        return best_key, best_len
+
+    def _key_matrix(self) -> Tuple[List[Tuple[int, ...]], np.ndarray]:
+        if self._key_matrix_cache is None:
+            keys = list(self._entries)
+            width = max(len(key) for key in keys)
+            matrix = np.full((len(keys), width), -1, dtype=np.int64)
+            for i, key in enumerate(keys):
+                matrix[i, : len(key)] = key
+            self._key_matrix_cache = (keys, matrix)
+        return self._key_matrix_cache
 
     def insert(self, prompt_ids: Sequence[int], layer_kv: List[LayerKV]) -> None:
         """Store the KV state of a fully prefilled prompt.
@@ -108,9 +154,14 @@ class PrefixCachePool:
             self._clock += 1
             self._last_used[key] = self._clock
             return
-        # A new entry that is a prefix of a stored one adds no information.
+        # A new entry that is a prefix of a stored one adds no information —
+        # but the insert is still a use of the subsuming entry (it serves
+        # every lookup the new key could), so refresh its LRU clock.  Hot
+        # prefixes kept alive only via subsumed inserts must stay resident.
         for stored in self._entries:
             if len(stored) >= len(key) and stored[: len(key)] == key:
+                self._clock += 1
+                self._last_used[stored] = self._clock
                 return
         # Conversely, stored entries that are strict prefixes of the new key
         # are subsumed by it (every lookup they could serve, it serves at
@@ -129,6 +180,7 @@ class PrefixCachePool:
             oldest = min(self._last_used, key=self._last_used.get)
             del self._entries[oldest]
             del self._last_used[oldest]
+        self._key_matrix_cache = None
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,781 @@
+"""Replica-fleet serving over shared-memory weights (ROADMAP open item 2).
+
+One host, one copy of the weights, N engines: :class:`FleetServer` publishes
+the model's state dict in a :class:`~repro.parallel.TensorArena` and forks N
+replica processes, each running its own
+:class:`~repro.serve.engine.BatchedEngine` + continuous-batching
+:class:`~repro.serve.scheduler.Scheduler` over **zero-copy read-only views**
+of the published tensors (an :class:`ArenaBackedModel` shim hands the arena
+views to the engine's weight snapshot, so no replica ever copies the
+weights).  The parent routes requests, streams token events back, and
+re-merges per-replica metric registries into a fleet view.
+
+Routing is consistent-hash affinity (:class:`HashRing`): a request keyed by
+its session id — or, absent a session, its first ``affinity_prefix_tokens``
+prompt tokens — always lands on the same replica, so session KV state and
+prefix-cache entries stay hot where their traffic goes.  Replicas sharing a
+prompt prefix therefore reproduce the single-server prefix-cache behaviour
+(the byte-parity suite relies on this).
+
+Fault tolerance reuses :class:`~repro.parallel.pool.ProcessSupervisor` —
+the same spawn/kill/respawn machinery as :class:`~repro.parallel.WorkerPool`:
+liveness polling detects a dead replica, its in-flight requests are requeued
+at the front of the router (epoch-tagged events make anything the corpse
+already emitted inert, so no request is lost *or* double-answered), and a
+fresh replica is forked from the arena handle — respawn never re-publishes
+weights.
+
+:class:`FleetServer` mirrors the :class:`~repro.serve.server.InProcessServer`
+surface (``submit`` / ``step`` / ``run_until_idle`` / ``complete`` /
+``metrics_snapshot``) and exposes a scheduler facade with the ``refill`` /
+``on_token`` hooks, so the network front door runs over a fleet unchanged:
+``NetServerThread(inner=FleetServer(...))``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import itertools
+import pickle
+import time
+from collections import OrderedDict, deque
+from dataclasses import replace
+from multiprocessing.connection import wait as _connection_wait
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..nn.transformer import TransformerConfig
+from ..obs import Observability
+from ..parallel.arena import ArenaHandle, TensorArena
+from ..parallel.pool import POLL_INTERVAL, ProcessSupervisor
+from .request import Completion, FinishReason, Request, RequestStatus, SamplingParams
+from .scheduler import ServeConfig
+
+#: Arena key prefix the fleet publishes model weights under.
+WEIGHTS_PREFIX = "fleet.weights"
+
+#: Default per-replica in-flight bound, in multiples of ``max_batch_size``
+#: (one batch decoding plus one batch queued keeps admission snappy without
+#: piling a dead replica's worth of work behind one slow engine).
+INFLIGHT_FACTOR = 2
+
+
+class FleetError(RuntimeError):
+    """The fleet cannot make progress (respawn budget exhausted)."""
+
+
+# ---------------------------------------------------------------------------
+# shared-weight model shim
+# ---------------------------------------------------------------------------
+
+
+class ArenaBackedModel:
+    """Duck-typed stand-in for a ``TransformerLM`` whose ``state_dict``
+    returns the arena's zero-copy views.
+
+    :class:`~repro.nn.infer.InferenceEngine` snapshots weights by *storing
+    references* to the arrays ``model.state_dict()`` returns — so handing it
+    read-only shared-memory views means every replica's engine reads the one
+    published weight copy directly.  (A real ``Module.state_dict()`` copies;
+    this shim is how the fleet avoids N weight copies per host.)
+    """
+
+    def __init__(self, config: TransformerConfig,
+                 tensors: Dict[str, np.ndarray]) -> None:
+        self.config = config
+        self._tensors = tensors
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return dict(self._tensors)
+
+
+# ---------------------------------------------------------------------------
+# consistent-hash router
+# ---------------------------------------------------------------------------
+
+
+class HashRing:
+    """Consistent hashing over replica ids with virtual nodes.
+
+    Stable under membership change: removing one node remaps only the keys
+    that hashed to it; every other key keeps its assignment (asserted in the
+    test suite).  Hashing is blake2b, so placement is deterministic across
+    processes and runs — no ``PYTHONHASHSEED`` dependence.
+    """
+
+    def __init__(self, nodes: Sequence[int], vnodes: int = 64) -> None:
+        if not nodes:
+            raise ValueError("HashRing needs at least one node")
+        points: List[Tuple[int, int]] = []
+        for node in nodes:
+            for v in range(vnodes):
+                points.append((self._hash(f"node-{node}#{v}"), node))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._nodes = [n for _, n in points]
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+
+    def node_for(self, key: str) -> int:
+        i = bisect.bisect_right(self._points, self._hash(key))
+        return self._nodes[i % len(self._nodes)]
+
+
+def affinity_key(request: Request, prefix_tokens: int) -> str:
+    """Routing key: the session when there is one, else the prompt head.
+
+    Keying sessions keeps multi-turn KV state on one replica; keying the
+    first ``prefix_tokens`` prompt ids sends prefix-sharing requests (the
+    dominant ChipAlign traffic shape) to the replica whose prefix cache
+    already holds their common head.
+    """
+    if request.session_id is not None:
+        return f"s:{request.session_id}"
+    head = request.prompt_ids[:prefix_tokens]
+    return "p:" + ",".join(str(t) for t in head)
+
+
+# ---------------------------------------------------------------------------
+# replica process
+# ---------------------------------------------------------------------------
+
+
+def _replica_main(replica_id: int, conn, event_conn, handle: ArenaHandle,
+                  config_dict: Dict[str, object], serve_config: ServeConfig,
+                  eos_id: Optional[int], epoch: int) -> None:
+    """One replica: attach the arena, build an engine, serve the pipes.
+
+    Commands arrive on ``conn``; events leave on ``event_conn`` — a
+    *per-replica* pipe rather than a shared queue, deliberately: a replica
+    SIGKILLed mid-``Queue.put`` would leave the queue's feeder lock held and
+    deadlock the whole fleet, while a dead pipe just delivers EOF to the
+    parent.  Every outbound event is tagged ``(replica_id, epoch)`` so the
+    parent can discard anything emitted by an epoch it has already declared
+    dead.
+    """
+    from .engine import BatchedEngine
+    from .scheduler import Scheduler
+
+    try:
+        view = handle.attach()
+        model = ArenaBackedModel(TransformerConfig.from_dict(config_dict),
+                                 view.get_dict(WEIGHTS_PREFIX))
+        obs = Observability()
+        engine = BatchedEngine(model, decode_mode=serve_config.decode_mode,
+                               max_batch_size=serve_config.max_batch_size)
+        scheduler = Scheduler(engine, config=serve_config, eos_id=eos_id,
+                              obs=obs)
+
+        def on_token(request: Request, token: int, index: int) -> None:
+            event_conn.send(("token", replica_id, epoch, request.request_id,
+                             int(token), int(index)))
+
+        scheduler.on_token = on_token
+        event_conn.send(("ready", replica_id, epoch))
+        while True:
+            # Commands first (non-blocking while decoding, blocking-ish when
+            # idle so an idle replica doesn't spin a core).
+            while conn.poll(0 if not scheduler.idle else POLL_INTERVAL):
+                message = conn.recv()
+                kind = message[0]
+                if kind == "submit":
+                    _, request, deadline_remaining = message
+                    if deadline_remaining is not None:
+                        request = replace(
+                            request,
+                            deadline=time.monotonic() + deadline_remaining)
+                    scheduler.submit(request)
+                elif kind == "cancel":
+                    scheduler.cancel(message[1])
+                elif kind == "metrics":
+                    event_conn.send(("metrics", replica_id, epoch,
+                                     message[1], obs.registry.export(),
+                                     scheduler.accounting()))
+                elif kind == "stop":
+                    return
+            if not scheduler.idle:
+                scheduler.step()
+            # Drain outside the step guard: a cancel landing between steps
+            # still owes the parent its terminal completion.
+            for completion in scheduler.drain_completions():
+                event_conn.send(("done", replica_id, epoch, completion))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass  # parent went away / teardown race: exit quietly
+
+
+# ---------------------------------------------------------------------------
+# parent-side fleet
+# ---------------------------------------------------------------------------
+
+
+class _Replica:
+    """Parent-side state of one replica slot."""
+
+    __slots__ = ("replica_id", "process", "conn", "event_conn", "event_eof",
+                 "epoch", "ready", "inflight", "last_export",
+                 "last_accounting", "last_seq")
+
+    def __init__(self, replica_id: int, process, conn, event_conn,
+                 epoch: int) -> None:
+        self.replica_id = replica_id
+        self.process = process
+        self.conn = conn
+        self.event_conn = event_conn
+        self.event_eof = False
+        self.epoch = epoch
+        self.ready = False
+        self.inflight: Set[str] = set()
+        self.last_export: Optional[Dict[str, object]] = None
+        self.last_accounting: Optional[Dict[str, int]] = None
+        self.last_seq = -1
+
+
+class _FleetScheduler:
+    """Scheduler facade: the exact surface the network front door drives.
+
+    ``NetServer`` assigns :attr:`refill` and :attr:`on_token` and calls
+    ``step`` / ``drain_completions`` / ``cancel`` / ``accounting`` exactly
+    as it would on a real :class:`~repro.serve.scheduler.Scheduler`; the
+    facade forwards everything to the fleet's router.
+    """
+
+    def __init__(self, fleet: "FleetServer") -> None:
+        self._fleet = fleet
+        self.clock = fleet.clock
+        self.on_token: Optional[Callable[[Request, int, int], None]] = None
+        self.refill: Optional[Callable[[int], List[Request]]] = None
+
+    def submit(self, request: Request) -> None:
+        self._fleet._submit_request(request)
+
+    def step(self) -> List[Completion]:
+        return self._fleet._step()
+
+    def drain_completions(self) -> List[Completion]:
+        return self._fleet._drain_completions()
+
+    def cancel(self, request_id: str) -> bool:
+        return self._fleet._cancel(request_id)
+
+    def accounting(self) -> Dict[str, int]:
+        return self._fleet.accounting()
+
+    @property
+    def idle(self) -> bool:
+        return self._fleet.idle
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._fleet._pending)
+
+    @property
+    def running_count(self) -> int:
+        return len(self._fleet._inflight)
+
+
+class FleetServer:
+    """N arena-backed engine replicas behind a consistent-hash router.
+
+    Parameters
+    ----------
+    model:
+        A ``TransformerLM``; its state dict is published to shared memory
+        once, here, and never again (respawns re-attach the same handle).
+    tokenizer / serve_config / clock / eos_id / obs:
+        As in :class:`~repro.serve.server.InProcessServer`.  ``serve_config``
+        applies per replica (each runs its own scheduler, prefix cache, and
+        session store).
+    n_replicas:
+        Engine replica count (>= 1).
+    affinity_prefix_tokens:
+        Prompt-head length used as the routing key for sessionless requests.
+        Keep it <= ``serve_config.prefix_min_tokens`` when byte parity with
+        a single server matters: any two prompts sharing a reusable prefix
+        then share a routing key, so all cache-hit relationships stay
+        intra-replica.
+    max_inflight_per_replica:
+        Router-side bound on requests outstanding at one replica; default
+        ``max_batch_size * INFLIGHT_FACTOR``.
+    """
+
+    def __init__(self, model, tokenizer=None, n_replicas: int = 2,
+                 serve_config: ServeConfig = ServeConfig(),
+                 clock: Callable[[], float] = time.monotonic,
+                 eos_id: Optional[int] = None,
+                 obs: Optional[Observability] = None,
+                 affinity_prefix_tokens: int = 8,
+                 max_inflight_per_replica: Optional[int] = None) -> None:
+        if n_replicas < 1:
+            raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+        self.n_replicas = n_replicas
+        self.tokenizer = tokenizer
+        if eos_id is None and tokenizer is not None:
+            eos_id = tokenizer.eos_id
+        self.eos_id = eos_id
+        self.config = serve_config
+        self.clock = clock
+        self.obs = obs if obs is not None else Observability()
+        self.affinity_prefix_tokens = affinity_prefix_tokens
+        self.max_inflight_per_replica = (
+            max_inflight_per_replica if max_inflight_per_replica is not None
+            else serve_config.max_batch_size * INFLIGHT_FACTOR)
+        self.poll_interval = 0.005
+
+        self._arena = TensorArena()
+        self._arena.publish_dict(WEIGHTS_PREFIX, model.state_dict())
+        self._handle = self._arena.handle()
+        self._config_dict = model.config.to_dict()
+        self._supervisor = ProcessSupervisor(
+            obs=self.obs, respawn_counter="serve.fleet.replica_respawns")
+        self._ring = HashRing(range(n_replicas))
+        self._replicas: List[_Replica] = []
+        for replica_id in range(n_replicas):
+            self._replicas.append(self._spawn_replica(replica_id, epoch=0))
+
+        self.scheduler = _FleetScheduler(self)
+        self._pending: deque = deque()  # routed but not yet dispatched
+        #: request_id -> (replica_id, epoch) it is currently dispatched to.
+        self._inflight: "OrderedDict[str, Tuple[int, int]]" = OrderedDict()
+        self._requests: Dict[str, Request] = {}
+        self._results: Dict[str, Completion] = {}
+        self._completions: List[Completion] = []
+        self._seen_ids: Set[str] = set()
+        self._ids = itertools.count()
+        self._metrics_seq = 0
+        self._respawn_budget = n_replicas * 4
+        self._closed = False
+        self._counts = {"submitted": 0, "finished": 0, "expired": 0,
+                        "cancelled": 0}
+        registry = self.obs.registry
+        self._dispatch_counter = registry.counter("serve.fleet.dispatched")
+        self._requeue_counter = registry.counter("serve.fleet.requeued")
+        self._stale_counter = registry.counter("serve.fleet.stale_events")
+        registry.gauge("serve.fleet.replicas").set(n_replicas)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _replica_args(self, event_send, epoch: int) -> Tuple:
+        return (event_send, self._handle, self._config_dict, self.config,
+                self.eos_id, epoch)
+
+    def _spawn_replica(self, replica_id: int, epoch: int) -> _Replica:
+        # The parent's copy of the event send end is closed immediately
+        # after the fork, so replica ``i`` holds the *only* write end of its
+        # event pipe — its death reliably EOFs the parent's read end, and no
+        # sibling forked later can keep the pipe artificially open.
+        event_recv, event_send = self._supervisor.ctx.Pipe(duplex=False)
+        process, conn = self._supervisor.spawn(
+            _replica_main, replica_id, self._replica_args(event_send, epoch))
+        event_send.close()
+        return _Replica(replica_id, process, conn, event_recv, epoch)
+
+    def close(self) -> None:
+        """Stop replicas, fold their final metrics in, free the arena."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._collect_metrics(timeout=1.0)
+        except Exception:
+            pass
+        for rep in self._replicas:
+            self._absorb_replica(rep)
+            if rep.process.is_alive():
+                try:
+                    rep.conn.send(("stop",))
+                except (OSError, BrokenPipeError):
+                    pass
+        for rep in self._replicas:
+            self._supervisor.terminate(rep.process, rep.conn)
+            try:
+                rep.event_conn.close()
+            except OSError:
+                pass
+        self._arena.close()
+
+    def __enter__(self) -> "FleetServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _absorb_replica(self, rep: _Replica) -> None:
+        """Fold a replica epoch's last metric export into the parent
+        registry, exactly once per (replica, epoch)."""
+        if rep.last_export is not None:
+            self.obs.registry.absorb(
+                rep.last_export,
+                key=f"serve.fleet.r{rep.replica_id}.e{rep.epoch}")
+
+    # ------------------------------------------------------------------
+    # InProcessServer-mirror surface
+    # ------------------------------------------------------------------
+    def submit(self, prompt_ids: Sequence[int],
+               params: Optional[SamplingParams] = None, priority: int = 0,
+               deadline: Optional[float] = None,
+               session_id: Optional[str] = None,
+               request_id: Optional[str] = None) -> str:
+        """Enqueue a generation job; returns its request id."""
+        if request_id is None:
+            request_id = f"req-{next(self._ids)}"
+        request = Request(request_id=request_id,
+                          prompt_ids=tuple(prompt_ids),
+                          params=params or SamplingParams(),
+                          priority=priority, deadline=deadline,
+                          session_id=session_id)
+        self._submit_request(request)
+        return request_id
+
+    def _submit_request(self, request: Request) -> None:
+        if self._closed:
+            raise ValueError("fleet is closed")
+        if request.request_id in self._seen_ids:
+            raise ValueError(f"duplicate request_id {request.request_id!r}")
+        self._seen_ids.add(request.request_id)
+        self._requests[request.request_id] = request
+        self._pending.append(request)
+        self._counts["submitted"] += 1
+
+    def step(self) -> List[Completion]:
+        """Advance the router one iteration; returns new completions."""
+        self._step()
+        return self._collect(self._drain_completions())
+
+    def run_until_idle(self, max_steps: Optional[int] = None
+                       ) -> List[Completion]:
+        """Drive the fleet until all submitted work is done."""
+        out: List[Completion] = []
+        steps = 0
+        while not self.idle:
+            out.extend(self.step())
+            steps += 1
+            if max_steps is not None and steps >= max_steps:
+                break
+        out.extend(self._collect(self._drain_completions()))
+        return out
+
+    def complete(self, prompt_ids: Sequence[int],
+                 params: Optional[SamplingParams] = None,
+                 session_id: Optional[str] = None,
+                 timeout: Optional[float] = None) -> Completion:
+        """Submit one request and run the fleet until it finishes."""
+        deadline = self.clock() + timeout if timeout is not None else None
+        request_id = self.submit(prompt_ids, params=params,
+                                 session_id=session_id, deadline=deadline)
+        self.run_until_idle()
+        return self._results[request_id]
+
+    def result(self, request_id: str) -> Optional[Completion]:
+        return self._results.get(request_id)
+
+    def cancel(self, request_id: str) -> bool:
+        found = self._cancel(request_id)
+        self._collect(self._drain_completions())
+        return found
+
+    @property
+    def idle(self) -> bool:
+        return not self._pending and not self._inflight
+
+    def accounting(self) -> Dict[str, int]:
+        """Fleet-level request-conservation ledger (parent's eye view)."""
+        counts = dict(self._counts)
+        counts["queued"] = len(self._pending)
+        counts["running"] = len(self._inflight)
+        counts["conservation_ok"] = int(
+            counts["submitted"] == counts["finished"] + counts["expired"]
+            + counts["cancelled"] + counts["queued"] + counts["running"])
+        return counts
+
+    # ------------------------------------------------------------------
+    # router core
+    # ------------------------------------------------------------------
+    def _step(self) -> None:
+        if self._closed:
+            raise ValueError("fleet is closed")
+        if self.scheduler.refill is not None:
+            free = (self.n_replicas * self.config.max_batch_size
+                    - len(self._pending) - len(self._inflight))
+            if free > 0:
+                for request in self.scheduler.refill(free):
+                    self._submit_request(request)
+        self._expire_pending()
+        dispatched = self._dispatch()
+        handled = self._drain_events()
+        self._police_replicas()
+        if not dispatched and not handled and not self.idle:
+            # Nothing moved this iteration: wait briefly on the event queue
+            # instead of spinning while replicas decode.
+            self._drain_events(timeout=self.poll_interval)
+
+    def _expire_pending(self) -> None:
+        """Expire not-yet-dispatched requests on the parent clock (the same
+        >= boundary the replica schedulers apply to dispatched ones)."""
+        now = self.clock()
+        live = deque()
+        for request in self._pending:
+            if request.deadline is not None and now >= request.deadline:
+                self._requests.pop(request.request_id, None)
+                self._counts["expired"] += 1
+                self._completions.append(Completion(
+                    request_id=request.request_id,
+                    status=RequestStatus.EXPIRED,
+                    finish_reason=FinishReason.DEADLINE))
+            else:
+                live.append(request)
+        self._pending = live
+
+    def _dispatch(self) -> int:
+        dispatched = 0
+        kept = deque()
+        while self._pending:
+            request = self._pending.popleft()
+            rep = self._replicas[self._ring.node_for(
+                affinity_key(request, self.affinity_prefix_tokens))]
+            if (not rep.ready or not rep.process.is_alive()
+                    or len(rep.inflight) >= self.max_inflight_per_replica):
+                kept.append(request)
+                continue
+            remaining = (request.deadline - self.clock()
+                         if request.deadline is not None else None)
+            try:
+                rep.conn.send(("submit", request, remaining))
+            except (OSError, BrokenPipeError):
+                kept.append(request)  # policing will respawn and re-route
+                continue
+            rep.inflight.add(request.request_id)
+            self._inflight[request.request_id] = (rep.replica_id, rep.epoch)
+            self._dispatch_counter.inc()
+            dispatched += 1
+        self._pending = kept
+        return dispatched
+
+    def _drain_events(self, timeout: float = 0.0) -> int:
+        handled = 0
+        first = True
+        while True:
+            live = {rep.event_conn: rep for rep in self._replicas
+                    if not rep.event_eof}
+            if not live:
+                return handled
+            ready = _connection_wait(list(live), timeout if first else 0)
+            first = False
+            if not ready:
+                return handled
+            for event_conn in ready:
+                rep = live[event_conn]
+                try:
+                    message = event_conn.recv()
+                except (EOFError, OSError, pickle.UnpicklingError):
+                    # Replica died (possibly mid-write); liveness policing
+                    # requeues its work and respawns the slot.
+                    rep.event_eof = True
+                    continue
+                handled += 1
+                self._handle_event(message)
+
+    def _handle_event(self, message: Tuple) -> None:
+        kind = message[0]
+        if kind == "ready":
+            _, replica_id, epoch = message
+            rep = self._replicas[replica_id]
+            if epoch == rep.epoch:
+                rep.ready = True
+        elif kind == "token":
+            _, replica_id, epoch, request_id, token, index = message
+            if self._inflight.get(request_id) != (replica_id, epoch):
+                self._stale_counter.inc()
+                return
+            callback = self.scheduler.on_token
+            request = self._requests.get(request_id)
+            if callback is not None and request is not None:
+                callback(request, token, index)
+        elif kind == "done":
+            _, replica_id, epoch, completion = message
+            if self._inflight.get(completion.request_id) != (replica_id,
+                                                             epoch):
+                self._stale_counter.inc()  # dead epoch, or already requeued
+                return
+            self._inflight.pop(completion.request_id)
+            self._replicas[replica_id].inflight.discard(completion.request_id)
+            self._finish(completion)
+        elif kind == "metrics":
+            _, replica_id, epoch, seq, export, accounting = message
+            rep = self._replicas[replica_id]
+            if epoch == rep.epoch:
+                rep.last_export = export
+                rep.last_accounting = accounting
+                rep.last_seq = seq
+
+    def _finish(self, completion: Completion) -> None:
+        self._requests.pop(completion.request_id, None)
+        if completion.status == RequestStatus.EXPIRED:
+            self._counts["expired"] += 1
+        elif completion.status == RequestStatus.CANCELLED:
+            self._counts["cancelled"] += 1
+        else:
+            self._counts["finished"] += 1
+        self._completions.append(completion)
+
+    def _police_replicas(self) -> None:
+        """Liveness sweep: requeue a dead replica's work and respawn it."""
+        for rep in self._replicas:
+            if rep.process.is_alive() and not rep.event_eof:
+                continue
+            # Harvest everything the corpse managed to emit before dying —
+            # completions it finished must not be re-run.  The drain reads
+            # the dying pipe's buffered events through to its EOF.
+            self._drain_events()
+            self._respawn(rep)
+
+    def _respawn(self, rep: _Replica) -> None:
+        if self._respawn_budget <= 0:
+            raise FleetError(
+                f"replicas keep dying faster than the fleet may respawn "
+                f"them ({self.n_replicas * 4} respawns exhausted)")
+        self._respawn_budget -= 1
+        self._absorb_replica(rep)
+        # Requeue survivors at the front, preserving dispatch order; the
+        # epoch bump makes any event the dead epoch left in flight inert.
+        orphans = [request_id for request_id, (replica_id, epoch)
+                   in self._inflight.items()
+                   if (replica_id, epoch) == (rep.replica_id, rep.epoch)]
+        for request_id in reversed(orphans):
+            self._inflight.pop(request_id)
+            rep.inflight.discard(request_id)
+            self._pending.appendleft(self._requests[request_id])
+            self._requeue_counter.inc()
+        epoch = rep.epoch + 1
+        try:
+            rep.event_conn.close()
+        except OSError:
+            pass
+        event_recv, event_send = self._supervisor.ctx.Pipe(duplex=False)
+        process, conn = self._supervisor.respawn(
+            _replica_main, rep.replica_id,
+            self._replica_args(event_send, epoch), rep.process, rep.conn)
+        event_send.close()
+        rep.process, rep.conn = process, conn
+        rep.event_conn = event_recv
+        rep.event_eof = False
+        rep.epoch = epoch
+        rep.ready = False
+        rep.last_export = None
+        rep.last_accounting = None
+        rep.last_seq = -1
+        rep.inflight.clear()
+
+    def _cancel(self, request_id: str) -> bool:
+        for i, request in enumerate(self._pending):
+            if request.request_id == request_id:
+                del self._pending[i]
+                self._requests.pop(request_id, None)
+                self._counts["cancelled"] += 1
+                self._completions.append(Completion(
+                    request_id=request_id, status=RequestStatus.CANCELLED,
+                    finish_reason=FinishReason.CANCELLED))
+                return True
+        assignment = self._inflight.get(request_id)
+        if assignment is None:
+            return False
+        rep = self._replicas[assignment[0]]
+        try:
+            rep.conn.send(("cancel", request_id))
+        except (OSError, BrokenPipeError):
+            pass  # replica is dying; policing requeues, caller may retry
+        return True
+
+    def _drain_completions(self) -> List[Completion]:
+        done, self._completions = self._completions, []
+        return done
+
+    def _collect(self, completions: List[Completion]) -> List[Completion]:
+        out = []
+        for completion in completions:
+            if self.tokenizer is not None and completion.token_ids:
+                completion = replace(completion, text=self.tokenizer.decode(
+                    list(completion.token_ids)))
+            self._results[completion.request_id] = completion
+            out.append(completion)
+        return out
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def _collect_metrics(self, timeout: float = 0.5) -> None:
+        """Ask every live replica for a fresh registry export; wait (while
+        still servicing token/done events) until all reply or time runs out."""
+        self._metrics_seq += 1
+        waiting = set()
+        for rep in self._replicas:
+            if rep.process.is_alive() and rep.ready:
+                try:
+                    rep.conn.send(("metrics", self._metrics_seq))
+                    waiting.add(rep.replica_id)
+                except (OSError, BrokenPipeError):
+                    pass
+        deadline = time.monotonic() + timeout
+        while waiting and time.monotonic() < deadline:
+            self._drain_events(timeout=POLL_INTERVAL)
+            waiting = {replica_id for replica_id in waiting
+                       if self._replicas[replica_id].last_seq
+                       < self._metrics_seq}
+
+    def fleet_snapshot(self, refresh: bool = True,
+                       timeout: float = 0.5) -> Dict[str, object]:
+        """Merged fleet metrics view: one registry folded from every
+        replica's latest export, plus per-replica accounting.
+
+        Merging starts from a fresh registry each call (replica exports are
+        cumulative), so repeated snapshots never double-count.
+        """
+        from ..obs.metrics import MetricRegistry
+
+        if refresh and not self._closed:
+            self._collect_metrics(timeout=timeout)
+        merged = MetricRegistry()
+        per_replica: Dict[str, object] = {}
+        for rep in self._replicas:
+            if rep.last_export is not None:
+                merged.absorb(rep.last_export, key=f"replica-{rep.replica_id}")
+            per_replica[str(rep.replica_id)] = {
+                "epoch": rep.epoch,
+                "alive": rep.process.is_alive(),
+                "inflight": len(rep.inflight),
+                "accounting": rep.last_accounting,
+            }
+        return {
+            "replicas": self.n_replicas,
+            "respawns": int(self.obs.registry.counter(
+                "serve.fleet.replica_respawns").value),
+            "router": self.accounting(),
+            "merged": merged.export(),
+            "per_replica": per_replica,
+        }
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Flat instrumentation snapshot (the ``metrics`` verb's ``server``
+        section when a fleet backs the network front door)."""
+        snap = self.fleet_snapshot(timeout=0.25)
+        merged = snap["merged"]
+        return {
+            "fleet_replicas": self.n_replicas,
+            "router_pending": len(self._pending),
+            "router_inflight": len(self._inflight),
+            "replica_respawns": snap["respawns"],
+            "requests_requeued": int(self._requeue_counter.value),
+            "counters": merged["counters"],
+            "gauges": merged["gauges"],
+        }

@@ -155,9 +155,16 @@ class NetServer:
                  net_config: NetServerConfig = NetServerConfig(),
                  clock: Callable[[], float] = time.monotonic,
                  eos_id: Optional[int] = None,
-                 obs: Optional[Observability] = None) -> None:
-        self.inner = InProcessServer(model, tokenizer, serve_config,
-                                     clock=clock, eos_id=eos_id, obs=obs)
+                 obs: Optional[Observability] = None,
+                 inner=None) -> None:
+        # ``inner`` injects a pre-built backend exposing the
+        # InProcessServer surface (scheduler facade, tokenizer, obs,
+        # metrics_snapshot) — how `repro serve-fleet` puts a replica
+        # FleetServer behind this front door.  ``model`` is ignored then.
+        if inner is None:
+            inner = InProcessServer(model, tokenizer, serve_config,
+                                    clock=clock, eos_id=eos_id, obs=obs)
+        self.inner = inner
         self.scheduler = self.inner.scheduler
         self.obs = self.inner.obs
         self.net_config = net_config
@@ -532,11 +539,17 @@ class NetServer:
         }
 
     def metrics(self) -> Dict[str, object]:
-        return {
+        out = {
             "server": self.inner.metrics_snapshot(),
             "admission": self.admission.snapshot(),
             "accounting": self.scheduler.accounting(),
         }
+        fleet_snapshot = getattr(self.inner, "fleet_snapshot", None)
+        if fleet_snapshot is not None:
+            # Merged per-replica registries; refresh=False keeps the probe
+            # non-blocking (uses the last collected exports).
+            out["fleet"] = fleet_snapshot(refresh=False)
+        return out
 
 
 class NetServerThread:
@@ -558,9 +571,11 @@ class NetServerThread:
                  net_config: NetServerConfig = NetServerConfig(),
                  clock: Callable[[], float] = time.monotonic,
                  eos_id: Optional[int] = None,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 inner=None) -> None:
         self.server = NetServer(model, tokenizer, serve_config, net_config,
-                                clock=clock, eos_id=eos_id, obs=obs)
+                                clock=clock, eos_id=eos_id, obs=obs,
+                                inner=inner)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._started = threading.Event()

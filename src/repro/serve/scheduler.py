@@ -256,7 +256,10 @@ class Scheduler:
     # ------------------------------------------------------------------
     def _expire(self, now: float) -> None:
         def stale(request: Request) -> bool:
-            return request.deadline is not None and now > request.deadline
+            # >= so a request expires on the tick that *reaches* its
+            # deadline, matching the net layer's retry_after_s accounting
+            # (deadline - now == 0 means no budget left, not one free step).
+            return request.deadline is not None and now >= request.deadline
 
         n_stale = (sum(stale(item[2]) for item in self._queue)
                    + sum(stale(seq.request) for seq in self._running))

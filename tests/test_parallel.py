@@ -156,6 +156,15 @@ def _sleep_long(x):
     return x
 
 
+def _count_then_kill_first_attempt(x):
+    worker_obs().registry.counter("t.items").inc()
+    ctx = get_task_context()
+    if x == ctx["victim"] and not os.path.exists(ctx["flag"]):
+        open(ctx["flag"], "w").close()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x * x
+
+
 _ARENA_VIEW = None
 
 
@@ -240,6 +249,71 @@ class TestWorkerPool:
         snap = obs.registry.snapshot()
         assert snap["parallel.task_errors"] >= 2  # initial + retry at least
         assert snap["parallel.task_retries"] >= 1
+
+    def test_stale_attempt_done_is_discarded_not_accepted(self):
+        # Regression: a retried task's *first* attempt finishing late (its
+        # worker was presumed dead) must not be accepted as the result — the
+        # contract is that only the live attempt's payload and obs export
+        # count.  Forge the two wire messages the race produces.
+        from collections import deque
+
+        from repro.parallel.pool import _Task
+
+        def export_with(value):
+            obs = Observability()
+            obs.registry.counter("t.regress").inc(value)
+            return obs.export()
+
+        obs = Observability()
+        with WorkerPool(1, obs=obs) as pool:
+            task = _Task(task_id=0, index=0, fn=_square, chunk=[3])
+            task.attempts = 2  # a retry is the live attempt
+            pool._active[0] = task
+            pool._result_q.put(("done", 0, 0, 1, ["stale"], export_with(100)))
+            pool._result_q.put(("done", 0, 0, 2, ["live"], export_with(1)))
+            time.sleep(0.2)  # queue feeder thread flush
+            completed = {}
+            pool._drain_results(deque(), completed)
+            assert completed == {0: ["live"]}
+            assert obs.registry.snapshot()["t.regress"] == 1
+
+    def test_done_racing_its_requeued_retry_drops_the_pending_copy(self):
+        # Regression: a task whose worker was declared dead is requeued, but
+        # the old attempt's done arrives before the retry is dispatched.
+        # Accepting the done must also retire the pending copy, or the task
+        # runs (and counts) twice.
+        from collections import deque
+
+        from repro.parallel.pool import _Task
+
+        obs = Observability()
+        with WorkerPool(1, obs=obs) as pool:
+            task = _Task(task_id=0, index=0, fn=_square, chunk=[2])
+            task.attempts = 1
+            pool._active[0] = task
+            pending = deque([task])
+            pool._result_q.put(("done", 0, 0, 1, [4], None))
+            time.sleep(0.2)
+            completed = {}
+            pool._drain_results(pending, completed)
+            assert completed == {0: [4]}
+            assert len(pending) == 0  # not re-dispatched after completing
+
+    def test_kill_mid_task_counts_each_item_exactly_once(self, tmp_path):
+        # Conservation across SIGKILL + retry: the killed attempt's partial
+        # counts die with its registry; the successful attempt's snapshot is
+        # absorbed exactly once, so the total equals the item count even
+        # though the victim chunk ran (partially) twice.
+        obs = Observability()
+        items = list(range(12))
+        with task_context(victim=5, flag=str(tmp_path / "killed")):
+            with WorkerPool(3, obs=obs) as pool:
+                results = pool.map_chunked(_count_then_kill_first_attempt,
+                                           items, chunk_size=2)
+        assert results == [x * x for x in items]
+        snap = obs.registry.snapshot()
+        assert snap["parallel.worker_respawns"] >= 1
+        assert snap["t.items"] == len(items)
 
     def test_killed_worker_is_respawned_and_task_retried(self, tmp_path):
         obs = Observability()

@@ -231,6 +231,42 @@ def test_prefix_pool_prunes_subsumed_entries():
     assert reused[0][0].shape[1] == 3
 
 
+def test_subsumed_insert_refreshes_subsuming_entry_lru_clock():
+    """Regression: the early return for a prefix-subsumed insert must count
+    as a *use* of the subsuming entry.  A hot prefix kept alive only through
+    subsumed inserts used to keep a stale LRU stamp and get evicted first."""
+    pool = PrefixCachePool(max_entries=2, min_match_tokens=2)
+    kv = [(np.ones((2, 8, 3)), np.ones((2, 8, 3)))]
+    pool.insert((1, 2, 3, 4, 5), kv)  # the hot entry
+    pool.insert((7, 8, 9), kv)        # more recent by raw insert order
+    pool.insert((1, 2, 3), kv)        # subsumed: served by the hot entry
+    # Capacity pressure: the victim must be (7, 8, 9), not the entry that
+    # just served a subsumed insert.
+    pool.insert((20, 21, 22), kv)
+    match, _ = pool.lookup((1, 2, 3, 4, 9))
+    assert match == 4  # hot entry survived
+    match, _ = pool.lookup((7, 8, 9, 9))
+    assert match == 0  # the idle entry was the one evicted
+
+
+def test_vectorized_scan_matches_scalar_oracle():
+    """The numpy lookup scan must be bit-identical to the Python reference,
+    including the first-max-in-insertion-order tie-break."""
+    rng = np.random.default_rng(0)
+    kv = [(np.ones((1, 24, 2)), np.ones((1, 24, 2)))]
+    for _ in range(40):
+        pool = PrefixCachePool(max_entries=64, min_match_tokens=2)
+        for _ in range(int(rng.integers(1, 12))):
+            length = int(rng.integers(2, 12))
+            # Tiny alphabet so shared prefixes and exact ties are common.
+            key = tuple(int(t) for t in rng.integers(0, 4, size=length))
+            pool.insert(key, kv)
+        for _ in range(8):
+            plen = int(rng.integers(1, 14))
+            prompt = tuple(int(t) for t in rng.integers(0, 4, size=plen))
+            assert pool._scan(prompt) == pool._scan_scalar(prompt)
+
+
 def test_prefix_cache_reuse_preserves_outputs(model, engine):
     """Shared-prefix requests reuse cached KV and still produce the same
     greedy tokens as uncached serving."""
@@ -288,6 +324,23 @@ def test_deadline_expiry(model):
     assert expired.token_ids == ()
     assert server.result(fresh).status == RequestStatus.FINISHED
     assert server.metrics_snapshot()["requests_expired"] == 1
+
+
+def test_deadline_expires_exactly_at_boundary_tick(model):
+    """Regression: a request whose deadline equals the current clock tick is
+    *past due* — the admission layer's retry-after arithmetic and the fleet
+    router both treat ``now == deadline`` as expired, and the scheduler used
+    to disagree by one tick (``>`` instead of ``>=``)."""
+    clock = ManualClock()
+    server = InProcessServer(model, config=ServeConfig(max_batch_size=1),
+                             clock=clock)
+    rid = server.submit([1, 7], params=SamplingParams(max_new_tokens=2),
+                        deadline=5.0)
+    clock.t = 5.0
+    server.run_until_idle()
+    completion = server.result(rid)
+    assert completion.status == RequestStatus.EXPIRED
+    assert completion.finish_reason == FinishReason.DEADLINE
 
 
 def test_running_request_expires_mid_decode(model):

@@ -1,0 +1,75 @@
+"""Serving — cheap decode (int8 / paged KV / speculative) vs its oracles.
+
+The cheap-decode acceptance workload: every cost-saving path must be
+byte-identical to its exactness oracle (paged vs dense KV, int8 vs the
+dequantized-weight exact engine, speculative vs target-only decoding) —
+asserted unconditionally, like every parity gate in this suite.  The
+speculative >= 1.2x tokens/sec target applies only when the measured
+draft-acceptance rate clears the 0.5 floor (``target_applies``); below it
+the gate degrades to an overhead bound — a draft that disagrees with its
+target must not *cost* more than ``MIN_STARVED_RATIO`` of baseline
+throughput.  KV accounting must show paged reserving no more than dense
+under the mixed-length burst, with zero leaked blocks and an intact
+free-list conservation invariant after drain.  The report is written to
+``BENCH_decode.json`` at the repo root when ``REPRO_BENCH_SNAPSHOT=1``.
+"""
+
+import os
+from pathlib import Path
+
+from benchmarks.conftest import FULL, print_result
+from repro.serve.decode_bench import (format_decode_report,
+                                      run_decode_benchmark,
+                                      write_decode_snapshot)
+
+#: Where the perf-trajectory snapshot lands (repo root, committed).
+SNAPSHOT = Path(__file__).resolve().parent.parent / "BENCH_decode.json"
+
+#: When the draft disagrees too often for speculation to pay, the
+#: speculative arm still must not collapse under draft/verify overhead.
+MIN_STARVED_RATIO = 0.5
+
+
+def test_decode_parity_memory_and_speculative_speedup(benchmark):
+    result = run_decode_benchmark(
+        n_requests=12 if FULL else 8,
+        max_new_tokens=32,
+        repeats=5 if FULL else 3,
+        epochs=30, seed=0)
+    print_result("Serve: cheap decode vs oracles (grande target, nano draft)",
+                 format_decode_report(result))
+    if os.environ.get("REPRO_BENCH_SNAPSHOT", "0") == "1":
+        write_decode_snapshot(result, SNAPSHOT)
+
+    assert result["parity"]["paged_vs_dense"], \
+        "paged KV output diverged from the dense layout"
+    assert result["parity"]["int8_vs_dequant_oracle"], \
+        "int8 fused decode diverged from its dequantized exact oracle"
+    assert result["parity"]["speculative_vs_target_only"], \
+        "speculative decoding diverged from target-only decoding"
+    assert result["weights"]["ratio"] <= 0.5, (
+        f"int8 state dict should be well under half of fp32, got "
+        f"{result['weights']['ratio']:.2f}x")
+    kv = result["kv"]
+    assert kv["paged"]["leaked_blocks"] == 0, kv["paged"]
+    assert kv["paged"]["conservation_ok"], kv["paged"]
+    assert kv["reserved_ratio"] <= 1.0, (
+        f"paged KV reserved more than dense under mixed lengths: "
+        f"{kv['reserved_ratio']:.2f}x")
+    assert (kv["paged"]["bytes_per_session"]
+            < kv["dense"]["bytes_per_session"]), (
+        f"paged KV should hold fewer bytes per live session than dense "
+        f"under mixed lengths: {kv['paged']} vs {kv['dense']}")
+    if result["target_applies"]:
+        assert result["speedup"] >= result["speedup_target"], (
+            f"expected >= {result['speedup_target']}x speculative tokens/sec "
+            f"at acceptance {result['speculative']['acceptance_rate']:.2f}, "
+            f"got {result['speedup']:.2f}x")
+    else:
+        assert result["speedup"] >= MIN_STARVED_RATIO, (
+            f"speculation overhead out of bounds at acceptance "
+            f"{result['speculative']['acceptance_rate']:.2f}: "
+            f"{result['speedup']:.2f}x")
+
+    benchmark(lambda: run_decode_benchmark(
+        n_requests=4, max_new_tokens=8, repeats=1, epochs=8, seed=0))

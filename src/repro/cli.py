@@ -10,6 +10,8 @@ Subcommands mirror how an adopter would actually use the release:
 * ``merge-sweep`` — time a λ sweep, naive loop vs the merge engine;
 * ``serve-bench`` — serial vs. batched+prefix-cached serving throughput;
 * ``bench-train`` — fused-kernel vs. composed-graph training-step timing;
+* ``bench-decode`` — cheap decode (int8 weights, paged KV, speculative)
+  vs. its byte-exactness oracles;
 * ``bench-parallel`` — WorkerPool eval fan-out vs. the serial item loop;
 * ``obs-report`` — end-to-end train→merge→serve→eval→rag flow with the
   observability layer on: span tree + metric registry snapshot.
@@ -374,6 +376,38 @@ def _cmd_serve_fleet_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_bench_decode(args: argparse.Namespace) -> int:
+    from .serve.decode_bench import (format_decode_report,
+                                     run_decode_benchmark,
+                                     write_decode_snapshot)
+
+    try:
+        result = run_decode_benchmark(
+            target_backbone=args.target, draft_backbone=args.draft,
+            speculative_tokens=args.speculative_tokens,
+            n_requests=args.requests, max_new_tokens=args.max_new_tokens,
+            repeats=args.repeats, epochs=args.epochs, seed=args.seed)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_decode_report(result))
+    if args.json:
+        write_decode_snapshot(result, args.json)
+        print(f"snapshot written to {args.json}")
+    kv = result["kv"]
+    ok = (result["parity_ok"] and kv["paged"]["leaked_blocks"] == 0
+          and kv["paged"]["conservation_ok"] and kv["reserved_ratio"] <= 1.0)
+    # The speedup floor only binds when the draft actually agrees with the
+    # target; at low acceptance the report carries the waiver instead.
+    if result["target_applies"] and result["speedup"] < result["speedup_target"]:
+        print(f"error: speculative speedup {result['speedup']:.2f}x below "
+              f"the {result['speedup_target']:.1f}x target at acceptance "
+              f"{result['speculative']['acceptance_rate']:.2f}",
+              file=sys.stderr)
+        ok = False
+    return 0 if ok else 1
+
+
 def _cmd_serve_net_bench(args: argparse.Namespace) -> int:
     from .serve.net.bench import (format_net_report, run_net_benchmark,
                                   write_net_snapshot)
@@ -669,6 +703,31 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also write the full report (with replayable "
                                "arrival schedules) to this path")
     p_nbench.set_defaults(fn=_cmd_serve_net_bench)
+
+    p_dbench = sub.add_parser(
+        "bench-decode",
+        help="benchmark cheap decode (int8/paged KV/speculative) against "
+             "its byte-exactness oracles; exit 1 if any gate fails")
+    p_dbench.add_argument("--target", default="grande",
+                          choices=("nano", "micro", "grande"),
+                          help="target (served) backbone")
+    p_dbench.add_argument("--draft", default="nano",
+                          choices=("nano", "micro", "grande"),
+                          help="draft backbone for speculative decoding")
+    p_dbench.add_argument("--speculative-tokens", type=int, default=3,
+                          help="draft chain length per verify round")
+    p_dbench.add_argument("--requests", type=int, default=12,
+                          help="requests per workload burst")
+    p_dbench.add_argument("--max-new-tokens", type=int, default=32,
+                          help="decode budget per request")
+    p_dbench.add_argument("--repeats", type=int, default=5,
+                          help="paired timing rounds (median ratio)")
+    p_dbench.add_argument("--epochs", type=int, default=30,
+                          help="training epochs for draft and target")
+    p_dbench.add_argument("--seed", type=int, default=0)
+    p_dbench.add_argument("--json", type=Path, default=None,
+                          help="also write the report as a JSON snapshot")
+    p_dbench.set_defaults(fn=_cmd_bench_decode)
 
     p_btrain = sub.add_parser(
         "bench-train",

@@ -83,6 +83,21 @@ class _LayerCache:
             raise ValueError("preload requires an empty cache")
         self.append(k, v)
 
+    def truncate(self, length: int) -> None:
+        """Drop cached positions beyond ``length`` (speculative rollback).
+
+        Only the logical length moves; the buffer keeps its capacity and the
+        stale tail data stays in place until the next :meth:`append`
+        overwrites it.  Every reader — ``.k`` / ``.v`` views,
+        :meth:`snapshot`, :meth:`append`'s write offset — is gated on
+        ``_len``, so shrink-then-regrow reuse cannot resurface the tail
+        (pinned by a regression test in ``tests/test_decode.py``).
+        """
+        if length < 0 or length > self._len:
+            raise ValueError(
+                f"truncate length {length} outside [0, {self._len}]")
+        self._len = length
+
     def snapshot(self, upto: Optional[int] = None):
         """Copies of the first ``upto`` cached positions (default: all)."""
         upto = self._len if upto is None else min(upto, self._len)

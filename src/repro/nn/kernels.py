@@ -61,6 +61,9 @@ __all__ = [
     "fused_attn_block", "fused_cross_entropy", "fused_gateup", "fused_linear",
     "fused_lm_loss", "fused_mlp_block", "fused_rms_norm", "fused_swiglu",
     "attention_nograd",
+    "INT8_SCALE_SUFFIX", "quantize_int8", "dequantize_int8",
+    "matmul_int8_nograd", "quantize_state_dict", "dequantize_state_dict",
+    "is_quantized_state",
     "set_kernel_observability", "kernel_observability", "kernel_workspace",
 ]
 
@@ -721,6 +724,119 @@ def attention_nograd(q: np.ndarray, k: np.ndarray, v: np.ndarray, *,
     if invalid is not None:
         np.copyto(scores, MASK_VALUE, where=invalid)
     return _softmax_inplace(scores) @ v
+
+
+# ---------------------------------------------------------------------------
+# int8 weight quantization (no-grad serve path)
+# ---------------------------------------------------------------------------
+#: Key suffix marking a per-channel scale vector in a quantized state dict.
+INT8_SCALE_SUFFIX = "::scale"
+
+#: 2-D weights that stay fp32 under :func:`quantize_state_dict`.  The token
+#: embedding is a gather table, not a matmul operand, so quantizing it buys
+#: no fused-kernel win and costs accuracy at the model's very first op.
+_QUANT_SKIP = ("tok_emb.weight",)
+
+
+def quantize_int8(weight: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Symmetric per-output-channel int8 quantization of a ``(out, in)`` matrix.
+
+    Each output row gets its own scale ``max(|row|) / 127`` so rows with
+    small dynamic range keep precision (per-tensor scaling would burn the
+    whole int8 budget on the largest row).  All-zero rows get scale 1 so the
+    division is defined and dequantizes back to exact zeros.  Returns
+    ``(q, scales)`` with ``q`` int8 of the same shape and ``scales`` a
+    float vector of length ``out``.
+
+    The map is a near-projection: ``quantize(dequantize(q, s))`` recovers
+    ``q`` exactly (``max|q| == 127`` whenever the row is non-zero, so the
+    recovered scale is within 1 ulp of ``s`` and the re-rounded integers
+    cannot move).  The fleet path does not even rely on that: quantized
+    state dicts are published and consumed verbatim, never re-quantized.
+    """
+    if weight.ndim != 2:
+        raise ValueError(f"expected a 2-D weight, got shape {weight.shape}")
+    scales = np.abs(weight).max(axis=1) / np.float64(127.0)
+    scales = np.where(scales == 0.0, 1.0, scales).astype(weight.dtype)
+    q = np.rint(weight / scales[:, None]).astype(np.int8)
+    return q, scales
+
+
+def dequantize_int8(q: np.ndarray, scales: np.ndarray) -> np.ndarray:
+    """Reconstruct the fp matrix ``q * scales[:, None]`` (the serve oracle)."""
+    return q.astype(scales.dtype) * scales[:, None]
+
+
+def matmul_int8_nograd(x: np.ndarray, q: np.ndarray,
+                       scales: np.ndarray) -> np.ndarray:
+    """Fused dequant-matmul: ``x @ dequantize(q, scales).T`` without ever
+    materialising the fp32 weight matrix persistently.
+
+    The int8 matrix is cast into a pooled scratch buffer (steady-state
+    decode reuses the same buffer, no allocator traffic), the GEMM runs
+    against it, and the per-channel scales are applied to the *output* —
+    ``(x @ qᵀ) · s`` instead of ``x @ (q · s)ᵀ`` — which touches ``(B, out)``
+    floats instead of ``(out, in)``.  The two orderings are algebraically
+    identical and agree to float rounding; token-level parity with the
+    dequantized dense oracle is what the differential suite asserts.
+    """
+    with _span("kernels.matmul_int8", shape=tuple(q.shape)):
+        dtype = scales.dtype
+        wf = _WS.take(q.shape, dtype)
+        np.copyto(wf, q, casting="safe")
+        out = x @ wf.T
+        out *= scales
+        _WS.give(wf)
+        # Saved bytes: the persistent fp32 copy a dequantize-ahead-of-time
+        # path would keep alive (3 of the 4 bytes per weight element).
+        _count("matmul_int8", 3 * q.size)
+    return out
+
+
+def is_quantized_state(state: dict) -> bool:
+    """Whether a state dict came from :func:`quantize_state_dict`."""
+    return any(key.endswith(INT8_SCALE_SUFFIX) for key in state)
+
+
+def quantize_state_dict(state: dict) -> dict:
+    """Quantize every 2-D matmul weight of a model state dict to int8.
+
+    Each quantized entry ``name`` becomes an int8 array plus a companion
+    ``name + "::scale"`` float vector; norms (1-D) and the token embedding
+    pass through untouched.  The result is what the fleet publishes to the
+    shared-memory arena — roughly a quarter of the fp32 footprint — and
+    what :class:`~repro.serve.engine.BatchedEngine` consumes directly in
+    int8 mode, so replicas never re-quantize (re-quantization is exact,
+    but using the published ``(q, s)`` verbatim makes parity structural).
+    """
+    if is_quantized_state(state):
+        return state
+    out = {}
+    for name, tensor in state.items():
+        if tensor.ndim == 2 and name.endswith("weight") \
+                and name not in _QUANT_SKIP:
+            q, scales = quantize_int8(tensor)
+            out[name] = q
+            out[name + INT8_SCALE_SUFFIX] = scales
+        else:
+            out[name] = tensor
+    return out
+
+
+def dequantize_state_dict(state: dict) -> dict:
+    """Invert :func:`quantize_state_dict` into a plain fp state dict.
+
+    This is the *oracle model* for int8 serving: an engine built from the
+    dequantized weights in exact mode defines the token streams the fused
+    int8 path must reproduce byte-for-byte.
+    """
+    out = {}
+    for name, tensor in state.items():
+        if name.endswith(INT8_SCALE_SUFFIX):
+            continue
+        scale = state.get(name + INT8_SCALE_SUFFIX)
+        out[name] = tensor if scale is None else dequantize_int8(tensor, scale)
+    return out
 
 
 # ---------------------------------------------------------------------------

@@ -27,10 +27,21 @@ control — lives in :mod:`repro.serve.net` (DESIGN.md §9, ``repro
 serve-net`` / ``repro serve-net-bench``).  Multi-process replica serving
 over one shared-memory weight copy lives in :mod:`repro.serve.fleet`
 (DESIGN.md §10, ``repro serve-fleet`` / ``repro serve-fleet-bench``).
+
+Cheap-decode serving — int8 weights (``ServeConfig(weight_mode="int8")``),
+paged KV allocation (``kv_mode="paged"``), and speculative decoding
+(``speculative_tokens=k`` plus a ``draft_model``) — lives across
+:mod:`repro.serve.engine`, :mod:`repro.serve.cache`, and the scheduler
+(DESIGN.md §11, ``repro bench-decode``).  All three paths emit token
+streams byte-identical to exact fp32 dense decoding.
 """
 
-from .cache import PrefixCachePool, common_prefix_length
-from .engine import BatchedEngine, DECODE_MODES
+from .cache import (BlockPool, BlockPoolError, PrefixCachePool,
+                    common_prefix_length)
+from .decode_bench import (format_decode_report, run_decode_benchmark,
+                           write_decode_snapshot)
+from .engine import (BatchedEngine, DECODE_MODES, KV_MODES, WEIGHT_MODES,
+                     dequantized_oracle_model)
 from .loadgen import (ARRIVAL_PROCESSES, WorkloadSpec, arrival_schedule,
                       format_benchmark_report, percentile,
                       run_multi_tenant_workload, run_serial_baseline,
@@ -44,9 +55,11 @@ from .server import InProcessServer
 from .sessions import SessionState, SessionStore
 
 __all__ = [
-    "BatchedEngine", "DECODE_MODES",
+    "BatchedEngine", "DECODE_MODES", "KV_MODES", "WEIGHT_MODES",
+    "dequantized_oracle_model",
     "Completion", "FinishReason", "Request", "RequestStatus", "SamplingParams",
-    "PrefixCachePool", "common_prefix_length",
+    "BlockPool", "BlockPoolError", "PrefixCachePool", "common_prefix_length",
+    "format_decode_report", "run_decode_benchmark", "write_decode_snapshot",
     "Scheduler", "ServeConfig", "ServerMetrics",
     "SessionState", "SessionStore",
     "InProcessServer",

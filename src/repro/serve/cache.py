@@ -196,3 +196,128 @@ class PrefixCachePool:
             "hit_rate": self.hit_rate,
             "tokens_reused": self.tokens_reused,
         }
+
+
+# ---------------------------------------------------------------------------
+# paged-KV block allocator
+# ---------------------------------------------------------------------------
+class BlockPoolError(RuntimeError):
+    """An allocation/free request violated the pool's ownership rules."""
+
+
+class BlockPool:
+    """Free-list allocator of fixed-size KV blocks shared across sequences.
+
+    The dense engine sizes every batch slot for the longest sequence the
+    engine has ever seen — ``max_batch × capacity`` tokens of K/V per layer,
+    whatever each slot actually holds.  Paged allocation (the vLLM model)
+    instead carves KV storage into blocks of ``block_tokens`` positions and
+    hands them out on demand: a short chat turn holds one block while a
+    long grounding prompt holds twenty, and freeing a sequence returns its
+    blocks for immediate reuse.
+
+    The pool manages only *ownership* — integer block ids against opaque
+    owner tags (the engine uses its slot index).  Storage lives with the
+    engine, which also zeroes a block's K/V on every :meth:`alloc` so a
+    reused block can never leak a prior session's tail into a fresh
+    sequence (the regression the dense path only masks; see DESIGN.md §11).
+
+    Invariants, enforced here and property-tested with Hypothesis:
+
+    * a block is owned by at most one owner at a time (no aliasing);
+    * ``allocated + free == n_blocks`` after every operation (conservation);
+    * every block is freed exactly once — double-free and foreign-free
+      raise :class:`BlockPoolError` instead of corrupting the free list.
+    """
+
+    def __init__(self, n_blocks: int, block_tokens: int = 16) -> None:
+        if n_blocks < 1:
+            raise ValueError("n_blocks must be >= 1")
+        if block_tokens < 1:
+            raise ValueError("block_tokens must be >= 1")
+        self.block_tokens = block_tokens
+        self._n_blocks = n_blocks
+        # LIFO free list, seeded so block 0 is handed out first — freshly
+        # freed blocks are reused while still cache-warm.
+        self._free = list(range(n_blocks - 1, -1, -1))
+        self._owner: Dict[int, object] = {}
+        self._owned: Dict[object, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def n_blocks(self) -> int:
+        return self._n_blocks
+
+    @property
+    def n_free(self) -> int:
+        return len(self._free)
+
+    @property
+    def n_allocated(self) -> int:
+        return len(self._owner)
+
+    def owner_blocks(self, owner) -> List[int]:
+        """The blocks ``owner`` holds, in allocation order (a copy)."""
+        return list(self._owned.get(owner, ()))
+
+    # ------------------------------------------------------------------
+    def alloc(self, owner) -> int:
+        """Hand a free block to ``owner``; raises when the pool is empty
+        (the engine grows storage and calls :meth:`grow` first)."""
+        if not self._free:
+            raise BlockPoolError(
+                f"pool exhausted: all {self._n_blocks} blocks allocated")
+        block = self._free.pop()
+        self._owner[block] = owner
+        self._owned.setdefault(owner, []).append(block)
+        return block
+
+    def free(self, block: int) -> None:
+        """Return one block to the free list (must be allocated)."""
+        owner = self._owner.pop(block, None)
+        if owner is None:
+            raise BlockPoolError(f"block {block} is not allocated")
+        owned = self._owned[owner]
+        owned.remove(block)
+        if not owned:
+            del self._owned[owner]
+        self._free.append(block)
+
+    def free_owner(self, owner) -> List[int]:
+        """Release every block ``owner`` holds; returns them in allocation
+        order.  Freeing an owner with no blocks is a no-op (a released
+        exact-mode sequence never allocated any)."""
+        blocks = self._owned.pop(owner, [])
+        for block in blocks:
+            del self._owner[block]
+            self._free.append(block)
+        return blocks
+
+    def grow(self, extra: int) -> None:
+        """Add ``extra`` fresh blocks (ids continue past the current range)."""
+        if extra < 1:
+            raise ValueError("extra must be >= 1")
+        start = self._n_blocks
+        self._n_blocks += extra
+        self._free.extend(range(self._n_blocks - 1, start - 1, -1))
+
+    # ------------------------------------------------------------------
+    def conservation_ok(self) -> bool:
+        """``allocated + free == n_blocks`` with disjoint, alias-free sets."""
+        if self.n_allocated + self.n_free != self._n_blocks:
+            return False
+        free = set(self._free)
+        if len(free) != len(self._free) or free & set(self._owner):
+            return False
+        per_owner = [b for blocks in self._owned.values() for b in blocks]
+        return (len(per_owner) == len(set(per_owner))
+                and set(per_owner) == set(self._owner))
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "n_blocks": self._n_blocks,
+            "block_tokens": self.block_tokens,
+            "allocated": self.n_allocated,
+            "free": self.n_free,
+            "owners": len(self._owned),
+        }

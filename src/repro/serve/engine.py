@@ -8,7 +8,11 @@
   unseen suffix of the prompt;
 * **batched decode** — one call advances every running sequence by a token;
 * **KV export** — a sequence's accumulated KV state can be snapshotted for
-  the prefix pool or the session store.
+  the prefix pool or the session store;
+* **speculative verification** — :meth:`verify_scores` scores a chain of
+  candidate tokens in one forward pass and :meth:`truncate_kv` rolls the
+  cache back past a rejection, the primitives the scheduler's speculative
+  decode loop is built on.
 
 Two decode modes, selected at construction:
 
@@ -31,24 +35,86 @@ Two decode modes, selected at construction:
     token-for-token parity with :meth:`InferenceEngine.generate`.  Use for
     regression comparisons and determinism-critical evaluation.
 
+Orthogonal to the decode mode, two cheap-serve axes (DESIGN.md §11):
+
+``weight_mode="int8"``
+    Matmul weights are held as per-output-channel int8 with float scales
+    (:func:`~repro.nn.kernels.quantize_state_dict`) and fused decode runs
+    :func:`~repro.nn.kernels.matmul_int8_nograd` — the dequantization
+    happens inside the kernel against a pooled scratch buffer, never as a
+    persistent fp32 matrix.  Prefill and the exact decode path run on the
+    *dequantized* weights, which makes exact mode the byte-level oracle
+    for the quantized model (see :func:`dequantized_oracle_model`).  A
+    model whose ``state_dict()`` is already quantized (the fleet's
+    arena-published form) is consumed verbatim, never re-quantized.
+``kv_mode="paged"``
+    Fused-mode KV storage is carved into fixed-size blocks handed out by a
+    :class:`~repro.serve.cache.BlockPool` free list, so a slot holds
+    exactly the blocks its sequence needs instead of reserving the
+    longest-ever capacity.  Blocks are zeroed on allocation — a reused
+    block can never leak a prior session's tail into a fresh sequence
+    (the dense path only *masks* stale tails; the paged path erases
+    them).  The dense layout stays the differential oracle: both layouts
+    feed bit-identical gathered histories to the same attention kernel.
+
 Sequences are handed to callers as opaque :class:`SequenceHandle` objects;
 the scheduler never touches the storage representation.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..nn.infer import InferenceEngine, _LayerCache, _rms_norm, _silu
-from ..nn.kernels import attention_nograd
-from .cache import LayerKV
+from ..nn.kernels import (INT8_SCALE_SUFFIX, attention_nograd,
+                          dequantize_state_dict, is_quantized_state,
+                          matmul_int8_nograd, quantize_state_dict)
+from .cache import BlockPool, LayerKV
 
 DECODE_MODES = ("fused", "exact")
+WEIGHT_MODES = ("fp32", "int8")
+KV_MODES = ("dense", "paged")
 
-#: Initial per-slot token capacity of the fused batch buffers.
+#: Initial per-slot token capacity of the fused dense batch buffers.
 _INITIAL_SLOT_CAPACITY = 64
+
+#: Initial block count of the paged KV pool (doubled on demand).
+_INITIAL_POOL_BLOCKS = 8
+
+
+class _StateModel:
+    """Duck-typed model view over a plain state dict (config + weights).
+
+    :class:`~repro.nn.infer.InferenceEngine` only ever reads ``.config``
+    and ``.state_dict()``, so this shim lets the engine be built from a
+    transformed weight set — the dequantized twin of an int8 model, or the
+    fleet's arena-backed views — without materialising a TransformerLM.
+    """
+
+    __slots__ = ("config", "_state")
+
+    def __init__(self, config, state: Dict[str, np.ndarray]) -> None:
+        self.config = config
+        self._state = state
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return self._state
+
+
+def dequantized_oracle_model(model) -> _StateModel:
+    """The fp32 model an int8 engine actually serves.
+
+    Quantize-then-dequantize the model's weights (identity if they are
+    already quantized) and wrap the result.  An exact-mode engine built
+    from this model defines the token streams the fused int8 path must
+    reproduce — the differential oracle of the int8 parity suite.
+    """
+    state = model.state_dict()
+    if not is_quantized_state(state):
+        state = quantize_state_dict(state)
+    return _StateModel(model.config, dequantize_state_dict(state))
 
 
 class SequenceHandle:
@@ -74,27 +140,102 @@ class BatchedEngine(InferenceEngine):
     """Multi-sequence extension of the KV-cached inference engine."""
 
     def __init__(self, model, decode_mode: str = "fused",
-                 max_batch_size: int = 8) -> None:
-        super().__init__(model)
+                 max_batch_size: int = 8, weight_mode: str = "fp32",
+                 kv_mode: str = "dense", kv_block_tokens: int = 16) -> None:
         if decode_mode not in DECODE_MODES:
             raise ValueError(f"decode_mode must be one of {DECODE_MODES}, "
                              f"got {decode_mode!r}")
+        if weight_mode not in WEIGHT_MODES:
+            raise ValueError(f"weight_mode must be one of {WEIGHT_MODES}, "
+                             f"got {weight_mode!r}")
+        if kv_mode not in KV_MODES:
+            raise ValueError(f"kv_mode must be one of {KV_MODES}, "
+                             f"got {kv_mode!r}")
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
+        if kv_block_tokens < 1:
+            raise ValueError("kv_block_tokens must be >= 1")
+        qstate = None
+        if weight_mode == "int8":
+            state = model.state_dict()
+            qstate = (state if is_quantized_state(state)
+                      else quantize_state_dict(state))
+            # Prefill and the exact decode path run the *dequantized*
+            # model, so every path of this engine serves one consistent
+            # set of (quantized) weights.
+            model = _StateModel(model.config, dequantize_state_dict(qstate))
+        super().__init__(model)
         self.decode_mode = decode_mode
         self.max_batch_size = max_batch_size
+        self.weight_mode = weight_mode
+        self.kv_mode = kv_mode
         # Fused-mode slot storage, allocated lazily on first bind.
         self._slot_k: List[np.ndarray] = []
         self._slot_v: List[np.ndarray] = []
         self._slot_lens = np.zeros(max_batch_size, dtype=np.int64)
         self._free_slots = list(range(max_batch_size - 1, -1, -1))
+        # Paged-KV state: block storage per layer plus per-slot block tables.
+        self._kv_block_tokens = kv_block_tokens
+        self._block_pool: Optional[BlockPool] = None
+        self._page_k: List[np.ndarray] = []
+        self._page_v: List[np.ndarray] = []
+        self._slot_blocks: List[List[int]] = [[] for _ in range(max_batch_size)]
         # Concatenated projection weights: one gemm for Q|K|V and gate|up
         # per layer instead of five (fused decode only; the exact path keeps
-        # the single-sequence shapes).
-        self._fused_w = [{
-            "qkv": np.concatenate([layer["q"], layer["k"], layer["v"]], axis=0),
-            "gate_up": np.concatenate([layer["gate"], layer["up"]], axis=0),
-        } for layer in self.layers]
+        # the single-sequence shapes).  In int8 mode the packed matrices are
+        # int8 with per-row scales and the gemms run the fused
+        # dequant-matmul kernel instead.
+        self._fused_w = None
+        self._int8_w = None
+        self._int8_head: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        if weight_mode == "int8":
+            self._int8_w = []
+            for i in range(len(self.layers)):
+                prefix = f"blocks.{i}."
+
+                def qs(name: str, prefix=prefix):
+                    key = prefix + name
+                    return qstate[key], qstate[key + INT8_SCALE_SUFFIX]
+
+                q_q, s_q = qs("attn.q_proj.weight")
+                q_k, s_k = qs("attn.k_proj.weight")
+                q_v, s_v = qs("attn.v_proj.weight")
+                q_g, s_g = qs("mlp.gate_proj.weight")
+                q_u, s_u = qs("mlp.up_proj.weight")
+                self._int8_w.append({
+                    "qkv": (np.concatenate([q_q, q_k, q_v], axis=0),
+                            np.concatenate([s_q, s_k, s_v])),
+                    "gate_up": (np.concatenate([q_g, q_u], axis=0),
+                                np.concatenate([s_g, s_u])),
+                    "o": qs("attn.o_proj.weight"),
+                    "down": qs("mlp.down_proj.weight"),
+                })
+            self._int8_head = (qstate["lm_head.weight"],
+                               qstate["lm_head.weight" + INT8_SCALE_SUFFIX])
+        else:
+            self._fused_w = [{
+                "qkv": np.concatenate([layer["q"], layer["k"], layer["v"]],
+                                      axis=0),
+                "gate_up": np.concatenate([layer["gate"], layer["up"]],
+                                          axis=0),
+                "o": layer["o"],
+                "down": layer["down"],
+            } for layer in self.layers]
+
+    # ------------------------------------------------------------------
+    # fused-path projections (fp32 packed gemm or int8 fused dequant)
+    # ------------------------------------------------------------------
+    def _mm(self, h: np.ndarray, li: int, name: str) -> np.ndarray:
+        """``h @ W.T`` for fused decode, through the active weight mode."""
+        if self._int8_w is not None:
+            q, scales = self._int8_w[li][name]
+            return matmul_int8_nograd(h, q, scales)
+        return h @ self._fused_w[li][name].T
+
+    def _head(self, x: np.ndarray) -> np.ndarray:
+        if self._int8_head is not None:
+            return matmul_int8_nograd(x, *self._int8_head)
+        return x @ self.lm_head.T
 
     # ------------------------------------------------------------------
     # prefill
@@ -142,16 +283,29 @@ class BatchedEngine(InferenceEngine):
             raise RuntimeError(f"all {self.max_batch_size} slots in use")
         slot = self._free_slots.pop()
         length = caches[0].length
-        self._ensure_slot_storage(length)
-        for li, cache in enumerate(caches):
-            self._slot_k[li][slot, :, :length] = cache.k
-            self._slot_v[li][slot, :, :length] = cache.v
+        if self.kv_mode == "paged":
+            bt = self._kv_block_tokens
+            self._ensure_paged(slot, length)
+            blocks = self._slot_blocks[slot]
+            for li, cache in enumerate(caches):
+                for j, block in enumerate(blocks):
+                    lo, hi = j * bt, min((j + 1) * bt, length)
+                    self._page_k[li][block, :, : hi - lo] = cache.k[:, lo:hi]
+                    self._page_v[li][block, :, : hi - lo] = cache.v[:, lo:hi]
+        else:
+            self._ensure_slot_storage(length)
+            for li, cache in enumerate(caches):
+                self._slot_k[li][slot, :, :length] = cache.k
+                self._slot_v[li][slot, :, :length] = cache.v
         self._slot_lens[slot] = length
         return SequenceHandle(self, slot, None)
 
     def release(self, handle: SequenceHandle) -> None:
         """Return a sequence's resources to the engine."""
         if handle.slot is not None:
+            if self._block_pool is not None:
+                self._block_pool.free_owner(handle.slot)
+                self._slot_blocks[handle.slot] = []
             self._slot_lens[handle.slot] = 0
             self._free_slots.append(handle.slot)
             handle.slot = None
@@ -165,12 +319,25 @@ class BatchedEngine(InferenceEngine):
         slot = handle.slot
         length = int(self._slot_lens[slot]) if upto is None else \
             min(upto, int(self._slot_lens[slot]))
+        if self.kv_mode == "paged":
+            blocks = self._slot_blocks[slot]
+            out = []
+            for li in range(len(self.layers)):
+                k = self._page_k[li][blocks].transpose(1, 0, 2, 3) \
+                    .reshape(self.n_heads, -1, self.head_dim)[:, :length].copy()
+                v = self._page_v[li][blocks].transpose(1, 0, 2, 3) \
+                    .reshape(self.n_heads, -1, self.head_dim)[:, :length].copy()
+                out.append((k, v))
+            return out
         return [(self._slot_k[li][slot, :, :length].copy(),
                  self._slot_v[li][slot, :, :length].copy())
                 for li in range(len(self.layers))]
 
+    # ------------------------------------------------------------------
+    # storage growth (dense slots / paged blocks)
+    # ------------------------------------------------------------------
     def _ensure_slot_storage(self, needed: int) -> None:
-        """Grow the shared slot buffers to hold ``needed`` tokens per slot."""
+        """Grow the shared dense slot buffers to hold ``needed`` tokens."""
         old_cap = self._slot_k[0].shape[2] if self._slot_k else 0
         if needed <= old_cap:
             return
@@ -189,6 +356,95 @@ class BatchedEngine(InferenceEngine):
                 grown = np.zeros(shape, dtype=dtype)
                 grown[:, :, :old_cap] = bufs[li]
                 bufs[li] = grown
+
+    def _ensure_block_storage(self, needed: int) -> None:
+        """Grow the paged block storage (and the pool) to ``needed`` blocks.
+
+        Backing arrays are ``np.empty`` — block *contents* are zeroed at
+        allocation time in :meth:`_alloc_block`, which is the guarantee the
+        fresh-slot-zeroing regression test pins.
+        """
+        have = self._page_k[0].shape[0] if self._page_k else 0
+        if needed <= have and self._block_pool is not None:
+            return
+        bt = self._kv_block_tokens
+        max_blocks = self.max_batch_size * (-(-self.config.max_seq_len // bt))
+        cap = max(have, _INITIAL_POOL_BLOCKS)
+        while cap < needed:
+            cap *= 2
+        cap = min(cap, max(max_blocks, needed))
+        dtype = self.tok_emb.dtype
+        shape = (cap, self.n_heads, bt, self.head_dim)
+        if not self._page_k:
+            self._page_k = [np.empty(shape, dtype=dtype) for _ in self.layers]
+            self._page_v = [np.empty(shape, dtype=dtype) for _ in self.layers]
+            self._block_pool = BlockPool(cap, bt)
+            return
+        if cap == have:
+            return
+        for li in range(len(self.layers)):
+            for bufs in (self._page_k, self._page_v):
+                grown = np.empty(shape, dtype=dtype)
+                grown[:have] = bufs[li]
+                bufs[li] = grown
+        self._block_pool.grow(cap - have)
+
+    def _alloc_block(self, slot: int) -> int:
+        """Allocate one zeroed block to ``slot``, growing the pool if dry."""
+        if self._block_pool is None or self._block_pool.n_free == 0:
+            have = self._block_pool.n_blocks if self._block_pool else 0
+            self._ensure_block_storage(have + 1)
+        block = self._block_pool.alloc(slot)
+        for li in range(len(self.layers)):
+            self._page_k[li][block].fill(0.0)
+            self._page_v[li][block].fill(0.0)
+        self._slot_blocks[slot].append(block)
+        return block
+
+    def _ensure_paged(self, slot: int, upto: int) -> None:
+        """Allocate blocks until ``slot`` can hold ``upto`` tokens."""
+        bt = self._kv_block_tokens
+        while len(self._slot_blocks[slot]) * bt < upto:
+            self._alloc_block(slot)
+
+    def kv_stats(self) -> Dict[str, object]:
+        """KV-storage accounting of the fused decode path.
+
+        ``bytes_reserved`` is what the engine has allocated; ``bytes_in_use``
+        is what live sequences actually hold — equal for the dense layout
+        (every bound slot reserves full capacity), proportional to real
+        sequence lengths for the paged one.  The decode benchmark derives
+        its KV-bytes-per-session numbers from this.
+        """
+        itemsize = self.tok_emb.dtype.itemsize
+        token_bytes = (2 * len(self.layers) * self.n_heads
+                       * self.head_dim * itemsize)
+        out: Dict[str, object] = {"mode": self.kv_mode, "token_bytes": token_bytes}
+        if self.decode_mode != "fused":
+            out["mode"] = "exact"
+            return out
+        if self.kv_mode == "paged":
+            pool = self._block_pool
+            bt = self._kv_block_tokens
+            n_total = pool.n_blocks if pool is not None else 0
+            n_used = pool.n_allocated if pool is not None else 0
+            out.update({
+                "block_tokens": bt,
+                "blocks_total": n_total,
+                "blocks_in_use": n_used,
+                "bytes_reserved": n_total * bt * token_bytes,
+                "bytes_in_use": n_used * bt * token_bytes,
+            })
+        else:
+            cap = self._slot_k[0].shape[2] if self._slot_k else 0
+            busy = int((self._slot_lens > 0).sum())
+            out.update({
+                "slot_capacity": cap,
+                "slots_in_use": busy,
+                "bytes_reserved": self.max_batch_size * cap * token_bytes,
+                "bytes_in_use": busy * cap * token_bytes,
+            })
+        return out
 
     # ------------------------------------------------------------------
     # batched decode
@@ -218,7 +474,12 @@ class BatchedEngine(InferenceEngine):
         positions = self._slot_lens[slots].copy()  # (B,) pre-append lengths
         if int(positions.max()) >= self.config.max_seq_len:
             raise ValueError("a sequence exceeds the model context window")
-        self._ensure_slot_storage(int(positions.max()) + 1)
+        paged = self.kv_mode == "paged"
+        if paged:
+            for b, handle in enumerate(handles):
+                self._ensure_paged(handle.slot, int(positions[b]) + 1)
+        else:
+            self._ensure_slot_storage(int(positions.max()) + 1)
         x = self.tok_emb[np.asarray(tokens, dtype=np.int64)]  # (B, D)
         cos = self._cos[positions][:, None, :]  # (B, 1, Dh)
         sin = self._sin[positions][:, None, :]
@@ -230,26 +491,213 @@ class BatchedEngine(InferenceEngine):
         dim = heads * head_dim
         for li, layer in enumerate(self.layers):
             h = _rms_norm(x, layer["attn_norm"])
-            qkv = h @ self._fused_w[li]["qkv"].T  # (B, 3*D)
+            qkv = self._mm(h, li, "qkv")  # (B, 3*D)
             q = qkv[:, :dim].reshape(batch, heads, head_dim)
             k = qkv[:, dim: 2 * dim].reshape(batch, heads, head_dim)
             v = qkv[:, 2 * dim:].reshape(batch, heads, head_dim)
             q = q * cos + np.concatenate([-q[..., half:], q[..., :half]], -1) * sin
             k = k * cos + np.concatenate([-k[..., half:], k[..., :half]], -1) * sin
-            self._slot_k[li][slots, :, positions] = k
-            self._slot_v[li][slots, :, positions] = v
-            # One vectorised gather per buffer (ragged rows padded to Tmax).
-            k_all = self._slot_k[li][slots, :, :t_max]  # (B, H, Tmax, Dh)
-            v_all = self._slot_v[li][slots, :, :t_max]
+            if paged:
+                k_all, v_all = self._paged_store_gather(li, slots, positions,
+                                                        k, v, t_max)
+            else:
+                self._slot_k[li][slots, :, positions] = k
+                self._slot_v[li][slots, :, positions] = v
+                # One vectorised gather per buffer (ragged rows padded to Tmax).
+                k_all = self._slot_k[li][slots, :, :t_max]  # (B, H, Tmax, Dh)
+                v_all = self._slot_v[li][slots, :, :t_max]
             # Fused no-grad attention: mask, softmax and @V in one buffer.
             ctx = attention_nograd(q[:, :, None, :], k_all, v_all, scale=scale,
                                    invalid=invalid[:, None, None, :])
             ctx = ctx[:, :, 0, :].reshape(batch, -1)
-            x = x + ctx @ layer["o"].T
+            x = x + self._mm(ctx, li, "o")
             h = _rms_norm(x, layer["mlp_norm"])
-            gate_up = h @ self._fused_w[li]["gate_up"].T  # (B, 2*ffn)
+            gate_up = self._mm(h, li, "gate_up")  # (B, 2*ffn)
             ffn = gate_up.shape[1] // 2
-            x = x + (_silu(gate_up[:, :ffn]) * gate_up[:, ffn:]) @ layer["down"].T
+            x = x + self._mm(_silu(gate_up[:, :ffn]) * gate_up[:, ffn:],
+                             li, "down")
         self._slot_lens[slots] = lengths
         x = _rms_norm(x, self.final_norm)
-        return x @ self.lm_head.T  # (B, vocab)
+        return self._head(x)  # (B, vocab)
+
+    def _paged_store_gather(self, li: int, slots: np.ndarray,
+                            positions: np.ndarray, k: np.ndarray,
+                            v: np.ndarray, t_max: int
+                            ) -> Tuple[np.ndarray, np.ndarray]:
+        """Write each sequence's new K/V into its current block and gather
+        the per-sequence histories into padded ``(B, H, Tmax, Dh)`` buffers.
+
+        The gathered values are the same floats the dense layout would
+        slice, in the same shapes, so the downstream attention kernel is
+        bit-identical across layouts.  Padding rows are zeroed (not left as
+        ``np.empty`` garbage) because masked-out scores still multiply V.
+        """
+        bt = self._kv_block_tokens
+        batch = len(slots)
+        k_all = np.zeros((batch, self.n_heads, t_max, self.head_dim), k.dtype)
+        v_all = np.zeros_like(k_all)
+        for b in range(batch):
+            slot = int(slots[b])
+            pos = int(positions[b])
+            blocks = self._slot_blocks[slot]
+            block = blocks[pos // bt]
+            off = pos % bt
+            self._page_k[li][block, :, off] = k[b]
+            self._page_v[li][block, :, off] = v[b]
+            span = min(t_max, len(blocks) * bt)
+            k_all[b, :, :span] = self._page_k[li][blocks] \
+                .transpose(1, 0, 2, 3) \
+                .reshape(self.n_heads, -1, self.head_dim)[:, :span]
+            v_all[b, :, :span] = self._page_v[li][blocks] \
+                .transpose(1, 0, 2, 3) \
+                .reshape(self.n_heads, -1, self.head_dim)[:, :span]
+        return k_all, v_all
+
+    # ------------------------------------------------------------------
+    # speculative decoding primitives
+    # ------------------------------------------------------------------
+    def verify_scores(self, tokens: Sequence[int],
+                      handle: SequenceHandle) -> np.ndarray:
+        """Score a chain of tokens in one forward; returns ``(T, vocab)``.
+
+        Row ``i`` holds the next-token logits after consuming
+        ``tokens[:i + 1]`` — exactly what ``i + 1`` sequential single-token
+        decode calls would produce (to float tolerance; token-level parity
+        is what the speculative differential suite asserts).  The chain's
+        K/V is appended to the handle's cache as a side effect; the caller
+        rolls back unverified positions with :meth:`truncate_kv`.
+        """
+        if not tokens:
+            raise ValueError("empty verification chain")
+        if handle.length + len(tokens) > self.config.max_seq_len:
+            raise ValueError("verification chain exceeds the context window")
+        if handle.caches is not None:
+            return self._forward_all([int(t) for t in tokens], handle.caches)
+        return self._verify_fused([int(t) for t in tokens], handle)
+
+    def truncate_kv(self, handle: SequenceHandle, length: int) -> None:
+        """Roll a sequence's cache back to ``length`` positions.
+
+        Exact-mode caches shrink their logical length; fused slots shrink
+        the length vector; paged slots additionally return now-unused whole
+        blocks to the pool (the partial tail block is kept and its stale
+        positions are overwritten by the next append — and masked until
+        then, like every position beyond a sequence's length).
+        """
+        if handle.caches is not None:
+            for cache in handle.caches:
+                cache.truncate(length)
+            return
+        slot = handle.slot
+        current = int(self._slot_lens[slot])
+        if length < 0 or length > current:
+            raise ValueError(f"truncate length {length} outside [0, {current}]")
+        self._slot_lens[slot] = length
+        if self.kv_mode == "paged" and self._block_pool is not None:
+            keep = -(-length // self._kv_block_tokens)  # ceil
+            blocks = self._slot_blocks[slot]
+            while len(blocks) > keep:
+                self._block_pool.free(blocks.pop())
+
+    def _forward_all(self, ids: Sequence[int],
+                     caches: List[_LayerCache]) -> np.ndarray:
+        """Exact-path multi-token forward returning logits at *every*
+        position (``InferenceEngine._forward`` keeps only the last row)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        x = self.tok_emb[ids]  # (T, D)
+        start = caches[0].length
+        for layer, cache in zip(self.layers, caches):
+            h = _rms_norm(x, layer["attn_norm"])
+            t = h.shape[0]
+            q = (h @ layer["q"].T).reshape(t, self.n_heads, self.head_dim) \
+                .transpose(1, 0, 2)
+            k = (h @ layer["k"].T).reshape(t, self.n_heads, self.head_dim) \
+                .transpose(1, 0, 2)
+            v = (h @ layer["v"].T).reshape(t, self.n_heads, self.head_dim) \
+                .transpose(1, 0, 2)
+            q = self._apply_rope(q, start)
+            k = self._apply_rope(k, start)
+            cache.append(k, v)
+            ctx = attention_nograd(q, cache.k, cache.v, causal_tail=t) \
+                .transpose(1, 0, 2).reshape(t, -1)
+            x = x + ctx @ layer["o"].T
+            h = _rms_norm(x, layer["mlp_norm"])
+            x = x + (_silu(h @ layer["gate"].T) * (h @ layer["up"].T)) \
+                @ layer["down"].T
+        x = _rms_norm(x, self.final_norm)
+        return x @ self.lm_head.T  # (T, vocab)
+
+    def _verify_fused(self, tokens: List[int],
+                      handle: SequenceHandle) -> np.ndarray:
+        """Fused-path multi-token forward against slot storage.
+
+        The single-sequence twin of :meth:`_decode_fused`: same packed
+        projections (fp32 or int8), same storage writes, but ``T`` chained
+        positions at once with the exact path's ``causal_tail`` masking —
+        one GEMM set per layer instead of one per token.
+        """
+        slot = handle.slot
+        start = int(self._slot_lens[slot])
+        t = len(tokens)
+        if self.kv_mode == "paged":
+            self._ensure_paged(slot, start + t)
+        else:
+            self._ensure_slot_storage(start + t)
+        heads, head_dim = self.n_heads, self.head_dim
+        dim = heads * head_dim
+        x = self.tok_emb[np.asarray(tokens, dtype=np.int64)]  # (T, D)
+        for li, layer in enumerate(self.layers):
+            h = _rms_norm(x, layer["attn_norm"])
+            qkv = self._mm(h, li, "qkv")  # (T, 3*D)
+            q = qkv[:, :dim].reshape(t, heads, head_dim).transpose(1, 0, 2)
+            k = qkv[:, dim: 2 * dim].reshape(t, heads, head_dim) \
+                .transpose(1, 0, 2)
+            v = qkv[:, 2 * dim:].reshape(t, heads, head_dim).transpose(1, 0, 2)
+            q = self._apply_rope(q, start)
+            k = self._apply_rope(k, start)
+            self._write_kv_span(li, slot, start, k, v)
+            k_all, v_all = self._slot_kv_view(li, slot, start + t)
+            ctx = attention_nograd(q, k_all, v_all, causal_tail=t) \
+                .transpose(1, 0, 2).reshape(t, -1)
+            x = x + self._mm(ctx, li, "o")
+            h = _rms_norm(x, layer["mlp_norm"])
+            gate_up = self._mm(h, li, "gate_up")
+            ffn = gate_up.shape[1] // 2
+            x = x + self._mm(_silu(gate_up[:, :ffn]) * gate_up[:, ffn:],
+                             li, "down")
+        self._slot_lens[slot] = start + t
+        x = _rms_norm(x, self.final_norm)
+        return self._head(x)  # (T, vocab)
+
+    def _write_kv_span(self, li: int, slot: int, start: int,
+                       k: np.ndarray, v: np.ndarray) -> None:
+        """Store ``(H, T, Dh)`` K/V rows at positions ``start..start+T-1``."""
+        t = k.shape[1]
+        if self.kv_mode != "paged":
+            self._slot_k[li][slot, :, start: start + t] = k
+            self._slot_v[li][slot, :, start: start + t] = v
+            return
+        bt = self._kv_block_tokens
+        blocks = self._slot_blocks[slot]
+        for j in range(start // bt, -(-(start + t) // bt)):
+            lo = max(start, j * bt)
+            hi = min(start + t, (j + 1) * bt)
+            block = blocks[j]
+            self._page_k[li][block, :, lo - j * bt: hi - j * bt] = \
+                k[:, lo - start: hi - start]
+            self._page_v[li][block, :, lo - j * bt: hi - j * bt] = \
+                v[:, lo - start: hi - start]
+
+    def _slot_kv_view(self, li: int, slot: int, upto: int
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """The first ``upto`` positions of a slot's K/V (view if dense,
+        gathered copy if paged)."""
+        if self.kv_mode != "paged":
+            return (self._slot_k[li][slot, :, :upto],
+                    self._slot_v[li][slot, :, :upto])
+        blocks = self._slot_blocks[slot]
+        k = self._page_k[li][blocks].transpose(1, 0, 2, 3) \
+            .reshape(self.n_heads, -1, self.head_dim)[:, :upto]
+        v = self._page_v[li][blocks].transpose(1, 0, 2, 3) \
+            .reshape(self.n_heads, -1, self.head_dim)[:, :upto]
+        return k, v

@@ -166,8 +166,14 @@ def _replica_main(replica_id: int, conn, event_conn, handle: ArenaHandle,
         model = ArenaBackedModel(TransformerConfig.from_dict(config_dict),
                                  view.get_dict(WEIGHTS_PREFIX))
         obs = Observability()
+        # In int8 mode the published tensors are already quantized
+        # (int8 + ``::scale`` vectors); the engine detects that and consumes
+        # them verbatim, so every replica serves the identical quantization.
         engine = BatchedEngine(model, decode_mode=serve_config.decode_mode,
-                               max_batch_size=serve_config.max_batch_size)
+                               max_batch_size=serve_config.max_batch_size,
+                               weight_mode=serve_config.weight_mode,
+                               kv_mode=serve_config.kv_mode,
+                               kv_block_tokens=serve_config.kv_block_tokens)
         scheduler = Scheduler(engine, config=serve_config, eos_id=eos_id,
                               obs=obs)
 
@@ -312,6 +318,10 @@ class FleetServer:
                  max_inflight_per_replica: Optional[int] = None) -> None:
         if n_replicas < 1:
             raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+        if serve_config.speculative_tokens > 0:
+            raise ValueError(
+                "speculative decoding is in-process only for now; replicas "
+                "have no draft-model plumbing (use InProcessServer)")
         self.n_replicas = n_replicas
         self.tokenizer = tokenizer
         if eos_id is None and tokenizer is not None:
@@ -327,7 +337,15 @@ class FleetServer:
         self.poll_interval = 0.005
 
         self._arena = TensorArena()
-        self._arena.publish_dict(WEIGHTS_PREFIX, model.state_dict())
+        state = model.state_dict()
+        if serve_config.weight_mode == "int8":
+            # Publish the quantized form: int8 matrices plus per-channel
+            # scale vectors.  The shared segment shrinks to ~28% of fp32
+            # and every replica consumes the identical (q, s) pairs —
+            # quantization happens once, here, never per replica.
+            from ..nn.kernels import quantize_state_dict
+            state = quantize_state_dict(state)
+        self._arena.publish_dict(WEIGHTS_PREFIX, state)
         self._handle = self._arena.handle()
         self._config_dict = model.config.to_dict()
         self._supervisor = ProcessSupervisor(

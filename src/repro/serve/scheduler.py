@@ -30,10 +30,12 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..nn.infer import InferenceEngine, _LayerCache
 from ..nn.sampling import sample_next
 from ..obs import Observability
 from .cache import PrefixCachePool
-from .engine import DECODE_MODES, BatchedEngine, SequenceHandle
+from .engine import (DECODE_MODES, KV_MODES, WEIGHT_MODES, BatchedEngine,
+                     SequenceHandle)
 from .metrics import ServerMetrics
 from .request import Completion, FinishReason, Request, RequestStatus
 from .sessions import SessionStore
@@ -41,7 +43,17 @@ from .sessions import SessionStore
 
 @dataclass(frozen=True)
 class ServeConfig:
-    """Scheduler/server tuning knobs."""
+    """Scheduler/server tuning knobs.
+
+    The cheap-decode axes (DESIGN.md §11): ``weight_mode="int8"`` serves
+    per-channel-quantized weights through the fused dequant-matmul kernel,
+    ``kv_mode="paged"`` backs fused decode with block-pool KV allocation,
+    and ``speculative_tokens=γ > 0`` drafts γ-token chains with a cheap
+    draft model and verifies them in one target forward (requires a
+    ``draft_model`` on the server).  All three are output-preserving:
+    byte-identical token streams against their oracles is what the
+    ``tests/test_decode.py`` differential suite asserts.
+    """
 
     max_batch_size: int = 8
     decode_mode: str = "fused"
@@ -49,12 +61,24 @@ class ServeConfig:
     prefix_cache_entries: int = 32
     prefix_min_tokens: int = 8
     session_capacity: int = 32
+    weight_mode: str = "fp32"
+    kv_mode: str = "dense"
+    kv_block_tokens: int = 16
+    speculative_tokens: int = 0
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if self.decode_mode not in DECODE_MODES:
             raise ValueError(f"decode_mode must be one of {DECODE_MODES}")
+        if self.weight_mode not in WEIGHT_MODES:
+            raise ValueError(f"weight_mode must be one of {WEIGHT_MODES}")
+        if self.kv_mode not in KV_MODES:
+            raise ValueError(f"kv_mode must be one of {KV_MODES}")
+        if self.kv_block_tokens < 1:
+            raise ValueError("kv_block_tokens must be >= 1")
+        if self.speculative_tokens < 0:
+            raise ValueError("speculative_tokens must be >= 0")
 
 
 class _Sequence:
@@ -62,7 +86,7 @@ class _Sequence:
 
     __slots__ = ("request", "handle", "out", "last_token", "rng",
                  "covered_ids", "prompt", "reused", "first_token_at",
-                 "terminal")
+                 "terminal", "draft_caches")
 
     def __init__(self, request: Request, prompt: Tuple[int, ...],
                  handle: SequenceHandle, reused: int) -> None:
@@ -75,6 +99,9 @@ class _Sequence:
         self.rng = np.random.default_rng(request.params.seed)
         #: Tokens whose KV state the caches currently hold.
         self.covered_ids: List[int] = list(prompt)
+        #: Draft-model KV caches (speculative decoding only), lazily built
+        #: and caught up from ``covered_ids`` on the first speculation round.
+        self.draft_caches: Optional[List[_LayerCache]] = None
         self.first_token_at: Optional[float] = None
         #: Terminal status once finished/expired/cancelled; the guard that
         #: makes every sequence produce exactly one terminal outcome even
@@ -110,11 +137,25 @@ class Scheduler:
     def __init__(self, engine: BatchedEngine, config: ServeConfig = ServeConfig(),
                  clock: Callable[[], float] = time.monotonic,
                  eos_id: Optional[int] = None,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 draft_engine: Optional[InferenceEngine] = None) -> None:
         self.engine = engine
         self.config = config
         self.clock = clock
         self.eos_id = eos_id
+        self.draft_engine = draft_engine
+        if config.speculative_tokens > 0:
+            if draft_engine is None:
+                raise ValueError("speculative_tokens > 0 requires a draft "
+                                 "engine (pass draft_model to the server)")
+            if draft_engine.config.vocab_size != engine.config.vocab_size:
+                raise ValueError("draft and target models must share a vocab")
+        #: Speculation counters: chains drafted, draft tokens proposed, and
+        #: draft tokens accepted (the acceptance rate is the benchmark's
+        #: honesty flag — speculation cannot win when the draft disagrees).
+        self.spec_rounds = 0
+        self.spec_drafted = 0
+        self.spec_accepted = 0
         self.obs = obs if obs is not None else Observability(clock=clock)
         self.prefix_pool: Optional[PrefixCachePool] = (
             PrefixCachePool(max_entries=config.prefix_cache_entries,
@@ -315,6 +356,9 @@ class Scheduler:
                 self._running.append(seq)
 
     def _decode_step(self) -> None:
+        if self.draft_engine is not None and self.config.speculative_tokens > 0:
+            self._decode_step_speculative()
+            return
         # Work on a snapshot: an on_token callback may cancel any member of
         # the batch (mutating self._running) mid-iteration.
         batch = list(self._running)
@@ -327,14 +371,98 @@ class Scheduler:
                 self._advance(seq, logits, row=row)
         self._running = [seq for seq in batch if seq.terminal is None]
 
+    def _decode_step_speculative(self) -> None:
+        """One scheduler step in speculative mode: each running sequence
+        drafts a γ-token chain and verifies it against one target forward.
+
+        Emitted tokens are byte-identical to the non-speculative path by
+        construction — every token is sampled from *target* logits with the
+        request's own rng, in the same order, one draw per token; the draft
+        only decides how many target logit rows one forward pass yields.
+        """
+        batch = list(self._running)
+        for seq in batch:
+            if seq.terminal is None:  # skip seqs cancelled earlier this step
+                self._speculate_seq(seq)
+        self._running = [seq for seq in batch if seq.terminal is None]
+
+    def _speculate_seq(self, seq: _Sequence) -> None:
+        engine, draft = self.engine, self.draft_engine
+        base = len(seq.covered_ids)  # == seq.handle.length
+        seq.covered_ids.append(seq.last_token)
+        # Cap the chain so the verify forward never overruns the target's
+        # context window (the final row's CONTEXT stop still fires through
+        # _advance, exactly as sequential decode would hit it).
+        gamma = min(self.config.speculative_tokens,
+                    engine.config.max_seq_len - (base + 1))
+        # 1. The draft proposes greedily from its own KV state, catching up
+        # on any covered tokens it has not seen (its first round replays
+        # the whole prompt — a cheap-model prefill).
+        if seq.draft_caches is None:
+            seq.draft_caches = [_LayerCache() for _ in draft.layers]
+        proposals: List[int] = []
+        if gamma > 0:
+            catch_up = seq.covered_ids[seq.draft_caches[0].length:]
+            d_logits = draft._forward(catch_up, seq.draft_caches)
+            for i in range(gamma):
+                proposals.append(int(np.argmax(d_logits)))
+                # No forward after the last proposal — its logits would
+                # never be read (the next round's catch-up replays it).
+                if (i + 1 == gamma or seq.draft_caches[0].length
+                        >= draft.config.max_seq_len):
+                    break
+                d_logits = draft._forward([proposals[-1]], seq.draft_caches)
+        self.spec_rounds += 1
+        self.spec_drafted += len(proposals)
+        # 2. One target forward scores last_token plus every proposal; its
+        # KV side effect covers the whole chain, rolled back below.
+        scores = engine.verify_scores([seq.last_token] + proposals,
+                                      seq.handle)
+        # 3. Exact accept/reject: row i is sampled with the request rng
+        # exactly as sequential decode would sample it; a proposal survives
+        # only if it *equals* the sampled token.  ``kv_length`` tells
+        # _advance what the sequential cache length would be, so the
+        # CONTEXT stop and session export see verified positions only.
+        for i in range(len(proposals) + 1):
+            if not self._advance(seq, scores, row=i, kv_length=base + 1 + i):
+                return  # finished/cancelled: covered_ids is the valid prefix
+            if i < len(proposals) and seq.last_token == proposals[i]:
+                seq.covered_ids.append(seq.last_token)
+                # Counted inline so acceptances in a round that ends the
+                # request (the _advance early return above) are not lost.
+                self.spec_accepted += 1
+                continue
+            break
+        # 4. Roll back target KV past the verified prefix and keep the
+        # draft's cache a covered-ids prefix for the next round.
+        engine.truncate_kv(seq.handle, len(seq.covered_ids))
+        keep = min(seq.draft_caches[0].length, len(seq.covered_ids))
+        for cache in seq.draft_caches:
+            cache.truncate(keep)
+
+    def spec_stats(self) -> Dict[str, float]:
+        """Speculation counters plus the derived acceptance rate."""
+        return {
+            "rounds": self.spec_rounds,
+            "drafted": self.spec_drafted,
+            "accepted": self.spec_accepted,
+            "acceptance_rate": (self.spec_accepted / self.spec_drafted
+                                if self.spec_drafted else 0.0),
+        }
+
     def _advance(self, seq: _Sequence, logits: np.ndarray,
-                 row: Optional[int] = None) -> bool:
+                 row: Optional[int] = None,
+                 kv_length: Optional[int] = None) -> bool:
         """Sample one token for ``seq`` and apply the stop conditions.
 
         Mirrors :meth:`InferenceEngine.generate` exactly: an eos token ends
         the sequence without being emitted, the token budget is checked
         after appending, and context exhaustion stops decoding once the
-        cache reaches the model's window.  Returns True while running.
+        cache reaches the model's window.  ``kv_length`` overrides the
+        handle's raw length for that last check — during speculative
+        verification the cache transiently holds unverified positions, and
+        the stop must fire where *sequential* decode would have fired.
+        Returns True while running.
         """
         params = seq.request.params
         vec = logits if row is None else logits[row]
@@ -354,7 +482,8 @@ class Scheduler:
         if len(seq.out) >= params.max_new_tokens:
             self._finish_seq(seq, RequestStatus.FINISHED, FinishReason.LENGTH)
             return False
-        if seq.handle.length >= self.engine.config.max_seq_len:
+        if (seq.handle.length if kv_length is None else kv_length) \
+                >= self.engine.config.max_seq_len:
             self._finish_seq(seq, RequestStatus.FINISHED, FinishReason.CONTEXT)
             return False
         seq.last_token = token
@@ -369,8 +498,14 @@ class Scheduler:
         if status == RequestStatus.FINISHED:
             self.metrics.requests_finished += 1
             if request.session_id is not None:
-                self.sessions.update(request.session_id, seq.covered_ids,
-                                     self.engine.export_kv(seq.handle))
+                # Export exactly the covered prefix: during speculative
+                # verification the cache transiently holds unverified
+                # chain positions past covered_ids (in the non-speculative
+                # path the two lengths are always equal).
+                self.sessions.update(
+                    request.session_id, seq.covered_ids,
+                    self.engine.export_kv(seq.handle,
+                                          upto=len(seq.covered_ids)))
         self.engine.release(seq.handle)
         submitted = self._submitted_at.pop(request.request_id, None)
         ttft = (seq.first_token_at - submitted

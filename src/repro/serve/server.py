@@ -51,19 +51,34 @@ class InProcessServer:
     obs:
         Shared :class:`~repro.obs.Observability` for metrics and spans;
         private to this server when omitted.
+    draft_model:
+        A smaller model for speculative decoding (required when the config
+        sets ``speculative_tokens > 0``, ignored otherwise).  The draft
+        proposes greedy token chains that the main model verifies in one
+        forward pass; emitted streams stay byte-identical to target-only
+        decoding.
     """
 
     def __init__(self, model, tokenizer=None, config: ServeConfig = ServeConfig(),
                  clock: Callable[[], float] = time.monotonic,
-                 eos_id: Optional[int] = None, obs=None) -> None:
+                 eos_id: Optional[int] = None, obs=None,
+                 draft_model=None) -> None:
         self.engine = BatchedEngine(model, decode_mode=config.decode_mode,
-                                    max_batch_size=config.max_batch_size)
+                                    max_batch_size=config.max_batch_size,
+                                    weight_mode=config.weight_mode,
+                                    kv_mode=config.kv_mode,
+                                    kv_block_tokens=config.kv_block_tokens)
         self.tokenizer = tokenizer
         if eos_id is None and tokenizer is not None:
             eos_id = tokenizer.eos_id
         self.config = config
+        draft_engine = None
+        if draft_model is not None and config.speculative_tokens > 0:
+            from ..nn.infer import InferenceEngine
+            draft_engine = InferenceEngine(draft_model)
         self.scheduler = Scheduler(self.engine, config=config, clock=clock,
-                                   eos_id=eos_id, obs=obs)
+                                   eos_id=eos_id, obs=obs,
+                                   draft_engine=draft_engine)
         self.obs = self.scheduler.obs
         self._ids = itertools.count()
         self._results: Dict[str, Completion] = {}
@@ -166,9 +181,12 @@ class InProcessServer:
         the open busy span in and reports live throughput.
         """
         pool = self.scheduler.prefix_pool
-        return self.scheduler.metrics.snapshot(
+        snap = self.scheduler.metrics.snapshot(
             pool.stats() if pool is not None else None,
             now=self.scheduler.clock())
+        if self.scheduler.draft_engine is not None:
+            snap["speculative"] = self.scheduler.spec_stats()
+        return snap
 
     def _collect(self, completions: List[Completion]) -> List[Completion]:
         out = []

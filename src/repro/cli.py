@@ -12,6 +12,8 @@ Subcommands mirror how an adopter would actually use the release:
 * ``bench-train`` — fused-kernel vs. composed-graph training-step timing;
 * ``bench-decode`` — cheap decode (int8 weights, paged KV, speculative)
   vs. its byte-exactness oracles;
+* ``bench-lambda`` — K λ-variants from one arena-resident merge plan vs
+  K fully-materialized models (residency, parity, cold start, throughput);
 * ``bench-parallel`` — WorkerPool eval fan-out vs. the serial item loop;
 * ``obs-report`` — end-to-end train→merge→serve→eval→rag flow with the
   observability layer on: span tree + metric registry snapshot.
@@ -376,6 +378,43 @@ def _cmd_serve_fleet_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_bench_lambda(args: argparse.Namespace) -> int:
+    from .parallel import parallel_available
+    from .serve.lambda_bench import (format_lambda_report,
+                                     run_lambda_benchmark,
+                                     write_lambda_snapshot)
+
+    if not parallel_available():
+        print("error: this platform cannot fork replica processes",
+              file=sys.stderr)
+        return 2
+    try:
+        result = run_lambda_benchmark(
+            backbone=args.backbone, n_variants=args.variants,
+            replicas_per_variant=args.replicas_per_variant,
+            requests_per_variant=args.requests_per_variant,
+            max_new_tokens=args.max_new_tokens, repeats=args.repeats,
+            seed=args.seed)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_lambda_report(result))
+    if args.json:
+        write_lambda_snapshot(result, args.json)
+        print(f"snapshot written to {args.json}")
+    memory, cold = result["memory"], result["cold"]
+    ok = (result["parity_ok"] and not result["leaked_segments"]
+          and result["respawns"] == 0
+          and memory["plan_over_model"] <= memory["limit"]
+          and cold["worst_gated_ratio"] <= cold["limit"])
+    if result["target_applies"] and result["speedup"] < result["speedup_target"]:
+        print(f"error: speedup {result['speedup']:.2f}x below the "
+              f"{result['speedup_target']:.1f}x target on "
+              f"{result['cpu_count']} cores", file=sys.stderr)
+        ok = False
+    return 0 if ok else 1
+
+
 def _cmd_bench_decode(args: argparse.Namespace) -> int:
     from .serve.decode_bench import (format_decode_report,
                                      run_decode_benchmark,
@@ -690,6 +729,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_fbench.add_argument("--json", type=Path, default=None,
                           help="also write the report as a JSON snapshot")
     p_fbench.set_defaults(fn=_cmd_serve_fleet_bench)
+
+    p_lbench = sub.add_parser(
+        "bench-lambda",
+        help="benchmark K lambda-variants served from one arena-resident "
+             "merge plan vs K materialized models; residency and byte "
+             "parity gated, throughput when cores allow")
+    p_lbench.add_argument("--backbone", default="nano",
+                          choices=("nano", "micro", "grande"))
+    p_lbench.add_argument("--variants", type=int, default=8,
+                          help="family size K (scalar grid + layerwise "
+                               "ramp + karcher midpoint)")
+    p_lbench.add_argument("--replicas-per-variant", type=int, default=1)
+    p_lbench.add_argument("--requests-per-variant", type=int, default=3)
+    p_lbench.add_argument("--max-new-tokens", type=int, default=16,
+                          help="decode budget per request")
+    p_lbench.add_argument("--repeats", type=int, default=3,
+                          help="interleaved timing rounds (min per side)")
+    p_lbench.add_argument("--seed", type=int, default=0)
+    p_lbench.add_argument("--json", type=Path, default=None,
+                          help="also write the report as a JSON snapshot")
+    p_lbench.set_defaults(fn=_cmd_bench_lambda)
 
     p_nbench = sub.add_parser(
         "serve-net-bench",

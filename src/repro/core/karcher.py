@@ -107,6 +107,24 @@ def karcher_merge_tensors(tensors: Sequence[np.ndarray],
     return float(np.exp(log_norm)) * mean_unit
 
 
+def karcher_merge_rows(rows: np.ndarray,
+                       weights: Optional[Sequence[float]] = None) -> np.ndarray:
+    """Weighted Karcher merge of N tensors stacked as an ``(N, n)`` row matrix.
+
+    This is the plan-based entry point: a
+    :class:`~repro.core.merge_engine.TensorPlan` stores its endpoints as
+    stacked flat rows, and a λ-fleet materializes Karcher variants straight
+    from those rows.  Results are bit-identical to
+    :func:`karcher_merge_tensors` on the unstacked source tensors (flattened)
+    because every norm and unit computation upcasts to float64 on both paths;
+    callers reshape the flat result.
+    """
+    rows = np.asarray(rows, dtype=np.float64)
+    if rows.ndim != 2:
+        raise ValueError(f"expected an (N, n) row matrix, got shape {rows.shape}")
+    return karcher_merge_tensors(list(rows), weights)
+
+
 def karcher_merge_state_dicts(dicts: Sequence[StateDict],
                               weights: Optional[Sequence[float]] = None,
                               ) -> "OrderedDict[str, np.ndarray]":

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import re
 from collections import OrderedDict
-from typing import Callable, Dict, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -73,6 +74,54 @@ class LambdaSchedule:
                default: float = 0.6) -> "LambdaSchedule":
         """λ interpolates linearly from ``start`` (first block) to ``stop``."""
         return cls(lambda d: start + (stop - start) * d, n_layers, default)
+
+    def freeze(self) -> "LambdaTable":
+        """Snapshot into a picklable per-layer λ table.
+
+        ``fn`` is an arbitrary closure (the :meth:`constant` / :meth:`linear`
+        builders use lambdas), so a schedule cannot cross a process border —
+        but its *values* can.  The table is built by calling :meth:`lam_for`
+        once per block, so lookups through the frozen copy agree with this
+        schedule bit-for-bit.
+        """
+        return LambdaTable(
+            lams=tuple(self.lam_for(f"blocks.{i}.") for i in range(self.n_layers)),
+            default=self.default)
+
+
+@dataclass(frozen=True)
+class LambdaTable:
+    """A closed-form, picklable λ schedule: one λ per transformer block.
+
+    Duck-type-compatible with :class:`LambdaSchedule` (same ``lam_for``
+    surface), so anything that consumes a schedule — including
+    :meth:`~repro.core.merge_engine.GeodesicMergeEngine.merge_layerwise` —
+    accepts a table.  This is what a λ-fleet ships to replica processes.
+    """
+
+    lams: Tuple[float, ...]
+    default: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not self.lams:
+            raise ValueError("LambdaTable needs at least one layer lambda")
+        for lam in (self.default, *self.lams):
+            if not 0.0 <= float(lam) <= 1.0:
+                raise ValueError(f"lambda {lam} outside [0, 1]")
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.lams)
+
+    def lam_for(self, param_name: str) -> float:
+        index = layer_index(param_name)
+        if index is None:
+            return self.default
+        if index >= len(self.lams):
+            raise ValueError(
+                f"parameter {param_name!r} names block {index} but the table "
+                f"covers {len(self.lams)} blocks")
+        return self.lams[index]
 
 
 def merge_state_dicts_layerwise(chip: StateDict, instruct: StateDict,

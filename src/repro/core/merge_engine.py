@@ -101,6 +101,20 @@ class TensorPlan:
     def size(self) -> int:
         return int(np.prod(self.shape)) if self.shape else 1
 
+    @property
+    def stacked64(self) -> Optional[np.ndarray]:
+        """The stacked rows as float64.
+
+        No-copy when the plan already holds float64; an arena-resident
+        *compact* plan (see :meth:`MergePlan.publish`) stores rows as
+        float32 where that downcast is lossless, and the upcast here
+        reproduces the original float64 bits exactly — evaluation stays
+        bit-identical however the rows were stored.
+        """
+        if self.stacked is None or self.stacked.dtype == np.float64:
+            return self.stacked
+        return np.asarray(self.stacked, dtype=np.float64)
+
     # ------------------------------------------------------------------
     def coefficients(self, lam: float) -> Tuple[float, float]:
         """The two λ-dependent scalars, with the geometric-mean rescale
@@ -121,9 +135,9 @@ class TensorPlan:
             coeffs = np.asarray(self.coefficients(lam), dtype=np.float64)
             if (out is not None and out.dtype == np.float64
                     and out.flags.c_contiguous):
-                np.dot(coeffs, self.stacked, out=out.reshape(-1))
+                np.dot(coeffs, self.stacked64, out=out.reshape(-1))
                 return out
-            result = np.dot(coeffs, self.stacked).reshape(self.shape)
+            result = np.dot(coeffs, self.stacked64).reshape(self.shape)
         elif self.kind == KIND_EXCLUDED:
             result = np.array(self.raw_chip, copy=True)
         elif self.kind == KIND_ZERO:
@@ -138,13 +152,14 @@ class TensorPlan:
     def _evaluate_parallel(self, lam: float) -> np.ndarray:
         """Θ ≈ 0 fallback: normalised linear interpolation, then rescale —
         the same math ``slerp`` + ``restore_norm`` use."""
+        stacked = self.stacked64
         blended = np.dot((lam / self.norm_chip, (1.0 - lam) / self.norm_instruct),
-                         self.stacked)
+                         stacked)
         norm = frobenius_norm(blended)
         scale = self.norm_chip ** lam * self.norm_instruct ** (1.0 - lam)
         if norm > 0:
             return (scale / norm * blended).reshape(self.shape)
-        return (scale / self.norm_chip * self.stacked[0]).reshape(self.shape)
+        return (scale / self.norm_chip * stacked[0]).reshape(self.shape)
 
     def coefficient_matrix(self, lams: np.ndarray) -> np.ndarray:
         """The ``(L, 2)`` coefficient rows for a whole sweep at once
@@ -180,11 +195,14 @@ class TensorPlan:
         if self.kind == KIND_PARALLEL:
             return np.stack([self._evaluate_parallel(float(lam)).reshape(-1)
                              for lam in lams])
-        return np.dot(self.coefficient_matrix(lams), self.stacked)
+        return np.dot(self.coefficient_matrix(lams), self.stacked64)
 
 
 class MergePlan:
     """The λ-independent half of a ChipAlign merge, reusable for any λ."""
+
+    #: Default arena key prefix for :meth:`publish` / :meth:`from_view`.
+    ARENA_PREFIX = "plan"
 
     def __init__(self, tensors: "OrderedDict[str, TensorPlan]") -> None:
         self.tensors = tensors
@@ -216,6 +234,76 @@ class MergePlan:
             "angle_max": float(np.max(angles)) if angles else 0.0,
             **{f"n_{kind}": float(count) for kind, count in sorted(kinds.items())},
         }
+
+    # ------------------------------------------------------------------
+    # shared-memory residency: one published plan, any number of readers
+    # ------------------------------------------------------------------
+    def metas(self) -> List[Tuple]:
+        """The λ-independent scalars of every tensor as picklable tuples.
+
+        Together with an arena view of the published buffers this is enough
+        to rebuild the plan anywhere (:meth:`from_view`) — the plan crosses
+        a process border as a few hundred bytes however large the models.
+        """
+        return [(plan.key, plan.kind, tuple(plan.shape), plan.norm_chip,
+                 plan.norm_instruct, plan.theta, plan.sin_theta,
+                 plan.stacked is not None, plan.raw_chip is not None)
+                for plan in self]
+
+    def publish(self, arena, prefix: str = ARENA_PREFIX,
+                compact: bool = True) -> List[Tuple]:
+        """Publish the plan's buffers into a shared-memory arena.
+
+        Everything lands in **one** segment (64-byte-aligned packing via
+        :meth:`~repro.parallel.TensorArena.publish_dict`) under
+        ``{prefix}.stacked.{key}`` / ``{prefix}.raw.{key}``.  With
+        ``compact=True`` each float64 ``(2, n)`` row block is stored as
+        float32 when that downcast is verified lossless per tensor — always
+        the case when the source models were float32, since float32 →
+        float64 conversion is exact — which halves the resident footprint
+        to ~2x one float32 model while keeping every evaluation
+        bit-identical (readers upcast through
+        :attr:`TensorPlan.stacked64`).  Tensors whose rows do not survive
+        the round trip stay float64.
+
+        Returns the :meth:`metas` list; ``(arena.handle(), metas)`` is the
+        picklable pair :meth:`from_view` (or a pool initializer) rebuilds
+        from.
+        """
+        tensors: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for plan in self:
+            if plan.stacked is not None:
+                rows = plan.stacked
+                if compact and rows.dtype == np.float64:
+                    narrow = rows.astype(np.float32)
+                    if np.array_equal(narrow.astype(np.float64), rows):
+                        rows = narrow
+                tensors[f"stacked.{plan.key}"] = rows
+            if plan.raw_chip is not None:
+                tensors[f"raw.{plan.key}"] = plan.raw_chip
+        if tensors:
+            arena.publish_dict(prefix, tensors)
+        return self.metas()
+
+    @classmethod
+    def from_view(cls, view, metas: Iterable[Tuple],
+                  prefix: str = ARENA_PREFIX) -> "MergePlan":
+        """Rebuild a plan over zero-copy arena views of published buffers.
+
+        The rebuilt plan evaluates bit-identically to the one that was
+        published (compact float32 rows upcast exactly; see
+        :meth:`publish`).
+        """
+        tensors: "OrderedDict[str, TensorPlan]" = OrderedDict()
+        for (key, kind, shape, norm_chip, norm_instruct, theta, sin_theta,
+             has_stacked, has_raw) in metas:
+            stacked = view.get(f"{prefix}.stacked.{key}") if has_stacked else None
+            raw = view.get(f"{prefix}.raw.{key}") if has_raw else None
+            tensors[key] = TensorPlan(key, kind, tuple(shape), stacked=stacked,
+                                      norm_chip=norm_chip,
+                                      norm_instruct=norm_instruct, theta=theta,
+                                      sin_theta=sin_theta, raw_chip=raw)
+        return cls(tensors)
 
 
 def _plan_tensor(key: str, w_chip: np.ndarray, w_instruct: np.ndarray) -> TensorPlan:
@@ -277,16 +365,7 @@ def _sweep_worker_init(handle, metas) -> None:
     """
     global _WORKER_PLAN, _WORKER_VIEW
     _WORKER_VIEW = handle.attach()
-    tensors: "OrderedDict[str, TensorPlan]" = OrderedDict()
-    for (key, kind, shape, norm_chip, norm_instruct, theta, sin_theta,
-         has_stacked, has_raw) in metas:
-        stacked = _WORKER_VIEW.get(f"stacked.{key}") if has_stacked else None
-        raw = _WORKER_VIEW.get(f"raw.{key}") if has_raw else None
-        tensors[key] = TensorPlan(key, kind, tuple(shape), stacked=stacked,
-                                  norm_chip=norm_chip,
-                                  norm_instruct=norm_instruct, theta=theta,
-                                  sin_theta=sin_theta, raw_chip=raw)
-    _WORKER_PLAN = MergePlan(tensors)
+    _WORKER_PLAN = MergePlan.from_view(_WORKER_VIEW, metas)
 
 
 def _sweep_tensor_key(key: str) -> np.ndarray:
@@ -383,18 +462,12 @@ class GeodesicMergeEngine:
             from ..parallel import TensorArena
 
             arena = TensorArena()
-            metas: List[Tuple] = []
             with self.obs.span("merge.arena_publish", tensors=len(self.plan)):
-                for plan in self.plan:
-                    if plan.stacked is not None:
-                        arena.publish(f"stacked.{plan.key}", plan.stacked)
-                    if plan.raw_chip is not None:
-                        arena.publish(f"raw.{plan.key}", plan.raw_chip)
-                    metas.append((plan.key, plan.kind, tuple(plan.shape),
-                                  plan.norm_chip, plan.norm_instruct,
-                                  plan.theta, plan.sin_theta,
-                                  plan.stacked is not None,
-                                  plan.raw_chip is not None))
+                # Compact residency: rows whose float32 downcast is lossless
+                # (all of them, for float32 source models) are stored
+                # narrow; workers upcast exactly, so pooled sweeps stay
+                # bit-identical to serial while the segment halves.
+                metas = self.plan.publish(arena)
             self._arena = arena
             self._arena_metas = metas
             self.obs.registry.counter("merge.arena_bytes").inc(arena.nbytes)

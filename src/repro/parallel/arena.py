@@ -154,6 +154,14 @@ class TensorArena:
     def nbytes(self) -> int:
         return sum(seg.size for seg in self._segments)
 
+    def nbytes_for(self, prefix: str) -> int:
+        """Payload bytes published under ``{prefix}.`` (alignment padding
+        excluded) — the per-prefix resident-footprint number the λ-fleet
+        memory gate reports."""
+        marker = prefix + "."
+        return sum(spec.nbytes for name, spec in self._specs.items()
+                   if name.startswith(marker))
+
     def keys(self) -> List[str]:
         return list(self._specs)
 

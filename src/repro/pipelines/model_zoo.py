@@ -240,6 +240,20 @@ class ModelZoo:
             self._engines[family] = GeodesicMergeEngine.from_models(chip, instruct)
         return self._engines[family]
 
+    @staticmethod
+    def _merged_key(family: str, method: str, kwargs: dict) -> str:
+        """Canonical memo-cache key for a merged model.
+
+        Keys are built from the kwargs the merge *actually uses*: a plain-λ
+        chipalign merge normalizes to ``{"lam": float}`` with the engine's
+        0.6 default filled in, so ``merged("eda")``,
+        ``merged("eda", lam=0.6)`` and ``merged_sweep("eda", [0.6])`` all
+        land on one cache entry instead of silently re-merging.
+        """
+        if method == "chipalign" and set(kwargs) <= {"lam"}:
+            kwargs = {"lam": float(kwargs.get("lam", 0.6))}
+        return f"{family}/merged:{method}:{sorted(kwargs.items())!r}"
+
     def merged(self, family: str, method: str = "chipalign", **kwargs) -> TransformerLM:
         """Merge the family's chip and instruct models with a registry method.
 
@@ -247,7 +261,7 @@ class ModelZoo:
         memo-cached in memory only.  Plain-λ chipalign merges reuse the
         family's cached :meth:`merge_engine` plan instead of re-projecting.
         """
-        key = f"{family}/merged:{method}:{sorted(kwargs.items())!r}"
+        key = self._merged_key(family, method, kwargs)
         if key in self._models:
             return self._models[key]
         chip = self.chip_model(family)
@@ -279,7 +293,7 @@ class ModelZoo:
         """
         lams = [float(lam) for lam in lams]
         missing = [lam for lam in lams
-                   if f"{family}/merged:chipalign:{sorted({'lam': lam}.items())!r}"
+                   if self._merged_key(family, "chipalign", {"lam": lam})
                    not in self._models]
         if missing:
             engine = self.merge_engine(family)
@@ -289,7 +303,7 @@ class ModelZoo:
                 model = TransformerLM(config)
                 model.load_state_dict(dict(merged_sd))
                 model.eval()
-                key = f"{family}/merged:chipalign:{sorted({'lam': lam}.items())!r}"
+                key = self._merged_key(family, "chipalign", {"lam": lam})
                 self._models[key] = model
         return [self.merged(family, "chipalign", lam=lam) for lam in lams]
 
@@ -308,8 +322,24 @@ class ModelZoo:
             triplets = openroad_qa.eval_triplets()
         return evaluate_merged_candidates(
             self.merge_engine(family), self.chip_model(family).config,
-            self.tokenizer(), triplets, lams, workers=workers,
+            self.tokenizer, triplets, lams, workers=workers,
             max_new_tokens=max_new_tokens)
+
+    def lambda_fleet(self, family: str, variants, **kwargs):
+        """A :class:`~repro.serve.lambda_fleet.LambdaFleetServer` over this
+        family's cached merge plan.
+
+        All variants share the family engine's one arena-resident plan;
+        ``variants`` are :class:`~repro.serve.lambda_fleet.VariantSpec`
+        entries and ``kwargs`` forward to the fleet constructor
+        (``serve_config``, ``replicas_per_variant``, ``variant_of``, ...).
+        Caller owns the fleet's lifecycle (use a ``with`` block).
+        """
+        from ..serve.lambda_fleet import LambdaFleetServer
+
+        return LambdaFleetServer(
+            self.merge_engine(family), self.chip_model(family).config,
+            variants, tokenizer=self.tokenizer, **kwargs)
 
     def prewarm(self, families=FAMILIES) -> None:
         """Build every trainable variant up front (useful before benchmarks)."""

@@ -34,6 +34,12 @@ paged KV allocation (``kv_mode="paged"``), and speculative decoding
 :mod:`repro.serve.engine`, :mod:`repro.serve.cache`, and the scheduler
 (DESIGN.md §11, ``repro bench-decode``).  All three paths emit token
 streams byte-identical to exact fp32 dense decoding.
+
+The λ-fleet — many merged-model variants (scalar λ, per-layer schedules,
+Karcher weights) materialized lazily from one arena-resident
+:class:`~repro.core.merge_engine.MergePlan`, with variant-aware routing
+and quality-driven promotion — lives in :mod:`repro.serve.lambda_fleet`
+(DESIGN.md §12, ``repro bench-lambda``).
 """
 
 from .cache import (BlockPool, BlockPoolError, PrefixCachePool,

@@ -25,6 +25,18 @@ already emitted inert, so no request is lost *or* double-answered), and a
 fresh replica is forked from the arena handle — respawn never re-publishes
 weights.
 
+What a replica builds from the arena is described by a small picklable
+*source* object (:class:`ArenaWeightsSource` here;
+:class:`~repro.serve.lambda_fleet.VariantSource` materializes a merged-model
+variant from a shared :class:`~repro.core.merge_engine.MergePlan` instead),
+so subclasses can serve heterogeneous replicas from one arena without
+touching the fork/respawn machinery.  Speculative decoding rides the same
+plumbing: pass ``draft_model=`` and its (int8-quantized when serving int8)
+state dict is published alongside the target; each replica rebuilds a
+draft :class:`~repro.nn.infer.InferenceEngine` from the view — exact
+accept/reject keeps fleet output byte-identical to in-process serving
+whatever the draft weights.
+
 :class:`FleetServer` mirrors the :class:`~repro.serve.server.InProcessServer`
 surface (``submit`` / ``step`` / ``run_until_idle`` / ``complete`` /
 ``metrics_snapshot``) and exposes a scheduler facade with the ``refill`` /
@@ -55,6 +67,9 @@ from .scheduler import ServeConfig
 
 #: Arena key prefix the fleet publishes model weights under.
 WEIGHTS_PREFIX = "fleet.weights"
+
+#: Arena key prefix for the speculative-decoding draft model's weights.
+DRAFT_PREFIX = "fleet.draft"
 
 #: Default per-replica in-flight bound, in multiples of ``max_batch_size``
 #: (one batch decoding plus one batch queued keeps admission snappy without
@@ -89,6 +104,53 @@ class ArenaBackedModel:
 
     def state_dict(self) -> Dict[str, np.ndarray]:
         return dict(self._tensors)
+
+
+class ArenaWeightsSource:
+    """Picklable recipe for a replica's engine model: read the published
+    state dict (possibly already int8-quantized) as zero-copy views.
+
+    Sources are what cross the fork instead of weights: a few hundred bytes
+    describing *how* to build a model from the attached
+    :class:`~repro.parallel.arena.ArenaView`.  Subfleets substitute richer
+    sources (lazy merged-variant materialization) without changing the
+    replica loop.
+    """
+
+    def __init__(self, config_dict: Dict[str, object],
+                 prefix: str = WEIGHTS_PREFIX) -> None:
+        self.config_dict = config_dict
+        self.prefix = prefix
+
+    def materialize(self, view) -> ArenaBackedModel:
+        return ArenaBackedModel(TransformerConfig.from_dict(self.config_dict),
+                                view.get_dict(self.prefix))
+
+
+class ArenaDraftSource:
+    """Picklable recipe for a replica's speculative-decoding draft model.
+
+    The published draft state may be int8-quantized (it is whenever the
+    fleet serves int8); the replica then dequantizes into a private copy —
+    drafts are small — and runs the full-precision
+    :class:`~repro.nn.infer.InferenceEngine` over it.  Exact accept/reject
+    verifies every proposal against the target with the request's own rng,
+    so draft weights never change output bytes, only the acceptance rate.
+    """
+
+    def __init__(self, config_dict: Dict[str, object],
+                 prefix: str = DRAFT_PREFIX) -> None:
+        self.config_dict = config_dict
+        self.prefix = prefix
+
+    def materialize(self, view) -> ArenaBackedModel:
+        from ..nn.kernels import dequantize_state_dict, is_quantized_state
+
+        state = view.get_dict(self.prefix)
+        if is_quantized_state(state):
+            state = dequantize_state_dict(state)
+        return ArenaBackedModel(TransformerConfig.from_dict(self.config_dict),
+                                dict(state))
 
 
 # ---------------------------------------------------------------------------
@@ -146,9 +208,14 @@ def affinity_key(request: Request, prefix_tokens: int) -> str:
 
 
 def _replica_main(replica_id: int, conn, event_conn, handle: ArenaHandle,
-                  config_dict: Dict[str, object], serve_config: ServeConfig,
+                  source, draft_source, serve_config: ServeConfig,
                   eos_id: Optional[int], epoch: int) -> None:
     """One replica: attach the arena, build an engine, serve the pipes.
+
+    ``source`` (and the optional ``draft_source``) describe how to turn the
+    attached arena view into this replica's models — zero-copy views of a
+    published state dict for a plain fleet, lazy merged-variant
+    materialization for a λ-fleet.
 
     Commands arrive on ``conn``; events leave on ``event_conn`` — a
     *per-replica* pipe rather than a shared queue, deliberately: a replica
@@ -158,15 +225,15 @@ def _replica_main(replica_id: int, conn, event_conn, handle: ArenaHandle,
     parent can discard anything emitted by an epoch it has already declared
     dead.
     """
+    from ..nn.infer import InferenceEngine
     from .engine import BatchedEngine
     from .scheduler import Scheduler
 
     try:
         view = handle.attach()
-        model = ArenaBackedModel(TransformerConfig.from_dict(config_dict),
-                                 view.get_dict(WEIGHTS_PREFIX))
+        model = source.materialize(view)
         obs = Observability()
-        # In int8 mode the published tensors are already quantized
+        # In int8 mode the materialized tensors are already quantized
         # (int8 + ``::scale`` vectors); the engine detects that and consumes
         # them verbatim, so every replica serves the identical quantization.
         engine = BatchedEngine(model, decode_mode=serve_config.decode_mode,
@@ -174,8 +241,10 @@ def _replica_main(replica_id: int, conn, event_conn, handle: ArenaHandle,
                                weight_mode=serve_config.weight_mode,
                                kv_mode=serve_config.kv_mode,
                                kv_block_tokens=serve_config.kv_block_tokens)
+        draft_engine = (InferenceEngine(draft_source.materialize(view))
+                        if draft_source is not None else None)
         scheduler = Scheduler(engine, config=serve_config, eos_id=eos_id,
-                              obs=obs)
+                              obs=obs, draft_engine=draft_engine)
 
         def on_token(request: Request, token: int, index: int) -> None:
             event_conn.send(("token", replica_id, epoch, request.request_id,
@@ -298,6 +367,12 @@ class FleetServer:
         session store).
     n_replicas:
         Engine replica count (>= 1).
+    draft_model:
+        Draft ``TransformerLM`` for speculative decoding; required when
+        ``serve_config.speculative_tokens > 0``.  Its state dict is
+        published to the arena alongside the target (int8-quantized when
+        serving int8) and every replica rebuilds a draft engine from the
+        shared copy.
     affinity_prefix_tokens:
         Prompt-head length used as the routing key for sessionless requests.
         Keep it <= ``serve_config.prefix_min_tokens`` when byte parity with
@@ -315,13 +390,15 @@ class FleetServer:
                  eos_id: Optional[int] = None,
                  obs: Optional[Observability] = None,
                  affinity_prefix_tokens: int = 8,
-                 max_inflight_per_replica: Optional[int] = None) -> None:
+                 max_inflight_per_replica: Optional[int] = None,
+                 draft_model=None) -> None:
         if n_replicas < 1:
             raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
-        if serve_config.speculative_tokens > 0:
+        if serve_config.speculative_tokens > 0 and draft_model is None:
             raise ValueError(
-                "speculative decoding is in-process only for now; replicas "
-                "have no draft-model plumbing (use InProcessServer)")
+                "speculative_tokens > 0 requires a draft_model: the fleet "
+                "publishes its state dict to the arena so every replica can "
+                "rebuild a draft engine")
         self.n_replicas = n_replicas
         self.tokenizer = tokenizer
         if eos_id is None and tokenizer is not None:
@@ -337,17 +414,10 @@ class FleetServer:
         self.poll_interval = 0.005
 
         self._arena = TensorArena()
-        state = model.state_dict()
-        if serve_config.weight_mode == "int8":
-            # Publish the quantized form: int8 matrices plus per-channel
-            # scale vectors.  The shared segment shrinks to ~28% of fp32
-            # and every replica consumes the identical (q, s) pairs —
-            # quantization happens once, here, never per replica.
-            from ..nn.kernels import quantize_state_dict
-            state = quantize_state_dict(state)
-        self._arena.publish_dict(WEIGHTS_PREFIX, state)
+        self._source = self._publish_model(model)
+        self._draft_source = (self._publish_draft(draft_model)
+                              if draft_model is not None else None)
         self._handle = self._arena.handle()
-        self._config_dict = model.config.to_dict()
         self._supervisor = ProcessSupervisor(
             obs=self.obs, respawn_counter="serve.fleet.replica_respawns")
         self._ring = HashRing(range(n_replicas))
@@ -378,9 +448,42 @@ class FleetServer:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    def _replica_args(self, event_send, epoch: int) -> Tuple:
-        return (event_send, self._handle, self._config_dict, self.config,
-                self.eos_id, epoch)
+    def _publish_model(self, model) -> ArenaWeightsSource:
+        """Publish the served weights once; return the per-replica source.
+
+        Overridable: a λ-fleet publishes a shared ``MergePlan`` instead of a
+        state dict and hands each replica a variant-materializing source.
+        """
+        state = model.state_dict()
+        if self.config.weight_mode == "int8":
+            # Publish the quantized form: int8 matrices plus per-channel
+            # scale vectors.  The shared segment shrinks to ~28% of fp32
+            # and every replica consumes the identical (q, s) pairs —
+            # quantization happens once, here, never per replica.
+            from ..nn.kernels import quantize_state_dict
+            state = quantize_state_dict(state)
+        self._arena.publish_dict(WEIGHTS_PREFIX, state)
+        return ArenaWeightsSource(model.config.to_dict())
+
+    def _publish_draft(self, draft_model) -> ArenaDraftSource:
+        """Publish the speculative draft's weights (quantized when serving
+        int8 — replicas dequantize a private copy; output bytes are immune
+        to draft weights by exact accept/reject)."""
+        state = draft_model.state_dict()
+        if self.config.weight_mode == "int8":
+            from ..nn.kernels import quantize_state_dict
+            state = quantize_state_dict(state)
+        self._arena.publish_dict(DRAFT_PREFIX, state)
+        return ArenaDraftSource(draft_model.config.to_dict())
+
+    def _source_for(self, replica_id: int):
+        """The model source replica ``replica_id`` builds from (overridable;
+        the base fleet is homogeneous)."""
+        return self._source
+
+    def _replica_args(self, replica_id: int, event_send, epoch: int) -> Tuple:
+        return (event_send, self._handle, self._source_for(replica_id),
+                self._draft_source, self.config, self.eos_id, epoch)
 
     def _spawn_replica(self, replica_id: int, epoch: int) -> _Replica:
         # The parent's copy of the event send end is closed immediately
@@ -389,7 +492,8 @@ class FleetServer:
         # sibling forked later can keep the pipe artificially open.
         event_recv, event_send = self._supervisor.ctx.Pipe(duplex=False)
         process, conn = self._supervisor.spawn(
-            _replica_main, replica_id, self._replica_args(event_send, epoch))
+            _replica_main, replica_id,
+            self._replica_args(replica_id, event_send, epoch))
         event_send.close()
         return _Replica(replica_id, process, conn, event_recv, epoch)
 
@@ -444,15 +548,21 @@ class FleetServer:
                params: Optional[SamplingParams] = None, priority: int = 0,
                deadline: Optional[float] = None,
                session_id: Optional[str] = None,
-               request_id: Optional[str] = None) -> str:
-        """Enqueue a generation job; returns its request id."""
+               request_id: Optional[str] = None,
+               variant: Optional[str] = None) -> str:
+        """Enqueue a generation job; returns its request id.
+
+        ``variant`` names the served model variant on a variant-aware fleet
+        (:class:`~repro.serve.lambda_fleet.LambdaFleetServer`); the base
+        fleet is homogeneous and ignores it.
+        """
         if request_id is None:
             request_id = f"req-{next(self._ids)}"
         request = Request(request_id=request_id,
                           prompt_ids=tuple(prompt_ids),
                           params=params or SamplingParams(),
                           priority=priority, deadline=deadline,
-                          session_id=session_id)
+                          session_id=session_id, variant=variant)
         self._submit_request(request)
         return request_id
 
@@ -555,13 +665,18 @@ class FleetServer:
                 live.append(request)
         self._pending = live
 
+    def _route(self, request: Request) -> int:
+        """The replica a request belongs on (overridable; the base fleet
+        consistent-hashes over all replicas)."""
+        return self._ring.node_for(
+            affinity_key(request, self.affinity_prefix_tokens))
+
     def _dispatch(self) -> int:
         dispatched = 0
         kept = deque()
         while self._pending:
             request = self._pending.popleft()
-            rep = self._replicas[self._ring.node_for(
-                affinity_key(request, self.affinity_prefix_tokens))]
+            rep = self._replicas[self._route(request)]
             if (not rep.ready or not rep.process.is_alive()
                     or len(rep.inflight) >= self.max_inflight_per_replica):
                 kept.append(request)
@@ -683,7 +798,8 @@ class FleetServer:
         event_recv, event_send = self._supervisor.ctx.Pipe(duplex=False)
         process, conn = self._supervisor.respawn(
             _replica_main, rep.replica_id,
-            self._replica_args(event_send, epoch), rep.process, rep.conn)
+            self._replica_args(rep.replica_id, event_send, epoch),
+            rep.process, rep.conn)
         event_send.close()
         rep.process, rep.conn = process, conn
         rep.event_conn = event_recv

@@ -69,6 +69,10 @@ class Request:
     deadline: Optional[float] = None
     #: Multi-turn session whose cached KV state this request continues.
     session_id: Optional[str] = None
+    #: Named model variant to serve this request with (λ-fleet routing);
+    #: ``None`` falls back to the fleet's default variant.  Ignored by
+    #: single-model servers.
+    variant: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.prompt_ids:

@@ -26,7 +26,8 @@ def test_parser_has_all_commands():
     parser = build_parser()
     text = parser.format_help()
     for command in ("merge", "merge-many", "sweep", "zoo", "chat", "table",
-                    "merge-sweep", "serve-bench", "obs-report"):
+                    "merge-sweep", "serve-bench", "obs-report",
+                    "bench-lambda"):
         assert command in text
 
 

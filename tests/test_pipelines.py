@@ -128,6 +128,31 @@ class TestModelZoo:
 
         assert CHIP_VARIANT == {"nano": "eda", "micro": "eda", "grande": "chipnemo"}
 
+    def test_merged_key_normalizes_default_lambda(self):
+        """Regression: the memo key used to be built from the raw kwargs
+        while the merge consumed ``kwargs.get("lam", 0.6)``, so
+        ``merged("eda")`` and ``merged("eda", lam=0.6)`` cached two copies
+        of one model.  The canonical key fills the default in."""
+        from repro.pipelines.model_zoo import ModelZoo
+
+        key = ModelZoo._merged_key
+        assert key("nano", "chipalign", {}) == \
+            key("nano", "chipalign", {"lam": 0.6})
+        # int/float spellings of one λ collapse too.
+        assert key("nano", "chipalign", {"lam": 1}) == \
+            key("nano", "chipalign", {"lam": 1.0})
+        assert key("nano", "chipalign", {"lam": 0.3}) != \
+            key("nano", "chipalign", {"lam": 0.6})
+        # Non-chipalign methods (and chipalign with extra kwargs) keep
+        # their kwargs verbatim — no normalization is defined for them.
+        assert key("nano", "linear", {}) != key("nano", "linear", {"lam": 0.6})
+        assert key("nano", "chipalign", {"lam": 0.6, "exclude": ("x",)}) != \
+            key("nano", "chipalign", {"lam": 0.6})
+
+    def test_merged_default_lambda_hits_explicit_cache_entry(self, zoo):
+        assert zoo.merged("nano", "chipalign") is \
+            zoo.merged("nano", "chipalign", lam=0.6)
+
     def test_merged_routes_through_cached_engine(self, zoo):
         """Plain-λ chipalign merges share one engine plan per family, and
         merged_sweep fills the same memo cache merged() reads."""

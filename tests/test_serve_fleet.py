@@ -344,3 +344,74 @@ class TestNetOverFleet:
         finally:
             handle.stop()
             fleet.close()
+
+
+@needs_fork
+class TestFleetSpeculative:
+    """Speculative decoding through the fork path: the draft's state dict is
+    published to the arena next to the target's, each replica rebuilds a
+    private draft engine, and exact accept/reject keeps the emitted bytes
+    independent of which copy of the draft did the proposing."""
+
+    @pytest.fixture(scope="class")
+    def draft(self):
+        return TransformerLM(TransformerConfig(vocab_size=64, dim=8,
+                                               n_layers=1, n_heads=1,
+                                               max_seq_len=128, seed=5))
+
+    def test_fleet_matches_in_process_speculative(self, model, draft):
+        config = ServeConfig(max_batch_size=4, decode_mode="fused",
+                             prefix_cache=False, speculative_tokens=3)
+        requests = _mixed_requests(n=8, max_new_tokens=8, seed_base=400)
+        server = InProcessServer(model, config=config, draft_model=draft)
+        for r in requests:
+            server.submit(r.prompt_ids, params=r.params,
+                          request_id=r.request_id)
+        server.run_until_idle()
+        want = {r.request_id: server.result(r.request_id).token_ids
+                for r in requests}
+        # The workload genuinely exercised speculation in the oracle; byte
+        # parity below then proves the fleet's drafted path agrees.
+        assert server.scheduler.spec_stats()["rounds"] > 0
+        with FleetServer(model, n_replicas=2, serve_config=config,
+                         draft_model=draft) as fleet:
+            for r in requests:
+                fleet.submit(r.prompt_ids, params=r.params,
+                             request_id=r.request_id)
+            fleet.run_until_idle()
+            got = {r.request_id: fleet.result(r.request_id).token_ids
+                   for r in requests}
+            accounting = fleet.accounting()
+        assert got == want
+        assert accounting["conservation_ok"] == 1
+
+    def test_int8_fleet_with_quantized_draft_keeps_parity(self, model, draft):
+        """weight_mode="int8" publishes a quantized draft; replicas serve a
+        dequantized private copy.  Output bytes still match the in-process
+        int8 server with the full-precision draft, because verification
+        resamples every token from target logits."""
+        config = ServeConfig(max_batch_size=4, decode_mode="fused",
+                             prefix_cache=False, speculative_tokens=2,
+                             weight_mode="int8")
+        requests = _mixed_requests(n=6, max_new_tokens=6, seed_base=500)
+        server = InProcessServer(model, config=config, draft_model=draft)
+        for r in requests:
+            server.submit(r.prompt_ids, params=r.params,
+                          request_id=r.request_id)
+        server.run_until_idle()
+        want = {r.request_id: server.result(r.request_id).token_ids
+                for r in requests}
+        with FleetServer(model, n_replicas=2, serve_config=config,
+                         draft_model=draft) as fleet:
+            for r in requests:
+                fleet.submit(r.prompt_ids, params=r.params,
+                             request_id=r.request_id)
+            fleet.run_until_idle()
+            got = {r.request_id: fleet.result(r.request_id).token_ids
+                   for r in requests}
+        assert got == want
+
+    def test_speculative_still_requires_a_draft(self, model):
+        with pytest.raises(ValueError, match="draft_model"):
+            FleetServer(model, n_replicas=1,
+                        serve_config=ServeConfig(speculative_tokens=2))

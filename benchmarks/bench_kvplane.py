@@ -1,0 +1,62 @@
+"""Serving — zero-copy KV plane: block sharing, hot admission, paged decode.
+
+The zero-copy acceptance workload (DESIGN.md §13).  Three gates, all
+unconditional:
+
+* shared-block prefix/session serving must be byte-identical to the dense
+  copy path over mixed sampling, prefix hits, and a session resume;
+* a full prefix hit must admit with **zero** KV bytes copied — asserted
+  from the engine's ``serve.kv.bytes_copied`` counter, not inferred — and
+  hot admission must beat cold full-prompt prefill by >= 3x;
+* vectorized paged decode must cost at most 1.25x a dense decode step at
+  512-token contexts (median of paired rounds).
+
+The report is written to ``BENCH_kvplane.json`` at the repo root when
+``REPRO_BENCH_SNAPSHOT=1``.
+"""
+
+import os
+from pathlib import Path
+
+from benchmarks.conftest import FULL, print_result
+from repro.serve.kvplane_bench import (format_kvplane_report,
+                                       run_kvplane_benchmark,
+                                       write_kvplane_snapshot)
+
+#: Where the perf-trajectory snapshot lands (repo root, committed).
+SNAPSHOT = Path(__file__).resolve().parent.parent / "BENCH_kvplane.json"
+
+
+def test_kvplane_parity_zero_copy_and_step_cost(benchmark):
+    result = run_kvplane_benchmark(
+        n_groundings=4 if FULL else 3,
+        tails_per_grounding=3 if FULL else 2,
+        repeats=7 if FULL else 5,
+        steps=40 if FULL else 30,
+        epochs=25, seed=0)
+    print_result("Serve: zero-copy KV plane vs the copy path",
+                 format_kvplane_report(result))
+    if os.environ.get("REPRO_BENCH_SNAPSHOT", "0") == "1":
+        write_kvplane_snapshot(result, SNAPSHOT)
+
+    assert result["parity_ok"], \
+        "shared-block serving diverged from the dense copy path"
+    adm = result["admission"]
+    assert result["zero_copy_ok"], (
+        f"full prefix hits copied {adm['hot_bytes_copied']} KV bytes "
+        f"(counter says {adm['counter_bytes_copied']})")
+    assert adm["counter_blocks_shared"] > 0, \
+        "no blocks were shared - the zero-copy path never engaged"
+    assert result["admission_speedup"] >= result["admission_speedup_target"], (
+        f"hot admission only {result['admission_speedup']:.2f}x faster than "
+        f"cold (target >= {result['admission_speedup_target']:.1f}x): "
+        f"cold {adm['cold_admission_s'] * 1e3:.2f} ms, "
+        f"hot {adm['hot_admission_s'] * 1e3:.2f} ms")
+    assert result["step_ratio"] <= result["step_ratio_ceiling"], (
+        f"paged decode costs {result['step_ratio']:.3f}x dense per step at "
+        f"{result['step']['context_tokens']}-token contexts (ceiling "
+        f"{result['step_ratio_ceiling']:.2f}x)")
+
+    benchmark(lambda: run_kvplane_benchmark(
+        n_groundings=1, tails_per_grounding=1, repeats=1, steps=5,
+        epochs=8, seed=0))

@@ -12,6 +12,8 @@ Subcommands mirror how an adopter would actually use the release:
 * ``bench-train`` — fused-kernel vs. composed-graph training-step timing;
 * ``bench-decode`` — cheap decode (int8 weights, paged KV, speculative)
   vs. its byte-exactness oracles;
+* ``bench-kvplane`` — zero-copy KV plane (block-sharing prefix cache,
+  prefill-into-slot, vectorized paged decode) vs. the copy path;
 * ``bench-lambda`` — K λ-variants from one arena-resident merge plan vs
   K fully-materialized models (residency, parity, cold start, throughput);
 * ``bench-parallel`` — WorkerPool eval fan-out vs. the serial item loop;
@@ -447,6 +449,50 @@ def _cmd_bench_decode(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_bench_kvplane(args: argparse.Namespace) -> int:
+    from .serve.kvplane_bench import (format_kvplane_report,
+                                      run_kvplane_benchmark,
+                                      write_kvplane_snapshot)
+
+    try:
+        result = run_kvplane_benchmark(
+            block_tokens=args.block_tokens,
+            grounding_blocks=args.grounding_blocks,
+            n_groundings=args.groundings,
+            tails_per_grounding=args.tails,
+            batch=args.batch, repeats=args.repeats, steps=args.steps,
+            epochs=args.epochs, seed=args.seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_kvplane_report(result))
+    if args.json:
+        write_kvplane_snapshot(result, args.json)
+        print(f"snapshot written to {args.json}")
+    ok = True
+    if not result["parity_ok"]:
+        print("error: shared-block serving diverged from the copy path",
+              file=sys.stderr)
+        ok = False
+    if not result["zero_copy_ok"]:
+        print(f"error: full prefix hits copied "
+              f"{result['admission']['hot_bytes_copied']} KV bytes",
+              file=sys.stderr)
+        ok = False
+    if result["admission_speedup"] < result["admission_speedup_target"]:
+        print(f"error: hot admission speedup "
+              f"{result['admission_speedup']:.2f}x below the "
+              f"{result['admission_speedup_target']:.1f}x target",
+              file=sys.stderr)
+        ok = False
+    if result["step_ratio"] > result["step_ratio_ceiling"]:
+        print(f"error: paged decode step cost {result['step_ratio']:.3f}x "
+              f"dense, above the {result['step_ratio_ceiling']:.2f}x ceiling",
+              file=sys.stderr)
+        ok = False
+    return 0 if ok else 1
+
+
 def _cmd_serve_net_bench(args: argparse.Namespace) -> int:
     from .serve.net.bench import (format_net_report, run_net_benchmark,
                                   write_net_snapshot)
@@ -788,6 +834,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_dbench.add_argument("--json", type=Path, default=None,
                           help="also write the report as a JSON snapshot")
     p_dbench.set_defaults(fn=_cmd_bench_decode)
+
+    p_kbench = sub.add_parser(
+        "bench-kvplane",
+        help="benchmark the zero-copy KV plane (block sharing, hot "
+             "admission, vectorized paged decode) against the copy path; "
+             "exit 1 if any gate fails")
+    p_kbench.add_argument("--block-tokens", type=int, default=16,
+                          help="KV positions per paged block")
+    p_kbench.add_argument("--grounding-blocks", type=int, default=14,
+                          help="full blocks in the shared grounding prefix")
+    p_kbench.add_argument("--groundings", type=int, default=4,
+                          help="distinct grounding prefixes")
+    p_kbench.add_argument("--tails", type=int, default=3,
+                          help="hot (full-prefix-hit) requests per grounding")
+    p_kbench.add_argument("--batch", type=int, default=4,
+                          help="sequences per decode step in the step-cost "
+                               "phase")
+    p_kbench.add_argument("--repeats", type=int, default=5,
+                          help="paired step-cost timing rounds (median ratio)")
+    p_kbench.add_argument("--steps", type=int, default=30,
+                          help="decode steps per timing round")
+    p_kbench.add_argument("--epochs", type=int, default=25,
+                          help="training epochs for the parity-phase model")
+    p_kbench.add_argument("--seed", type=int, default=0)
+    p_kbench.add_argument("--json", type=Path, default=None,
+                          help="also write the report as a JSON snapshot")
+    p_kbench.set_defaults(fn=_cmd_bench_kvplane)
 
     p_btrain = sub.add_parser(
         "bench-train",

@@ -42,10 +42,13 @@ and quality-driven promotion — lives in :mod:`repro.serve.lambda_fleet`
 (DESIGN.md §12, ``repro bench-lambda``).
 """
 
-from .cache import (BlockPool, BlockPoolError, PrefixCachePool,
-                    common_prefix_length)
+from .cache import (ArrayEntry, BlockEntry, BlockPool, BlockPoolError,
+                    KVEntry, PrefixCachePool, common_prefix_length,
+                    common_prefix_length_np)
 from .decode_bench import (format_decode_report, run_decode_benchmark,
                            write_decode_snapshot)
+from .kvplane_bench import (format_kvplane_report, run_kvplane_benchmark,
+                            write_kvplane_snapshot)
 from .engine import (BatchedEngine, DECODE_MODES, KV_MODES, WEIGHT_MODES,
                      dequantized_oracle_model)
 from .loadgen import (ARRIVAL_PROCESSES, WorkloadSpec, arrival_schedule,
@@ -64,8 +67,10 @@ __all__ = [
     "BatchedEngine", "DECODE_MODES", "KV_MODES", "WEIGHT_MODES",
     "dequantized_oracle_model",
     "Completion", "FinishReason", "Request", "RequestStatus", "SamplingParams",
-    "BlockPool", "BlockPoolError", "PrefixCachePool", "common_prefix_length",
+    "ArrayEntry", "BlockEntry", "BlockPool", "BlockPoolError", "KVEntry",
+    "PrefixCachePool", "common_prefix_length", "common_prefix_length_np",
     "format_decode_report", "run_decode_benchmark", "write_decode_snapshot",
+    "format_kvplane_report", "run_kvplane_benchmark", "write_kvplane_snapshot",
     "Scheduler", "ServeConfig", "ServerMetrics",
     "SessionState", "SessionStore",
     "InProcessServer",

@@ -9,9 +9,14 @@ for **every** prefix of that prompt — so a lookup returns the longest stored
 entry that prefixes the new prompt, truncated to the match length, and
 prefill only has to process the unseen suffix.
 
-Entries are bounded and evicted LRU.  Reused KV is copied into the new
-sequence's growable caches, so pool entries are immutable and shared safely
-between concurrent sequences.
+Entries are bounded and evicted LRU.  Payloads are :class:`KVEntry` objects:
+either owned array copies (:class:`ArrayEntry`, the dense/exact engines) or
+shared references into the engine's paged block plane (:class:`BlockEntry`) —
+a hit on a block entry costs refcount bumps plus at most one sub-block tail
+copy instead of materializing the whole ``(H, T, Dh)`` stack.  Entries are
+immutable once stored (full blocks are shared read-only; the live sequence
+only ever writes at positions beyond the shared prefix), so they are safe to
+share between concurrent sequences.
 
 Note on exactness: prefill of a suffix runs matmuls with different shapes
 than a full-prompt prefill, so reused-prefix logits agree with the
@@ -22,7 +27,7 @@ caveat batched serving systems such as vLLM document.  Run the server with
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -37,6 +42,111 @@ def common_prefix_length(a: Sequence[int], b: Sequence[int]) -> int:
         if a[i] != b[i]:
             return i
     return n
+
+
+def common_prefix_length_np(a, b) -> int:
+    """Vectorized twin of :func:`common_prefix_length`.
+
+    Same accumulate-and-sum scan :meth:`PrefixCachePool._scan` runs over its
+    key matrix, applied to a single pair: the first mismatch kills the
+    running AND, so the sum of the accumulated mask *is* the common-prefix
+    length.  Bit-identical to the scalar walk (parity-tested).
+    """
+    n = min(len(a), len(b))
+    if n == 0:
+        return 0
+    eq = (np.asarray(a[:n], dtype=np.int64)
+          == np.asarray(b[:n], dtype=np.int64))
+    return int(np.logical_and.accumulate(eq).sum())
+
+
+# ---------------------------------------------------------------------------
+# KV entry payloads
+# ---------------------------------------------------------------------------
+class KVEntry:
+    """Stored KV payload of a prefix-pool or session entry.
+
+    ``length`` is the number of cached positions.  :meth:`materialize`
+    returns owned per-layer ``(k, v)`` copies (the exact engine's adoption
+    path and the debugging/oracle path); engines with slot storage adopt
+    entries directly without materializing.  :meth:`release` drops whatever
+    resources the entry retains — pools call it on eviction, pruning,
+    replacement, and declined inserts.
+    """
+
+    length: int = 0
+
+    def materialize(self, upto: Optional[int] = None) -> List[LayerKV]:
+        raise NotImplementedError
+
+    def release(self) -> None:  # pragma: no cover - overridden where needed
+        pass
+
+
+class ArrayEntry(KVEntry):
+    """Entry backed by owned array copies — the copy path's payload."""
+
+    __slots__ = ("layer_kv", "length")
+
+    def __init__(self, layer_kv: List[LayerKV],
+                 length: Optional[int] = None) -> None:
+        self.layer_kv = layer_kv
+        width = layer_kv[0][0].shape[1] if layer_kv else 0
+        self.length = width if length is None else min(length, width)
+
+    def materialize(self, upto: Optional[int] = None) -> List[LayerKV]:
+        upto = self.length if upto is None else min(upto, self.length)
+        return [(k[:, :upto].copy(), v[:, :upto].copy())
+                for k, v in self.layer_kv]
+
+
+class BlockEntry(KVEntry):
+    """Entry backed by shared references into an engine's block plane.
+
+    ``blocks`` are *full* blocks (``block_tokens`` positions each), shared
+    read-only — the entry holds one :meth:`BlockPool.share` reference per
+    block and releases them when dropped.  ``frag`` is the copied sub-block
+    tail (per-layer ``(k, v)`` arrays of fewer than ``block_tokens``
+    positions): a partial block belongs to a live, still-writing sequence,
+    so it cannot be shared and is copied instead — copy-on-write at block
+    granularity.
+    """
+
+    __slots__ = ("plane", "blocks", "frag", "length")
+
+    def __init__(self, plane, blocks: List[int],
+                 frag: Optional[List[LayerKV]], length: int) -> None:
+        self.plane = plane
+        self.blocks = list(blocks)
+        self.frag = frag
+        self.length = length
+
+    def materialize(self, upto: Optional[int] = None) -> List[LayerKV]:
+        return self.plane.gather_entry_kv(self, upto)
+
+    def release(self) -> None:
+        blocks, self.blocks = self.blocks, []
+        for block in blocks:
+            self.plane.release_block(block)
+
+
+#: What callers may hand to ``insert``/``update``: a ready entry, a lazy
+#: supplier invoked only if the insert is accepted (so a declined insert
+#: costs nothing — no copy, no retain), or a legacy per-layer array list.
+KVPayload = Union[KVEntry, Callable[[], KVEntry], List[LayerKV]]
+
+
+def coerce_entry(payload: KVPayload, length: int) -> KVEntry:
+    """Normalize an accepted insert payload to a :class:`KVEntry`."""
+    if isinstance(payload, KVEntry):
+        return payload
+    if callable(payload):
+        entry = payload()
+        if not isinstance(entry, KVEntry):
+            raise TypeError("KV payload supplier must return a KVEntry")
+        return entry
+    return ArrayEntry([(k[:, :length].copy(), v[:, :length].copy())
+                       for k, v in payload])
 
 
 class PrefixCachePool:
@@ -56,7 +166,7 @@ class PrefixCachePool:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self.min_match_tokens = min_match_tokens
-        self._entries: Dict[Tuple[int, ...], List[LayerKV]] = {}
+        self._entries: Dict[Tuple[int, ...], KVEntry] = {}
         self._clock = 0
         self._last_used: Dict[Tuple[int, ...], int] = {}
         # Lazily rebuilt padded key matrix backing the vectorized lookup
@@ -70,28 +180,37 @@ class PrefixCachePool:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def entries(self) -> Dict[Tuple[int, ...], KVEntry]:
+        """Live key → entry mapping (the dict itself; treat as read-only)."""
+        return self._entries
+
     # ------------------------------------------------------------------
-    def lookup(self, prompt_ids: Sequence[int]) -> Tuple[int, Optional[List[LayerKV]]]:
+    def lookup(self, prompt_ids: Sequence[int]
+               ) -> Tuple[int, Optional[KVEntry]]:
         """Longest reusable prefix of ``prompt_ids``.
 
-        Returns ``(match_len, kv)`` where ``kv`` is a list of per-layer
-        ``(k, v)`` copies truncated to ``match_len`` positions, or
-        ``(0, None)`` on a miss.  The match is capped at
-        ``len(prompt_ids) - 1`` so at least one prompt token always runs
-        through prefill (the model needs a forward pass to produce logits).
+        Returns ``(match_len, entry)`` — the stored :class:`KVEntry` itself,
+        *not* a copy: adoption cost is the engine's business (shared blocks
+        make it a refcount bump).  ``(0, None)`` on a miss.  The match is
+        capped at ``len(prompt_ids) - 1`` so at least one prompt token always
+        runs through prefill (the model needs a forward pass to produce
+        logits).
         """
         prompt = tuple(int(i) for i in prompt_ids)
         best_key, best_len = self._scan(prompt)
         if best_key is None or best_len < self.min_match_tokens:
             self.misses += 1
             return 0, None
+        entry = self._entries[best_key]
+        best_len = min(best_len, entry.length)
+        if best_len < self.min_match_tokens:
+            self.misses += 1
+            return 0, None
         self.hits += 1
         self.tokens_reused += best_len
         self._clock += 1
         self._last_used[best_key] = self._clock
-        kv = [(k[:, :best_len].copy(), v[:, :best_len].copy())
-              for k, v in self._entries[best_key]]
-        return best_len, kv
+        return best_len, entry
 
     def _scan(self, prompt: Tuple[int, ...]
               ) -> Tuple[Optional[Tuple[int, ...]], int]:
@@ -141,18 +260,24 @@ class PrefixCachePool:
             self._key_matrix_cache = (keys, matrix)
         return self._key_matrix_cache
 
-    def insert(self, prompt_ids: Sequence[int], layer_kv: List[LayerKV]) -> None:
+    def insert(self, prompt_ids: Sequence[int], payload: KVPayload) -> None:
         """Store the KV state of a fully prefilled prompt.
 
-        ``layer_kv`` arrays are copied, so callers may keep appending to the
-        live sequence caches they exported from.
+        ``payload`` may be a ready :class:`KVEntry`, a zero-argument supplier
+        invoked only when the insert is accepted (the scheduler passes
+        ``lambda: engine.make_entry(...)`` so declined inserts cost nothing),
+        or a legacy per-layer array list (copied at store).  The pool owns
+        accepted entries and releases them on eviction/pruning/replacement;
+        a ready entry that is declined is released here.
         """
         key = tuple(int(i) for i in prompt_ids)
         if len(key) < self.min_match_tokens:
+            self._decline(payload)
             return
         if key in self._entries:
             self._clock += 1
             self._last_used[key] = self._clock
+            self._decline(payload)
             return
         # A new entry that is a prefix of a stored one adds no information —
         # but the insert is still a use of the subsuming entry (it serves
@@ -162,6 +287,7 @@ class PrefixCachePool:
             if len(stored) >= len(key) and stored[: len(key)] == key:
                 self._clock += 1
                 self._last_used[stored] = self._clock
+                self._decline(payload)
                 return
         # Conversely, stored entries that are strict prefixes of the new key
         # are subsumed by it (every lookup they could serve, it serves at
@@ -170,16 +296,30 @@ class PrefixCachePool:
         subsumed = [stored for stored in self._entries
                     if len(stored) < len(key) and key[: len(stored)] == stored]
         for stored in subsumed:
-            del self._entries[stored]
+            self._entries.pop(stored).release()
             del self._last_used[stored]
-        self._entries[key] = [(k[:, : len(key)].copy(), v[:, : len(key)].copy())
-                              for k, v in layer_kv]
+        self._entries[key] = coerce_entry(payload, len(key))
         self._clock += 1
         self._last_used[key] = self._clock
         while len(self._entries) > self.max_entries:
             oldest = min(self._last_used, key=self._last_used.get)
-            del self._entries[oldest]
+            self._entries.pop(oldest).release()
             del self._last_used[oldest]
+        self._key_matrix_cache = None
+
+    @staticmethod
+    def _decline(payload: KVPayload) -> None:
+        """Dispose of a payload the pool chose not to store.  Suppliers are
+        simply never invoked; ready entries must drop their retained blocks."""
+        if isinstance(payload, KVEntry):
+            payload.release()
+
+    def clear(self) -> None:
+        """Drop every entry, releasing retained block references."""
+        for entry in self._entries.values():
+            entry.release()
+        self._entries.clear()
+        self._last_used.clear()
         self._key_matrix_cache = None
 
     # ------------------------------------------------------------------
@@ -206,7 +346,7 @@ class BlockPoolError(RuntimeError):
 
 
 class BlockPool:
-    """Free-list allocator of fixed-size KV blocks shared across sequences.
+    """Reference-counted free-list allocator of fixed-size KV blocks.
 
     The dense engine sizes every batch slot for the longest sequence the
     engine has ever seen — ``max_batch × capacity`` tokens of K/V per layer,
@@ -216,18 +356,26 @@ class BlockPool:
     long grounding prompt holds twenty, and freeing a sequence returns its
     blocks for immediate reuse.
 
-    The pool manages only *ownership* — integer block ids against opaque
-    owner tags (the engine uses its slot index).  Storage lives with the
-    engine, which also zeroes a block's K/V on every :meth:`alloc` so a
-    reused block can never leak a prior session's tail into a fresh
-    sequence (the regression the dense path only masks; see DESIGN.md §11).
+    The pool manages only *bookkeeping* — integer block ids with a refcount
+    and at most one *owner* tag (the engine uses its slot index).  Ownership
+    is one reference; :meth:`share`/:meth:`release` add and drop anonymous
+    read-only references (prefix-pool and session entries, slots adopting a
+    shared prefix).  A block returns to the free list only when its last
+    reference drops.  Storage lives with the engine, which also zeroes a
+    block's K/V on every :meth:`alloc` so a reused block can never leak a
+    prior session's tail into a fresh sequence (the regression the dense
+    path only masks; see DESIGN.md §11).
 
     Invariants, enforced here and property-tested with Hypothesis:
 
     * a block is owned by at most one owner at a time (no aliasing);
-    * ``allocated + free == n_blocks`` after every operation (conservation);
-    * every block is freed exactly once — double-free and foreign-free
-      raise :class:`BlockPoolError` instead of corrupting the free list.
+    * every live block has refcount ≥ 1, and an owned block's refcount
+      covers its owner stake;
+    * ``allocated + free == n_blocks`` after every operation (conservation) —
+      a block is *allocated* while any reference remains, so no block is
+      freed while still referenced;
+    * dropping a reference a block doesn't hold (double-free, foreign
+      release) raises :class:`BlockPoolError` instead of corrupting state.
     """
 
     def __init__(self, n_blocks: int, block_tokens: int = 16) -> None:
@@ -242,6 +390,7 @@ class BlockPool:
         self._free = list(range(n_blocks - 1, -1, -1))
         self._owner: Dict[int, object] = {}
         self._owned: Dict[object, List[int]] = {}
+        self._refs: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -254,7 +403,15 @@ class BlockPool:
 
     @property
     def n_allocated(self) -> int:
-        return len(self._owner)
+        return len(self._refs)
+
+    @property
+    def n_shared_refs(self) -> int:
+        """Anonymous (non-owner) references currently outstanding."""
+        return sum(self._refs.values()) - len(self._owner)
+
+    def refcount(self, block: int) -> int:
+        return self._refs.get(block, 0)
 
     def owner_blocks(self, owner) -> List[int]:
         """The blocks ``owner`` holds, in allocation order (a copy)."""
@@ -262,18 +419,46 @@ class BlockPool:
 
     # ------------------------------------------------------------------
     def alloc(self, owner) -> int:
-        """Hand a free block to ``owner``; raises when the pool is empty
-        (the engine grows storage and calls :meth:`grow` first)."""
+        """Hand a free block to ``owner`` (refcount 1); raises when the pool
+        is empty (the engine grows storage and calls :meth:`grow` first)."""
         if not self._free:
             raise BlockPoolError(
                 f"pool exhausted: all {self._n_blocks} blocks allocated")
         block = self._free.pop()
         self._owner[block] = owner
         self._owned.setdefault(owner, []).append(block)
+        self._refs[block] = 1
         return block
 
+    def share(self, block: int) -> int:
+        """Add an anonymous read-only reference to a live block; returns the
+        new refcount.  Shared blocks outlive their owner — the entry (or
+        adopting slot) must :meth:`release` what it shares."""
+        refs = self._refs.get(block)
+        if refs is None:
+            raise BlockPoolError(f"block {block} is not allocated")
+        self._refs[block] = refs + 1
+        return refs + 1
+
+    def release(self, block: int) -> None:
+        """Drop one anonymous reference; frees the block when it was the
+        last reference of any kind."""
+        refs = self._refs.get(block)
+        if refs is None:
+            raise BlockPoolError(f"block {block} is not allocated")
+        if refs - (1 if block in self._owner else 0) < 1:
+            raise BlockPoolError(
+                f"block {block} has no shared reference to release")
+        refs -= 1
+        if refs == 0:
+            del self._refs[block]
+            self._free.append(block)
+        else:
+            self._refs[block] = refs
+
     def free(self, block: int) -> None:
-        """Return one block to the free list (must be allocated)."""
+        """Drop a block's *owner* stake (must be owned).  The block returns
+        to the free list only if no shared references remain."""
         owner = self._owner.pop(block, None)
         if owner is None:
             raise BlockPoolError(f"block {block} is not allocated")
@@ -281,17 +466,26 @@ class BlockPool:
         owned.remove(block)
         if not owned:
             del self._owned[owner]
-        self._free.append(block)
+        self._drop_ref(block)
 
     def free_owner(self, owner) -> List[int]:
-        """Release every block ``owner`` holds; returns them in allocation
-        order.  Freeing an owner with no blocks is a no-op (a released
+        """Drop the owner stake of every block ``owner`` holds; returns them
+        in allocation order.  Blocks still referenced by entries stay
+        allocated.  Freeing an owner with no blocks is a no-op (a released
         exact-mode sequence never allocated any)."""
         blocks = self._owned.pop(owner, [])
         for block in blocks:
             del self._owner[block]
-            self._free.append(block)
+            self._drop_ref(block)
         return blocks
+
+    def _drop_ref(self, block: int) -> None:
+        refs = self._refs[block] - 1
+        if refs == 0:
+            del self._refs[block]
+            self._free.append(block)
+        else:
+            self._refs[block] = refs
 
     def grow(self, extra: int) -> None:
         """Add ``extra`` fresh blocks (ids continue past the current range)."""
@@ -303,11 +497,16 @@ class BlockPool:
 
     # ------------------------------------------------------------------
     def conservation_ok(self) -> bool:
-        """``allocated + free == n_blocks`` with disjoint, alias-free sets."""
+        """``allocated + free == n_blocks`` with disjoint, alias-free sets
+        and refcounts covering every outstanding stake."""
         if self.n_allocated + self.n_free != self._n_blocks:
             return False
         free = set(self._free)
-        if len(free) != len(self._free) or free & set(self._owner):
+        if len(free) != len(self._free) or free & set(self._refs):
+            return False
+        if any(refs < 1 for refs in self._refs.values()):
+            return False
+        if not set(self._owner) <= set(self._refs):
             return False
         per_owner = [b for blocks in self._owned.values() for b in blocks]
         return (len(per_owner) == len(set(per_owner))
@@ -320,4 +519,5 @@ class BlockPool:
             "allocated": self.n_allocated,
             "free": self.n_free,
             "owners": len(self._owned),
+            "shared_refs": self.n_shared_refs,
         }

@@ -270,7 +270,8 @@ def _replica_main(replica_id: int, conn, event_conn, handle: ArenaHandle,
                 elif kind == "metrics":
                     event_conn.send(("metrics", replica_id, epoch,
                                      message[1], obs.registry.export(),
-                                     scheduler.accounting()))
+                                     scheduler.accounting(),
+                                     engine.kv_stats()))
                 elif kind == "stop":
                     return
             if not scheduler.idle:
@@ -293,7 +294,7 @@ class _Replica:
 
     __slots__ = ("replica_id", "process", "conn", "event_conn", "event_eof",
                  "epoch", "ready", "inflight", "last_export",
-                 "last_accounting", "last_seq")
+                 "last_accounting", "last_kv", "last_seq")
 
     def __init__(self, replica_id: int, process, conn, event_conn,
                  epoch: int) -> None:
@@ -307,6 +308,7 @@ class _Replica:
         self.inflight: Set[str] = set()
         self.last_export: Optional[Dict[str, object]] = None
         self.last_accounting: Optional[Dict[str, int]] = None
+        self.last_kv: Optional[Dict[str, object]] = None
         self.last_seq = -1
 
 
@@ -745,11 +747,12 @@ class FleetServer:
             self._replicas[replica_id].inflight.discard(completion.request_id)
             self._finish(completion)
         elif kind == "metrics":
-            _, replica_id, epoch, seq, export, accounting = message
+            _, replica_id, epoch, seq, export, accounting, kv_stats = message
             rep = self._replicas[replica_id]
             if epoch == rep.epoch:
                 rep.last_export = export
                 rep.last_accounting = accounting
+                rep.last_kv = kv_stats
                 rep.last_seq = seq
 
     def _finish(self, completion: Completion) -> None:
@@ -808,6 +811,7 @@ class FleetServer:
         rep.ready = False
         rep.last_export = None
         rep.last_accounting = None
+        rep.last_kv = None
         rep.last_seq = -1
         rep.inflight.clear()
 
@@ -881,14 +885,23 @@ class FleetServer:
             self._collect_metrics(timeout=timeout)
         merged = MetricRegistry()
         per_replica: Dict[str, object] = {}
+        # Per-replica KV planes are replica-local (each process owns its own
+        # block pool), so footprints sum while sharing never crosses
+        # replicas; the aggregate is the fleet's total copy/shares bill.
+        kv_totals = {"bytes_copied": 0, "blocks_shared": 0,
+                     "bytes_reserved": 0, "bytes_in_use": 0}
         for rep in self._replicas:
             if rep.last_export is not None:
                 merged.absorb(rep.last_export, key=f"replica-{rep.replica_id}")
+            if rep.last_kv is not None:
+                for key in kv_totals:
+                    kv_totals[key] += int(rep.last_kv.get(key, 0))
             per_replica[str(rep.replica_id)] = {
                 "epoch": rep.epoch,
                 "alive": rep.process.is_alive(),
                 "inflight": len(rep.inflight),
                 "accounting": rep.last_accounting,
+                "kv": rep.last_kv,
             }
         return {
             "replicas": self.n_replicas,
@@ -896,6 +909,7 @@ class FleetServer:
                 "serve.fleet.replica_respawns").value),
             "router": self.accounting(),
             "merged": merged.export(),
+            "kv": kv_totals,
             "per_replica": per_replica,
         }
 

@@ -64,9 +64,12 @@ class ServerMetrics:
                                                   LATENCY_BUCKETS)
         self._queue_wait_hist = self.registry.histogram("serve.queue_wait_s",
                                                         LATENCY_BUCKETS)
+        self._admission_hist = self.registry.histogram("serve.admission_s",
+                                                       LATENCY_BUCKETS)
         self._busy_gauge = self.registry.gauge("serve.busy_seconds")
         self.ttfts: List[float] = []
         self.queue_waits: List[float] = []
+        self.admissions: List[float] = []
         self._queue_depth_sum = 0
         self._occupancy_sum = 0
         self._busy_started: Optional[float] = None
@@ -86,6 +89,12 @@ class ServerMetrics:
     def record_queue_wait(self, seconds: float) -> None:
         self.queue_waits.append(seconds)
         self._queue_wait_hist.observe(seconds)
+
+    def record_admission(self, seconds: float) -> None:
+        """Wall time of one admission: KV lookup + adoption + suffix
+        prefill + pool insert.  The hot-vs-cold-prefix gap lands here."""
+        self.admissions.append(seconds)
+        self._admission_hist.observe(seconds)
 
     def mark_busy(self, now: float) -> None:
         """Clock the span between the first and last moment work existed."""
@@ -152,6 +161,8 @@ class ServerMetrics:
             "mean_ttft_s": self.mean_ttft,
             "mean_queue_wait_s": (sum(self.queue_waits) / len(self.queue_waits)
                                   if self.queue_waits else 0.0),
+            "mean_admission_s": (sum(self.admissions) / len(self.admissions)
+                                 if self.admissions else 0.0),
             "mean_queue_depth": self.mean_queue_depth,
             "mean_batch_occupancy": self.mean_batch_occupancy,
             "max_batch_size": self.max_batch_size,

@@ -164,6 +164,11 @@ class Scheduler:
         self.sessions = SessionStore(capacity=config.session_capacity)
         self.metrics = ServerMetrics(config.max_batch_size,
                                      registry=self.obs.registry, clock=clock)
+        if hasattr(engine, "attach_kv_metrics"):
+            # KV-plane counters (bytes copied, blocks shared) flow through
+            # the same registry as the serve.* counters, so obs-report and
+            # the fleet metrics merge see them for free.
+            engine.attach_kv_metrics(self.obs.registry)
         self._queue: List[Tuple[int, int, Request]] = []  # (-priority, seqno, req)
         self._seqno = 0
         self._submitted_at: Dict[str, float] = {}
@@ -330,24 +335,32 @@ class Scheduler:
         max_ctx = self.engine.config.max_seq_len
         while self._queue and len(self._running) < self.config.max_batch_size:
             _, _, request = heapq.heappop(self._queue)
+            t_admit = self.clock()
             prompt = tuple(request.prompt_ids[-max_ctx:])
-            reused, reused_kv = 0, None
+            reused, entry = 0, None
             if request.session_id is not None:
-                reused, reused_kv = self.sessions.lookup_prefix(
+                reused, entry = self.sessions.lookup_prefix(
                     request.session_id, prompt)
+            pool_covers = False
             if reused == 0 and self.prefix_pool is not None:
-                reused, reused_kv = self.prefix_pool.lookup(prompt)
+                reused, entry = self.prefix_pool.lookup(prompt)
+                # A maximal hit (the lookup cap is len-1) means the stored
+                # entry already serves every lookup this prompt's KV could
+                # serve — re-inserting would be a pure copy/retain burn and
+                # an LRU-refresh the lookup just performed anyway.
+                pool_covers = entry is not None and reused >= len(prompt) - 1
             with self.obs.span("serve.prefill", tokens=len(prompt) - reused,
                                reused=reused):
-                caches = self.engine.new_caches()
-                logits = self.engine.prefill(prompt, caches, reused_kv)
-                if self.prefix_pool is not None:
+                handle = self.engine.begin_sequence(entry, reused)
+                logits = self.engine.prefill_into(prompt, handle)
+                if self.prefix_pool is not None and not pool_covers:
                     self.prefix_pool.insert(
-                        prompt, [(c.k, c.v) for c in caches])
-                seq = _Sequence(request, prompt, self.engine.bind(caches),
-                                reused)
+                        prompt,
+                        lambda: self.engine.make_entry(handle, len(prompt)))
+                seq = _Sequence(request, prompt, handle, reused)
             self.metrics.prefill_tokens += len(prompt) - reused
             self.metrics.cached_prefix_tokens += reused
+            self.metrics.record_admission(self.clock() - t_admit)
             submitted = self._submitted_at[request.request_id]
             self.metrics.record_queue_wait(now - submitted)
             seq.first_token_at = now
@@ -498,14 +511,15 @@ class Scheduler:
         if status == RequestStatus.FINISHED:
             self.metrics.requests_finished += 1
             if request.session_id is not None:
-                # Export exactly the covered prefix: during speculative
+                # Retain exactly the covered prefix: during speculative
                 # verification the cache transiently holds unverified
                 # chain positions past covered_ids (in the non-speculative
-                # path the two lengths are always equal).
+                # path the two lengths are always equal).  make_entry keeps
+                # resident blocks by reference instead of exporting copies.
                 self.sessions.update(
                     request.session_id, seq.covered_ids,
-                    self.engine.export_kv(seq.handle,
-                                          upto=len(seq.covered_ids)))
+                    lambda: self.engine.make_entry(seq.handle,
+                                                   len(seq.covered_ids)))
         self.engine.release(seq.handle)
         submitted = self._submitted_at.pop(request.request_id, None)
         ttft = (seq.first_token_at - submitted

@@ -6,16 +6,21 @@ turn *n*'s prompt begins with the exact token sequence the server already
 processed in turn *n-1* — prompt *and* generated answer.  Storing that
 state per session turns every follow-up turn into a suffix-only prefill.
 
-Entries hold the token ids whose KV is cached plus per-layer ``(k, v)``
-copies, and are evicted LRU beyond ``capacity``.
+Entries hold the token ids whose KV is cached plus a :class:`KVEntry`
+payload — shared block references in paged mode, owned array copies
+otherwise — and are evicted LRU beyond ``capacity``.  The store owns its
+entries' retained block references and releases them on replacement,
+eviction, and :meth:`SessionStore.drop`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from .cache import LayerKV, common_prefix_length
+import numpy as np
+
+from .cache import KVEntry, KVPayload, coerce_entry, common_prefix_length_np
 
 
 @dataclass
@@ -25,9 +30,18 @@ class SessionState:
     #: Token ids covered by the cached KV (prompt + generated, minus the
     #: final sampled token, whose KV was never computed).
     token_ids: Tuple[int, ...]
-    layer_kv: List[LayerKV]
+    entry: KVEntry
     turns: int = 0
     last_used: int = field(default=0)
+    #: Cached int64 view of ``token_ids`` backing the vectorized prefix
+    #: scan, built on first lookup.
+    _ids_array: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @property
+    def ids_array(self) -> np.ndarray:
+        if self._ids_array is None:
+            self._ids_array = np.asarray(self.token_ids, dtype=np.int64)
+        return self._ids_array
 
 
 class SessionStore:
@@ -54,38 +68,56 @@ class SessionStore:
         return state
 
     def lookup_prefix(self, session_id: str,
-                      prompt_ids: Sequence[int]) -> Tuple[int, Optional[List[LayerKV]]]:
+                      prompt_ids: Sequence[int]) -> Tuple[int, Optional[KVEntry]]:
         """Reusable KV prefix of ``prompt_ids`` from the session, if any.
 
-        Like the prefix pool, the match is capped one token short of the
-        prompt so prefill always has work to produce logits from.
+        Returns ``(match_len, entry)`` without copying — the engine adopts
+        the entry (a refcount bump in paged mode).  Like the prefix pool,
+        the match is capped one token short of the prompt so prefill always
+        has work to produce logits from.
         """
         state = self.get(session_id)
         if state is None:
             return 0, None
-        match = min(common_prefix_length(state.token_ids, prompt_ids),
-                    len(prompt_ids) - 1)
+        match = min(common_prefix_length_np(state.ids_array, prompt_ids),
+                    len(prompt_ids) - 1, state.entry.length)
         if match <= 0:
             return 0, None
-        kv = [(k[:, :match].copy(), v[:, :match].copy())
-              for k, v in state.layer_kv]
-        return match, kv
+        return match, state.entry
 
     def update(self, session_id: str, token_ids: Sequence[int],
-               layer_kv: List[LayerKV]) -> None:
-        """Replace a session's cached state after a completed turn."""
+               payload: KVPayload) -> None:
+        """Replace a session's cached state after a completed turn.
+
+        ``payload`` follows the prefix-pool convention: a ready
+        :class:`KVEntry`, a lazy supplier (invoked here — session updates
+        are never declined), or a legacy per-layer array list.
+        """
+        ids = tuple(int(i) for i in token_ids)
+        entry = coerce_entry(payload, len(ids))
         previous = self._sessions.get(session_id)
+        if previous is not None:
+            previous.entry.release()
         self._clock += 1
         self._sessions[session_id] = SessionState(
-            token_ids=tuple(int(i) for i in token_ids),
-            layer_kv=layer_kv,
+            token_ids=ids,
+            entry=entry,
             turns=(previous.turns + 1) if previous else 1,
             last_used=self._clock,
         )
         while len(self._sessions) > self.capacity:
             oldest = min(self._sessions, key=lambda s: self._sessions[s].last_used)
-            del self._sessions[oldest]
+            self._sessions.pop(oldest).entry.release()
 
     def drop(self, session_id: str) -> bool:
         """Forget a session; returns whether it existed."""
-        return self._sessions.pop(session_id, None) is not None
+        state = self._sessions.pop(session_id, None)
+        if state is not None:
+            state.entry.release()
+        return state is not None
+
+    def clear(self) -> None:
+        """Drop every session, releasing retained block references."""
+        for state in self._sessions.values():
+            state.entry.release()
+        self._sessions.clear()

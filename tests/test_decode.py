@@ -448,16 +448,17 @@ def test_paged_fresh_blocks_are_zeroed(model):
     blocks_a = list(eng._slot_blocks[handle.slot])
     assert len(blocks_a) == 3
     eng.release(handle)
-    # The hazard is real: freed blocks still hold the old sequence's KV.
-    assert any(np.any(eng._page_k[0][b] != 0.0) for b in blocks_a)
+    # The hazard is real: freed blocks still hold the old sequence's KV
+    # (storage layout is (H, blocks, bt, Dh)).
+    assert any(np.any(eng._page_k[0][:, b] != 0.0) for b in blocks_a)
     caches = eng.new_caches()
     eng.prefill([1, 5, 6], caches)  # 3 tokens → 1 reused block
     handle2 = eng.bind(caches)
     blocks_b = eng._slot_blocks[handle2.slot]
     assert len(blocks_b) == 1 and blocks_b[0] in blocks_a
     for li in range(len(eng.layers)):
-        assert np.all(eng._page_k[li][blocks_b[0], :, 3:] == 0.0)
-        assert np.all(eng._page_v[li][blocks_b[0], :, 3:] == 0.0)
+        assert np.all(eng._page_k[li][:, blocks_b[0], 3:] == 0.0)
+        assert np.all(eng._page_v[li][:, blocks_b[0], 3:] == 0.0)
     eng.release(handle2)
 
 

@@ -200,12 +200,13 @@ def test_prefix_pool_lookup_and_eviction():
     pool = PrefixCachePool(max_entries=2, min_match_tokens=2)
     kv = [(np.ones((2, 4, 3)), np.ones((2, 4, 3)))]
     pool.insert((1, 2, 3, 4), kv)
-    match, reused = pool.lookup((1, 2, 3, 9))
+    match, entry = pool.lookup((1, 2, 3, 9))
     assert match == 3
-    assert reused[0][0].shape[1] == 3
+    assert entry.length == 4  # the stored entry covers its whole key
+    assert entry.materialize(match)[0][0].shape[1] == 3
     # Too-short matches are rejected.
-    match, reused = pool.lookup((1, 9, 9, 9))
-    assert match == 0 and reused is None
+    match, entry = pool.lookup((1, 9, 9, 9))
+    assert match == 0 and entry is None
     # LRU eviction at capacity.
     pool.insert((5, 6, 7, 8), kv)
     pool.insert((9, 10, 11, 12), kv)
@@ -226,9 +227,9 @@ def test_prefix_pool_prunes_subsumed_entries():
     assert len(pool) == 2
     # ...and lookups the short entry used to serve still hit, through the
     # longer entry.
-    match, reused = pool.lookup((1, 2, 3, 9))
+    match, entry = pool.lookup((1, 2, 3, 9))
     assert match == 3
-    assert reused[0][0].shape[1] == 3
+    assert entry.materialize(match)[0][0].shape[1] == 3
 
 
 def test_subsumed_insert_refreshes_subsuming_entry_lru_clock():
